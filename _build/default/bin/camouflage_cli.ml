@@ -1,0 +1,165 @@
+(* Command-line front end: boot reports, attack demonstrations, the
+   semantic-search census and instrumentation listings. *)
+
+open Cmdliner
+open Aarch64
+module C = Camouflage
+module K = Kernel
+
+let config_of_string = function
+  | "full" -> Ok C.Config.full
+  | "backward" -> Ok C.Config.backward_only
+  | "compat" -> Ok C.Config.compat
+  | "none" -> Ok C.Config.none
+  | "sp-only" -> Ok { C.Config.backward_only with scheme = C.Modifier.Sp_only }
+  | "parts" -> Ok { C.Config.backward_only with scheme = C.Modifier.Parts 0x7357L }
+  | s -> Error (`Msg (Printf.sprintf "unknown config %S" s))
+
+let config_conv =
+  Arg.conv
+    ( config_of_string,
+      fun fmt config -> Format.pp_print_string fmt (C.Config.name config) )
+
+let config_arg =
+  let doc = "Protection configuration: full, backward, compat, none, sp-only, parts." in
+  Arg.(value & opt config_conv C.Config.full & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed driving key generation and synthetic inputs." in
+  Arg.(value & opt int64 42L & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let boot_cmd =
+  let run config seed =
+    let sys = K.System.boot ~config ~seed () in
+    Printf.printf "configuration : %s\n" (C.Config.name config);
+    Printf.printf "kernel PAC    : %d bits (48-bit VA, no tags)\n"
+      (Vaddr.pac_bits (Cpu.kernel_cfg (K.System.cpu sys)));
+    Printf.printf "keys in use   : %s\n"
+      (String.concat ", "
+         (List.map
+            (fun k ->
+              match k with
+              | Sysreg.IA -> "IA (forward-edge CFI)"
+              | Sysreg.IB -> "IB (backward-edge CFI)"
+              | Sysreg.DA -> "DA"
+              | Sysreg.DB -> "DB (DFI)"
+              | Sysreg.GA -> "GA")
+            (C.Keys.keys_in_use config.C.Config.mode)));
+    Printf.printf "XOM setter    : 0x%Lx (%d bytes, execute-only via stage 2)\n"
+      (K.System.xom sys).K.Xom.setter_addr (K.System.xom sys).K.Xom.bytes;
+    Printf.printf "init task     : pid %d\n" (K.System.current sys).K.System.pid;
+    Printf.printf "\nboot log:\n";
+    List.iter (fun l -> Printf.printf "  %s\n" l) (K.System.log sys)
+  in
+  let doc = "Boot the protected kernel and print a system report." in
+  Cmd.v (Cmd.info "boot" ~doc) Term.(const run $ config_arg $ seed_arg)
+
+let attack_names = [ "rop"; "fops"; "replay"; "temporal"; "bruteforce"; "cred"; "cred-replay" ]
+
+let attack_cmd =
+  let attack_arg =
+    let doc = Printf.sprintf "Attack to run: %s." (String.concat ", " attack_names) in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK" ~doc)
+  in
+  let run config seed name =
+    let sys = K.System.boot ~config ~seed () in
+    Printf.printf "kernel build: %s\n" (C.Config.name config);
+    (match name with
+    | "rop" -> Printf.printf "%s\n" (Attacks.Rop.outcome_to_string (Attacks.Rop.run sys))
+    | "fops" ->
+        Printf.printf "%s\n"
+          (Attacks.Fptr_hijack.outcome_to_string (Attacks.Fptr_hijack.run sys))
+    | "replay" ->
+        Printf.printf "%s\n"
+          (Attacks.Replay.outcome_to_string (Attacks.Replay.cross_task_switch_frame sys))
+    | "bruteforce" ->
+        Printf.printf "%s\n"
+          (Attacks.Bruteforce_attack.report_to_string
+             (Attacks.Bruteforce_attack.run sys ~attempts:64 ~seed))
+    | "temporal" ->
+        Printf.printf "%s\n"
+          (Attacks.Temporal_replay.outcome_to_string
+             (Attacks.Temporal_replay.run config.C.Config.scheme))
+    | "cred" ->
+        Printf.printf "%s\n"
+          (Attacks.Cred_hijack.outcome_to_string
+             (Attacks.Cred_hijack.run sys Attacks.Cred_hijack.Raw))
+    | "cred-replay" ->
+        Printf.printf "%s\n"
+          (Attacks.Cred_hijack.outcome_to_string
+             (Attacks.Cred_hijack.run sys Attacks.Cred_hijack.Replayed))
+    | other -> Printf.printf "unknown attack %S (try: %s)\n" other (String.concat ", " attack_names));
+    Printf.printf "\nkernel log:\n";
+    List.iter (fun l -> Printf.printf "  %s\n" l) (K.System.log sys)
+  in
+  let doc = "Run an attack scenario against the booted kernel." in
+  Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ config_arg $ seed_arg $ attack_arg)
+
+let census_cmd =
+  let run seed =
+    let corpus = Sempatch.Corpus.generate ~seed () in
+    let census = Sempatch.Analysis.run corpus in
+    Printf.printf "compound types scanned              : %d\n"
+      (Sempatch.Cast.struct_count corpus);
+    Printf.printf "functions scanned                   : %d\n"
+      (Sempatch.Cast.function_count corpus);
+    Printf.printf "run-time-assigned fn-ptr members    : %d\n"
+      census.Sempatch.Analysis.member_count;
+    Printf.printf "containing types                    : %d\n"
+      census.Sempatch.Analysis.type_count;
+    Printf.printf "types with >1 pointer (to ops)      : %d\n"
+      census.Sempatch.Analysis.multi_member_type_count;
+    Printf.printf "lone pointers needing PAuth         : %d\n"
+      census.Sempatch.Analysis.needs_pac
+  in
+  let doc = "Run the semantic search census over the synthetic kernel corpus." in
+  Cmd.v (Cmd.info "census" ~doc) Term.(const run $ seed_arg)
+
+let disasm_cmd =
+  let run config =
+    let f = C.Instrument.wrap config ~name:"function" [ Asm.ins Insn.Nop ] in
+    let prog = Asm.create () in
+    Asm.add_function prog ~name:"function" f.C.Instrument.items;
+    let layout = Asm.assemble prog ~base:0xffff000000100000L in
+    Printf.printf "instrumented prologue/epilogue for %s:\n\n%s"
+      (C.Config.name config) (Asm.disassemble layout)
+  in
+  let doc = "Show the instrumented function shape for a configuration." in
+  Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ config_arg)
+
+let integrity_cmd =
+  let run config seed =
+    let sys = K.System.boot ~config ~seed () in
+    Printf.printf "syscall-table PACGA attestation: %s\n"
+      (if K.System.verify_syscall_table sys then "OK" else "MISMATCH");
+    (* tamper (bypassing stage 2, modeling a protection lapse) and recheck *)
+    let table = K.System.kernel_symbol sys "sys_call_table" in
+    K.Kmem.write64 (K.System.cpu sys) (Int64.add table 8L) 0xbadL;
+    Printf.printf "after tampering:                 %s\n"
+      (if K.System.verify_syscall_table sys then "OK (undetected!)" else "MISMATCH detected")
+  in
+  let doc = "Demonstrate the PACGA kernel integrity monitor." in
+  Cmd.v (Cmd.info "integrity" ~doc) Term.(const run $ config_arg $ seed_arg)
+
+let trace_cmd =
+  let run config seed =
+    let sys = K.System.boot ~config ~seed () in
+    Printf.printf "running the f_ops hijack to provoke a PAC failure...\n";
+    Printf.printf "%s\n\n"
+      (Attacks.Fptr_hijack.outcome_to_string (Attacks.Fptr_hijack.run sys));
+    Printf.printf "last instructions retired before the stop:\n";
+    List.iter
+      (fun (pc, insn) -> Printf.printf "  %Lx: %s\n" pc (Insn.to_string insn))
+      (Cpu.recent_trace ~limit:12 (K.System.cpu sys));
+    Printf.printf "\nkernel log:\n";
+    List.iter (fun l -> Printf.printf "  %s\n" l) (K.System.log sys)
+  in
+  let doc = "Provoke a PAC failure and dump the CPU trace ring around it." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ config_arg $ seed_arg)
+
+let main =
+  let doc = "Camouflage: hardware-assisted CFI for an ARM-like kernel (DAC'20 reproduction)" in
+  Cmd.group (Cmd.info "camouflage" ~version:"1.0.0" ~doc)
+    [ boot_cmd; attack_cmd; census_cmd; disasm_cmd; integrity_cmd; trace_cmd ]
+
+let () = exit (Cmd.eval main)

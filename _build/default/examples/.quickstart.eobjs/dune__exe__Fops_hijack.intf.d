@@ -1,0 +1,1 @@
+examples/fops_hijack.mli:

@@ -1,0 +1,1 @@
+examples/module_loading.ml: Aarch64 Asm Camouflage Insn Int64 Kelf Kernel List Printf Result Sysreg

@@ -1,0 +1,1 @@
+examples/multitask.ml: Aarch64 Asm Camouflage Cpu Insn Int64 Kernel List Mmu Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aarch64 Asm Attacks Camouflage Cpu Insn Kernel List Mmu Printf

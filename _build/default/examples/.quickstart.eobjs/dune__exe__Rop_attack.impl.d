@@ -1,0 +1,1 @@
+examples/rop_attack.ml: Attacks Camouflage Kernel List Printf

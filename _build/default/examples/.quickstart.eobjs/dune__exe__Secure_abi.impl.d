@@ -1,0 +1,1 @@
+examples/secure_abi.ml: Aarch64 Asm Camouflage Insn Kernel List Mmu Printf Sysreg

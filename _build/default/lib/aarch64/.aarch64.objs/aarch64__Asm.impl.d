@@ -1,0 +1,1 @@
+lib/aarch64/asm.ml: Array Buffer Encode Hashtbl Insn Int64 List Printf

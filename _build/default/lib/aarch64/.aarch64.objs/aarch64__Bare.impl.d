@@ -1,0 +1,1 @@
+lib/aarch64/bare.ml: Asm Camo_util Cpu El Int64 List Mem Mmu Sysreg Vaddr

@@ -1,0 +1,1 @@
+lib/aarch64/bare.mli: Asm Cost Cpu Mmu

@@ -1,0 +1,1 @@
+lib/aarch64/cpu.ml: Array Camo_util Cost El Encode Hashtbl Insn Int64 Mem Mmu Pac Printf Qarma Sysreg Vaddr

@@ -1,0 +1,1 @@
+lib/aarch64/cpu.mli: Cost El Insn Mem Mmu Pac Qarma Sysreg Vaddr

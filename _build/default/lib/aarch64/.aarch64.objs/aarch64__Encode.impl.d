@@ -1,0 +1,1 @@
+lib/aarch64/encode.ml: Insn Int32 Int64 List Option Printf Sysreg

@@ -1,0 +1,1 @@
+lib/aarch64/mem.ml: Bytes Char Hashtbl Int32 Int64 String

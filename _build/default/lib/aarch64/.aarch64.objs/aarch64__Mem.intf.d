@@ -1,0 +1,1 @@
+lib/aarch64/mem.mli:

@@ -1,0 +1,1 @@
+lib/aarch64/mmu.ml: El Hashtbl Int64 Printf

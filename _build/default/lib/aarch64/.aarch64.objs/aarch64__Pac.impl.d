@@ -1,0 +1,1 @@
+lib/aarch64/pac.ml: Camo_util Int64 List Qarma Vaddr

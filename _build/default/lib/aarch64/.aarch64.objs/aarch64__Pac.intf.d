@@ -1,0 +1,1 @@
+lib/aarch64/pac.mli: Qarma Vaddr

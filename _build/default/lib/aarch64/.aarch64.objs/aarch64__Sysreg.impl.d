@@ -1,0 +1,1 @@
+lib/aarch64/sysreg.ml: Format List

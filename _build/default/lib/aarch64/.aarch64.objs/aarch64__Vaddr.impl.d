@@ -1,0 +1,1 @@
+lib/aarch64/vaddr.ml: Camo_util Int64 List

@@ -1,0 +1,113 @@
+type item = Ins of Insn.t | Fixup of string * (int64 -> Insn.t) | Label of string
+
+let ins i = Ins i
+let label name = Label name
+let with_label name f = Fixup (name, f)
+let b_to l = with_label l (fun a -> Insn.B a)
+let bl_to l = with_label l (fun a -> Insn.Bl a)
+let cbz_to r l = with_label l (fun a -> Insn.Cbz (r, a))
+let cbnz_to r l = with_label l (fun a -> Insn.Cbnz (r, a))
+let bcond_to c l = with_label l (fun a -> Insn.Bcond (c, a))
+let adr_of r l = with_label l (fun a -> Insn.Adr (r, a))
+
+let mov_addr r l =
+  let chunk a i = Int64.to_int (Int64.logand (Int64.shift_right_logical a (16 * i)) 0xffffL) in
+  with_label l (fun a -> Insn.Movz (r, chunk a 0, 0))
+  :: List.map (fun i -> with_label l (fun a -> Insn.Movk (r, chunk a i, 16 * i))) [ 1; 2; 3 ]
+
+let instruction_count items =
+  List.fold_left
+    (fun acc item -> match item with Ins _ | Fixup _ -> acc + 1 | Label _ -> acc)
+    0 items
+
+type func = { name : string; items : item list }
+
+type program = { mutable funcs : func list (* reverse order *) }
+
+let create () = { funcs = [] }
+
+let add_function p ~name items =
+  if List.exists (fun f -> f.name = name) p.funcs then
+    invalid_arg (Printf.sprintf "Asm.add_function: duplicate %s" name);
+  p.funcs <- { name; items } :: p.funcs
+
+type layout = {
+  base : int64;
+  size : int;
+  symbols : (string * int64) list;
+  code : (int64 * Insn.t) array;
+}
+
+exception Undefined_label of string
+
+let assemble ?(extra_symbols = []) p ~base =
+  let funcs = List.rev p.funcs in
+  (* First pass: assign addresses to functions, global and local labels. *)
+  let globals = Hashtbl.create 16 in
+  let locals = Hashtbl.create 64 in
+  let addr = ref base in
+  let symbols = ref [] in
+  List.iter
+    (fun f ->
+      Hashtbl.replace globals f.name !addr;
+      symbols := (f.name, !addr) :: !symbols;
+      let pos = ref !addr in
+      List.iter
+        (fun item ->
+          match item with
+          | Label l -> Hashtbl.replace locals (f.name, l) !pos
+          | Ins _ | Fixup _ -> pos := Int64.add !pos 4L)
+        f.items;
+      addr := Int64.add !addr (Int64.of_int (4 * instruction_count f.items)))
+    funcs;
+  (* Second pass: resolve. *)
+  let resolve fname l =
+    match Hashtbl.find_opt locals (fname, l) with
+    | Some a -> a
+    | None -> (
+        match Hashtbl.find_opt globals l with
+        | Some a -> a
+        | None -> (
+            match List.assoc_opt l extra_symbols with
+            | Some a -> a
+            | None -> raise (Undefined_label l)))
+  in
+  let code = ref [] in
+  let pos = ref base in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun item ->
+          let emit i =
+            code := (!pos, i) :: !code;
+            pos := Int64.add !pos 4L
+          in
+          match item with
+          | Label _ -> ()
+          | Ins i -> emit i
+          | Fixup (l, mk) -> emit (mk (resolve f.name l)))
+        f.items)
+    funcs;
+  {
+    base;
+    size = Int64.to_int (Int64.sub !pos base);
+    symbols = List.rev !symbols;
+    code = Array.of_list (List.rev !code);
+  }
+
+let symbol layout name = List.assoc name layout.symbols
+
+let encode_into layout ~write32 =
+  Array.iter (fun (va, insn) -> write32 va (Encode.encode ~pc:va insn)) layout.code
+
+let disassemble layout =
+  let buf = Buffer.create 1024 in
+  let sym_at va =
+    List.filter_map (fun (n, a) -> if a = va then Some n else None) layout.symbols
+  in
+  Array.iter
+    (fun (va, insn) ->
+      List.iter (fun n -> Buffer.add_string buf (Printf.sprintf "%s:\n" n)) (sym_at va);
+      Buffer.add_string buf (Printf.sprintf "  %Lx: %s\n" va (Insn.to_string insn)))
+    layout.code;
+  Buffer.contents buf

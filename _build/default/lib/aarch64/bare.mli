@@ -1,0 +1,33 @@
+(** A bare-metal test machine: kernel-space code/stack/data mappings and
+    random PAuth keys, with no operating system on top.
+
+    Used by microbenchmarks and experiments that exercise the
+    instrumentation directly — notably those involving the chained
+    backward-edge scheme, which reserves a live chain register and
+    cannot run under the prefabricated-frame kernel. *)
+
+val code_base : int64
+val stack_top : int64
+val data_base : int64
+
+(** Physical address backing a VA under the identity map used here. *)
+val pa_of_va : int64 -> int64
+
+(** [machine ?seed ()] — a CPU at EL1 with code (rx), stack (rw) and
+    data (rw) regions mapped, SP at {!stack_top}, all four enable bits
+    set and random keys installed. *)
+val machine : ?seed:int64 -> ?cost:Cost.profile -> unit -> Cpu.t
+
+(** [map_region cpu ~base ~pages perm] — add an EL1 mapping. *)
+val map_region : ?el0:Mmu.perm -> Cpu.t -> base:int64 -> pages:int -> Mmu.perm -> unit
+
+(** [load cpu prog] — assemble at {!code_base} and write into memory. *)
+val load : ?base:int64 -> Cpu.t -> Asm.program -> Asm.layout
+
+(** [read64]/[write64] — host access through the identity map. *)
+val read64 : Cpu.t -> int64 -> int64
+
+val write64 : Cpu.t -> int64 -> int64 -> unit
+
+(** [call cpu layout name] — call a symbol with LR at the host sentinel. *)
+val call : ?max_insns:int -> Cpu.t -> Asm.layout -> string -> Cpu.stop

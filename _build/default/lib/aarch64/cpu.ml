@@ -1,0 +1,448 @@
+module Val64 = Camo_util.Val64
+
+type fault =
+  | Mmu_fault of Mmu.fault
+  | Undefined_instruction of int32
+  | Hyp_denied of Sysreg.t
+  | El_denied of Sysreg.t
+
+type stop =
+  | Svc of int
+  | Brk of int
+  | Hlt of int
+  | Fault of { fault : fault; pc : int64 }
+  | Eret_done
+  | Sentinel_return
+  | Insn_limit
+
+type flags = { mutable n : bool; mutable z : bool; mutable v : bool; mutable c : bool }
+
+type t = {
+  regs : int64 array;
+  mutable sp_el0 : int64;
+  mutable sp_el1 : int64;
+  mutable sp_el2 : int64;
+  mutable pc : int64;
+  mutable el : El.t;
+  flags : flags;
+  sysregs : (Sysreg.t, int64) Hashtbl.t;
+  mem : Mem.t;
+  mmu : Mmu.t;
+  cipher : Qarma.Block.t;
+  cost : Cost.profile;
+  mutable cycles : int64;
+  mutable insns_retired : int64;
+  has_pauth : bool;
+  user_cfg : Vaddr.config;
+  kernel_cfg : Vaddr.config;
+  mutable sysreg_locked : Sysreg.t -> bool;
+  (* ring buffer of recently retired (pc, insn), newest last *)
+  trace : (int64 * Insn.t) option array;
+  mutable trace_pos : int;
+}
+
+(* A canonical kernel address that is never mapped: it survives PAC/AUT
+   round trips (host-called protected functions sign it as their return
+   address) and the fetch path checks for it before translation. *)
+let sentinel = 0xffff_ffff_dead_0000L
+
+let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linux_user)
+    ?(kernel_cfg = Vaddr.linux_kernel) ?(cipher = Qarma.Block.create ()) () =
+  {
+    regs = Array.make 31 0L;
+    sp_el0 = 0L;
+    sp_el1 = 0L;
+    sp_el2 = 0L;
+    pc = 0L;
+    el = El.El1;
+    flags = { n = false; z = false; v = false; c = false };
+    sysregs = Hashtbl.create 32;
+    mem = Mem.create ();
+    mmu = Mmu.create ();
+    cipher;
+    cost;
+    cycles = 0L;
+    insns_retired = 0L;
+    has_pauth;
+    user_cfg;
+    kernel_cfg;
+    sysreg_locked = (fun _ -> false);
+    trace = Array.make 32 None;
+    trace_pos = 0;
+  }
+
+let mem t = t.mem
+let mmu t = t.mmu
+let cipher t = t.cipher
+let cost_profile t = t.cost
+let has_pauth t = t.has_pauth
+let user_cfg t = t.user_cfg
+let kernel_cfg t = t.kernel_cfg
+
+let pointer_cfg t va =
+  match Vaddr.select va with
+  | Vaddr.Kernel -> t.kernel_cfg
+  | Vaddr.User | Vaddr.Invalid -> t.user_cfg
+
+let sp_of t = function
+  | El.El0 -> t.sp_el0
+  | El.El1 -> t.sp_el1
+  | El.El2 -> t.sp_el2
+
+let set_sp_of t el v =
+  match el with
+  | El.El0 -> t.sp_el0 <- v
+  | El.El1 -> t.sp_el1 <- v
+  | El.El2 -> t.sp_el2 <- v
+
+let reg t = function
+  | Insn.R n -> t.regs.(n)
+  | Insn.XZR -> 0L
+  | Insn.SP -> sp_of t t.el
+
+let set_reg t r v =
+  match r with
+  | Insn.R n -> t.regs.(n) <- v
+  | Insn.XZR -> ()
+  | Insn.SP -> set_sp_of t t.el v
+
+let sysreg t sr =
+  match sr with
+  | Sysreg.CNTVCT_EL0 -> t.cycles
+  | _ -> ( match Hashtbl.find_opt t.sysregs sr with Some v -> v | None -> 0L)
+
+let set_sysreg t sr v = Hashtbl.replace t.sysregs sr v
+
+let pc t = t.pc
+let set_pc t v = t.pc <- v
+let el t = t.el
+let set_el t e = t.el <- e
+let cycles t = t.cycles
+let insns_retired t = t.insns_retired
+let charge t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
+let set_sysreg_lock t f = t.sysreg_locked <- f
+
+let pac_key t k =
+  let hi_reg, lo_reg = Sysreg.key_halves k in
+  Pac.{ hi = sysreg t hi_reg; lo = sysreg t lo_reg }
+
+let pauth_enabled t k =
+  t.has_pauth
+  &&
+  match k with
+  | Sysreg.GA -> true
+  | Sysreg.IA | Sysreg.IB | Sysreg.DA | Sysreg.DB ->
+      Val64.bit (Sysreg.sctlr_enable_bit k) (sysreg t Sysreg.SCTLR_EL1)
+
+let cost_of t insn =
+  let c = t.cost in
+  match insn with
+  | Insn.Movz _ | Insn.Movk _ | Insn.Mov _ | Insn.Add_imm _ | Insn.Sub_imm _
+  | Insn.Add_reg _ | Insn.Sub_reg _ | Insn.Subs_reg _ | Insn.Subs_imm _ | Insn.And_reg _
+  | Insn.Orr_reg _ | Insn.Eor_reg _ | Insn.Lsl_imm _ | Insn.Lsr_imm _ | Insn.Bfi _
+  | Insn.Ubfx _ | Insn.Adr _ | Insn.Nop | Insn.Brk _ | Insn.Hlt _ ->
+      c.alu
+  | Insn.Ldr _ | Insn.Ldrb _ -> c.load
+  | Insn.Ldp _ -> c.load + 1
+  | Insn.Str _ | Insn.Strb _ -> c.store
+  | Insn.Stp _ -> c.store + 1
+  | Insn.B _ | Insn.Bl _ | Insn.Br _ | Insn.Blr _ | Insn.Ret | Insn.Cbz _ | Insn.Cbnz _
+  | Insn.Bcond _ ->
+      c.branch
+  | Insn.Pac (k, _, _) | Insn.Aut (k, _, _) ->
+      if pauth_enabled t k then c.pauth else c.alu
+  | Insn.Pac1716 k | Insn.Aut1716 k -> if pauth_enabled t k then c.pauth else c.alu
+  | Insn.Xpac _ -> if t.has_pauth then c.pauth else c.alu
+  | Insn.Pacga _ -> if t.has_pauth then c.pauth else c.alu
+  | Insn.Blra (k, _, _) | Insn.Bra (k, _, _) | Insn.Reta k ->
+      c.branch + if pauth_enabled t k then c.pauth else 0
+  | Insn.Mrs _ -> c.mrs
+  | Insn.Msr _ -> c.msr
+  | Insn.Svc _ -> c.exception_entry
+  | Insn.Eret -> c.eret
+  | Insn.Isb -> c.isb
+
+let translate t ~access va =
+  match Mmu.translate t.mmu ~el:t.el ~access va with
+  | Ok pa -> Ok pa
+  | Error f -> Error (Fault { fault = Mmu_fault f; pc = t.pc })
+
+(* PAC helpers used by the instruction semantics. *)
+
+let do_pac t key ptr modifier =
+  if pauth_enabled t key then
+    let cfg = pointer_cfg t ptr in
+    Pac.compute ~cipher:t.cipher ~key:(pac_key t key) ~cfg ~modifier ptr
+  else ptr
+
+let do_aut t key ptr modifier =
+  if pauth_enabled t key then begin
+    let cfg = pointer_cfg t ptr in
+    match Pac.auth ~cipher:t.cipher ~key:(pac_key t key) ~cfg ~modifier ptr with
+    | Ok stripped -> stripped
+    | Error poisoned -> poisoned
+  end
+  else ptr
+
+(* Addressing-mode evaluation: returns the effective VA and applies any
+   base-register writeback. *)
+let effective_address t m =
+  match m with
+  | Insn.Off (base, off) -> Int64.add (reg t base) (Int64.of_int off)
+  | Insn.Pre (base, off) ->
+      let addr = Int64.add (reg t base) (Int64.of_int off) in
+      set_reg t base addr;
+      addr
+  | Insn.Post (base, off) ->
+      let addr = reg t base in
+      set_reg t base (Int64.add addr (Int64.of_int off));
+      addr
+
+let set_flags_sub t a b =
+  let result = Int64.sub a b in
+  t.flags.n <- Int64.compare result 0L < 0;
+  t.flags.z <- result = 0L;
+  t.flags.c <- Int64.unsigned_compare a b >= 0;
+  let sa = Int64.compare a 0L < 0
+  and sb = Int64.compare b 0L < 0
+  and sr = Int64.compare result 0L < 0 in
+  t.flags.v <- (sa <> sb) && (sr <> sa);
+  result
+
+let cond_holds t = function
+  | Insn.Eq -> t.flags.z
+  | Insn.Ne -> not t.flags.z
+  | Insn.Lt -> t.flags.n <> t.flags.v
+  | Insn.Ge -> t.flags.n = t.flags.v
+  | Insn.Gt -> (not t.flags.z) && t.flags.n = t.flags.v
+  | Insn.Le -> t.flags.z || t.flags.n <> t.flags.v
+
+exception Stop of stop
+
+let load t ~access ~width va =
+  match translate t ~access va with
+  | Error s -> raise (Stop s)
+  | Ok pa -> ( match width with `B -> Int64.of_int (Mem.read8 t.mem pa) | `X -> Mem.read64 t.mem pa)
+
+let store t ~width va v =
+  match translate t ~access:Mmu.Write va with
+  | Error s -> raise (Stop s)
+  | Ok pa -> (
+      match width with
+      | `B -> Mem.write8 t.mem pa (Int64.to_int (Int64.logand v 0xffL))
+      | `X -> Mem.write64 t.mem pa v)
+
+
+(* Execute one decoded instruction. The PC has NOT yet been advanced;
+   [next] is the fall-through address. *)
+let execute t insn ~next =
+  let branch target = t.pc <- target in
+  let fallthrough () = t.pc <- next in
+  match insn with
+  | Insn.Nop | Insn.Isb -> fallthrough ()
+  | Insn.Movz (rd, imm, sh) ->
+      set_reg t rd (Int64.shift_left (Int64.of_int imm) sh);
+      fallthrough ()
+  | Insn.Movk (rd, imm, sh) ->
+      set_reg t rd
+        (Val64.insert ~lo:sh ~width:16 ~field:(Int64.of_int imm) (reg t rd));
+      fallthrough ()
+  | Insn.Mov (rd, rn) ->
+      set_reg t rd (reg t rn);
+      fallthrough ()
+  | Insn.Add_imm (rd, rn, imm) ->
+      set_reg t rd (Int64.add (reg t rn) (Int64.of_int imm));
+      fallthrough ()
+  | Insn.Sub_imm (rd, rn, imm) ->
+      set_reg t rd (Int64.sub (reg t rn) (Int64.of_int imm));
+      fallthrough ()
+  | Insn.Add_reg (rd, rn, rm) ->
+      set_reg t rd (Int64.add (reg t rn) (reg t rm));
+      fallthrough ()
+  | Insn.Sub_reg (rd, rn, rm) ->
+      set_reg t rd (Int64.sub (reg t rn) (reg t rm));
+      fallthrough ()
+  | Insn.Subs_reg (rd, rn, rm) ->
+      set_reg t rd (set_flags_sub t (reg t rn) (reg t rm));
+      fallthrough ()
+  | Insn.Subs_imm (rd, rn, imm) ->
+      set_reg t rd (set_flags_sub t (reg t rn) (Int64.of_int imm));
+      fallthrough ()
+  | Insn.And_reg (rd, rn, rm) ->
+      set_reg t rd (Int64.logand (reg t rn) (reg t rm));
+      fallthrough ()
+  | Insn.Orr_reg (rd, rn, rm) ->
+      set_reg t rd (Int64.logor (reg t rn) (reg t rm));
+      fallthrough ()
+  | Insn.Eor_reg (rd, rn, rm) ->
+      set_reg t rd (Int64.logxor (reg t rn) (reg t rm));
+      fallthrough ()
+  | Insn.Lsl_imm (rd, rn, sh) ->
+      set_reg t rd (Int64.shift_left (reg t rn) sh);
+      fallthrough ()
+  | Insn.Lsr_imm (rd, rn, sh) ->
+      set_reg t rd (Int64.shift_right_logical (reg t rn) sh);
+      fallthrough ()
+  | Insn.Bfi (rd, rn, lsb, width) ->
+      set_reg t rd (Val64.insert ~lo:lsb ~width ~field:(reg t rn) (reg t rd));
+      fallthrough ()
+  | Insn.Ubfx (rd, rn, lsb, width) ->
+      set_reg t rd (Val64.extract ~lo:lsb ~width (reg t rn));
+      fallthrough ()
+  | Insn.Adr (rd, target) ->
+      set_reg t rd target;
+      fallthrough ()
+  | Insn.Ldr (rd, m) ->
+      let va = effective_address t m in
+      set_reg t rd (load t ~access:Mmu.Read ~width:`X va);
+      fallthrough ()
+  | Insn.Ldrb (rd, m) ->
+      let va = effective_address t m in
+      set_reg t rd (load t ~access:Mmu.Read ~width:`B va);
+      fallthrough ()
+  | Insn.Str (rs, m) ->
+      let va = effective_address t m in
+      store t ~width:`X va (reg t rs);
+      fallthrough ()
+  | Insn.Strb (rs, m) ->
+      let va = effective_address t m in
+      store t ~width:`B va (reg t rs);
+      fallthrough ()
+  | Insn.Ldp (r1, r2, m) ->
+      let va = effective_address t m in
+      set_reg t r1 (load t ~access:Mmu.Read ~width:`X va);
+      set_reg t r2 (load t ~access:Mmu.Read ~width:`X (Int64.add va 8L));
+      fallthrough ()
+  | Insn.Stp (r1, r2, m) ->
+      let va = effective_address t m in
+      store t ~width:`X va (reg t r1);
+      store t ~width:`X (Int64.add va 8L) (reg t r2);
+      fallthrough ()
+  | Insn.B target -> branch target
+  | Insn.Bl target ->
+      set_reg t Insn.lr next;
+      branch target
+  | Insn.Br rn -> branch (reg t rn)
+  | Insn.Blr rn ->
+      let target = reg t rn in
+      set_reg t Insn.lr next;
+      branch target
+  | Insn.Ret -> branch (reg t Insn.lr)
+  | Insn.Cbz (rn, target) -> if reg t rn = 0L then branch target else fallthrough ()
+  | Insn.Cbnz (rn, target) -> if reg t rn <> 0L then branch target else fallthrough ()
+  | Insn.Bcond (c, target) -> if cond_holds t c then branch target else fallthrough ()
+  | Insn.Pac (k, rd, rm) ->
+      set_reg t rd (do_pac t k (reg t rd) (reg t rm));
+      fallthrough ()
+  | Insn.Aut (k, rd, rm) ->
+      set_reg t rd (do_aut t k (reg t rd) (reg t rm));
+      fallthrough ()
+  | Insn.Pac1716 k ->
+      set_reg t Insn.ip1 (do_pac t k (reg t Insn.ip1) (reg t Insn.ip0));
+      fallthrough ()
+  | Insn.Aut1716 k ->
+      set_reg t Insn.ip1 (do_aut t k (reg t Insn.ip1) (reg t Insn.ip0));
+      fallthrough ()
+  | Insn.Xpac rd ->
+      let v = reg t rd in
+      set_reg t rd (Vaddr.strip_pac (pointer_cfg t v) v);
+      fallthrough ()
+  | Insn.Pacga (rd, rn, rm) ->
+      set_reg t rd
+        (Pac.generic ~cipher:t.cipher ~key:(pac_key t Sysreg.GA) ~value:(reg t rn)
+           ~modifier:(reg t rm));
+      fallthrough ()
+  | Insn.Blra (k, rn, rm) ->
+      let target = do_aut t k (reg t rn) (reg t rm) in
+      set_reg t Insn.lr next;
+      branch target
+  | Insn.Bra (k, rn, rm) -> branch (do_aut t k (reg t rn) (reg t rm))
+  | Insn.Reta k -> branch (do_aut t k (reg t Insn.lr) (reg t Insn.SP))
+  | Insn.Mrs (rd, sr) ->
+      if t.el = El.El0 && sr <> Sysreg.CNTVCT_EL0 then
+        raise (Stop (Fault { fault = El_denied sr; pc = t.pc }));
+      set_reg t rd (sysreg t sr);
+      fallthrough ()
+  | Insn.Msr (sr, rn) ->
+      if t.el = El.El0 then raise (Stop (Fault { fault = El_denied sr; pc = t.pc }));
+      if t.el = El.El1 && t.sysreg_locked sr then
+        raise (Stop (Fault { fault = Hyp_denied sr; pc = t.pc }));
+      set_sysreg t sr (reg t rn);
+      fallthrough ()
+  | Insn.Svc imm ->
+      t.pc <- next;
+      raise (Stop (Svc imm))
+  | Insn.Eret ->
+      let spsr = sysreg t Sysreg.SPSR_EL1 in
+      let target_el = if Val64.extract ~lo:2 ~width:2 spsr = 0L then El.El0 else El.El1 in
+      t.el <- target_el;
+      t.pc <- sysreg t Sysreg.ELR_EL1;
+      raise (Stop Eret_done)
+  | Insn.Brk imm ->
+      t.pc <- next;
+      raise (Stop (Brk imm))
+  | Insn.Hlt imm ->
+      t.pc <- next;
+      raise (Stop (Hlt imm))
+
+let step t =
+  if t.pc = sentinel then Some Sentinel_return
+  else begin
+    match translate t ~access:Mmu.Exec t.pc with
+    | Error s -> Some s
+    | Ok pa -> (
+        let word = Mem.read32 t.mem pa in
+        match Encode.decode ~pc:t.pc word with
+        | None -> Some (Fault { fault = Undefined_instruction word; pc = t.pc })
+        | Some insn -> (
+            charge t (cost_of t insn);
+            t.insns_retired <- Int64.add t.insns_retired 1L;
+            t.trace.(t.trace_pos) <- Some (t.pc, insn);
+            t.trace_pos <- (t.trace_pos + 1) mod Array.length t.trace;
+            let next = Int64.add t.pc 4L in
+            try
+              execute t insn ~next;
+              None
+            with Stop s -> Some s))
+  end
+
+let run ?(max_insns = 10_000_000) t =
+  let rec go budget =
+    if budget <= 0 then Insn_limit
+    else
+      match step t with
+      | Some s -> s
+      | None -> go (budget - 1)
+  in
+  go max_insns
+
+let call ?max_insns t addr =
+  set_reg t Insn.lr sentinel;
+  t.pc <- addr;
+  run ?max_insns t
+
+let recent_trace ?(limit = 16) t =
+  let n = Array.length t.trace in
+  let rec collect acc idx remaining =
+    if remaining = 0 then acc
+    else
+      match t.trace.((idx + n) mod n) with
+      | None -> acc
+      | Some entry -> collect (entry :: acc) (idx - 1) (remaining - 1)
+  in
+  collect [] (t.trace_pos - 1) (min limit n)
+
+let fault_to_string = function
+  | Mmu_fault f -> Mmu.fault_to_string f
+  | Undefined_instruction w -> Printf.sprintf "undefined instruction 0x%08lx" w
+  | Hyp_denied sr -> Printf.sprintf "hypervisor denied write to %s" (Sysreg.name sr)
+  | El_denied sr -> Printf.sprintf "EL0 access to %s denied" (Sysreg.name sr)
+
+let stop_to_string = function
+  | Svc imm -> Printf.sprintf "svc #%d" imm
+  | Brk imm -> Printf.sprintf "brk #%d" imm
+  | Hlt imm -> Printf.sprintf "hlt #%d" imm
+  | Fault { fault; pc } -> Printf.sprintf "fault at pc=0x%Lx: %s" pc (fault_to_string fault)
+  | Eret_done -> "eret"
+  | Sentinel_return -> "sentinel return"
+  | Insn_limit -> "instruction limit reached"

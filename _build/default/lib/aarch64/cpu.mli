@@ -1,0 +1,106 @@
+(** The model-machine interpreter.
+
+    Executes encoded instructions from memory through the two-stage MMU,
+    implements the PAuth instruction family with QARMA-backed PACs, and
+    accounts cycles per the {!Cost} profile. Exceptions (SVC, faults,
+    ERET) stop execution and surface to the caller: the kernel layer
+    plays the role of the architectural vector table, which keeps the
+    policy code (key switching, PAC-failure accounting, panic) visible
+    and testable. *)
+
+type fault =
+  | Mmu_fault of Mmu.fault
+  | Undefined_instruction of int32
+  | Hyp_denied of Sysreg.t  (** hypervisor-locked register written from EL1 *)
+  | El_denied of Sysreg.t  (** system register access from EL0 *)
+
+type stop =
+  | Svc of int  (** supervisor call: syscall entry *)
+  | Brk of int
+  | Hlt of int  (** the kernel-panic primitive *)
+  | Fault of { fault : fault; pc : int64 }
+  | Eret_done  (** ERET retired; EL/PC already restored *)
+  | Sentinel_return  (** control returned to the host orchestrator *)
+  | Insn_limit
+
+type t
+
+(** [create ()] builds a machine with fresh memory and translation
+    tables. [has_pauth] selects an ARMv8.3 core; with [false] the
+    PAC/AUT 1716 hint forms execute as NOP and all other PAuth
+    instructions are undefined, modeling an ARMv8.0 part. *)
+val create :
+  ?cost:Cost.profile ->
+  ?has_pauth:bool ->
+  ?user_cfg:Vaddr.config ->
+  ?kernel_cfg:Vaddr.config ->
+  ?cipher:Qarma.Block.t ->
+  unit ->
+  t
+
+val mem : t -> Mem.t
+val mmu : t -> Mmu.t
+val cipher : t -> Qarma.Block.t
+val cost_profile : t -> Cost.profile
+val has_pauth : t -> bool
+val user_cfg : t -> Vaddr.config
+val kernel_cfg : t -> Vaddr.config
+
+(** [pointer_cfg t va] — the PAC layout governing [va], chosen by its
+    translation-table select bit. *)
+val pointer_cfg : t -> int64 -> Vaddr.config
+
+val reg : t -> Insn.reg -> int64
+val set_reg : t -> Insn.reg -> int64 -> unit
+val sysreg : t -> Sysreg.t -> int64
+val set_sysreg : t -> Sysreg.t -> int64 -> unit
+val pc : t -> int64
+val set_pc : t -> int64 -> unit
+val el : t -> El.t
+val set_el : t -> El.t -> unit
+
+(** Banked stack pointers. *)
+val sp_of : t -> El.t -> int64
+
+val set_sp_of : t -> El.t -> int64 -> unit
+
+val cycles : t -> int64
+val insns_retired : t -> int64
+
+(** [charge t n] adds [n] cycles of orchestrator-accounted cost (e.g.
+    exception entry performed by the host-side kernel layer). *)
+val charge : t -> int -> unit
+
+(** [set_sysreg_lock t f] installs the hypervisor lockdown predicate:
+    EL1 writes to registers for which [f] returns [true] fault with
+    [Hyp_denied]. *)
+val set_sysreg_lock : t -> (Sysreg.t -> bool) -> unit
+
+(** The host-return address: jumping here stops execution with
+    [Sentinel_return]. It is canonical (so it survives PAC/AUT round
+    trips in instrumented prologues) but never mapped. *)
+val sentinel : int64
+
+(** [step t] executes one instruction; [None] means normal retirement. *)
+val step : t -> stop option
+
+(** [run ?max_insns t] steps until a stop (default limit 10 million). *)
+val run : ?max_insns:int -> t -> stop
+
+(** [call ?max_insns t addr] sets LR to {!sentinel}, jumps to [addr] and
+    runs; a well-behaved function ends with [Sentinel_return]. *)
+val call : ?max_insns:int -> t -> int64 -> stop
+
+(** [pac_key t k] reads key [k] from the system registers. *)
+val pac_key : t -> Sysreg.pauth_key -> Pac.key
+
+(** [pauth_enabled t k] — SCTLR_EL1 enable bit for [k] ([GA] is always
+    enabled on a PAuth part). *)
+val pauth_enabled : t -> Sysreg.pauth_key -> bool
+
+(** [recent_trace ?limit t] — the most recently retired (pc, insn)
+    pairs, oldest first (up to 32 are retained). Powers the kernel's
+    oops dumps. *)
+val recent_trace : ?limit:int -> t -> (int64 * Insn.t) list
+
+val stop_to_string : stop -> string

@@ -1,0 +1,23 @@
+(** Binary encoding of the model ISA.
+
+    Instructions are fixed-width 32-bit little-endian words, as on A64.
+    The encoding is self-consistent rather than the architectural A64
+    encoding (documented substitution; see DESIGN.md): what matters for
+    the paper's static verifier is that system-register reads and writes
+    {e immediately encode the register they touch}, so scanning the words
+    of a code section finds every key access — which this encoding
+    guarantees.
+
+    Branch-type instructions carry absolute targets in the AST but are
+    stored PC-relative, so both directions take the word's address. *)
+
+exception Unencodable of string
+(** Raised when an operand does not fit its field (e.g. branch target
+    out of range). *)
+
+(** [encode ~pc insn] is the 32-bit word for [insn] at address [pc]. *)
+val encode : pc:int64 -> Insn.t -> int32
+
+(** [decode ~pc word] — [None] if [word] is not a valid encoding
+    (executing it raises an undefined-instruction fault). *)
+val decode : pc:int64 -> int32 -> Insn.t option

@@ -1,0 +1,67 @@
+type t = { frames : (int64, Bytes.t) Hashtbl.t }
+
+let frame_size = 4096
+
+let create () = { frames = Hashtbl.create 1024 }
+
+let frame_of pa = Int64.shift_right_logical pa 12
+let offset_of pa = Int64.to_int (Int64.logand pa 0xfffL)
+
+let get_frame t pa =
+  let idx = frame_of pa in
+  match Hashtbl.find_opt t.frames idx with
+  | Some b -> b
+  | None ->
+      let b = Bytes.make frame_size '\000' in
+      Hashtbl.add t.frames idx b;
+      b
+
+let read8 t pa = Char.code (Bytes.get (get_frame t pa) (offset_of pa))
+let write8 t pa v = Bytes.set (get_frame t pa) (offset_of pa) (Char.chr (v land 0xff))
+
+(* Multi-byte accesses may straddle a frame boundary; go byte-wise unless
+   the access is frame-local, which is the common case. *)
+let read64 t pa =
+  let off = offset_of pa in
+  if off <= frame_size - 8 then Bytes.get_int64_le (get_frame t pa) off
+  else begin
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8)
+             (Int64.of_int (read8 t (Int64.add pa (Int64.of_int i))))
+    done;
+    !v
+  end
+
+let write64 t pa v =
+  let off = offset_of pa in
+  if off <= frame_size - 8 then Bytes.set_int64_le (get_frame t pa) off v
+  else
+    for i = 0 to 7 do
+      write8 t
+        (Int64.add pa (Int64.of_int i))
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
+    done
+
+let read32 t pa =
+  let off = offset_of pa in
+  if off <= frame_size - 4 then Bytes.get_int32_le (get_frame t pa) off
+  else Int64.to_int32 (Int64.logand (read64 t pa) 0xffffffffL)
+
+let write32 t pa v =
+  let off = offset_of pa in
+  if off <= frame_size - 4 then Bytes.set_int32_le (get_frame t pa) off v
+  else
+    for i = 0 to 3 do
+      write8 t
+        (Int64.add pa (Int64.of_int i))
+        (Int32.to_int (Int32.shift_right_logical v (8 * i)) land 0xff)
+    done
+
+let blit_string t pa s =
+  String.iteri (fun i c -> write8 t (Int64.add pa (Int64.of_int i)) (Char.code c)) s
+
+let read_string t pa len =
+  String.init len (fun i -> Char.chr (read8 t (Int64.add pa (Int64.of_int i))))
+
+let frames_allocated t = Hashtbl.length t.frames

@@ -1,0 +1,25 @@
+(** Sparse physical memory.
+
+    Byte-addressable little-endian storage allocated lazily in 4 KiB
+    frames. Addresses here are {e physical}; translation and permission
+    checking live in {!Mmu}. *)
+
+type t
+
+val create : unit -> t
+
+val read8 : t -> int64 -> int
+val write8 : t -> int64 -> int -> unit
+val read32 : t -> int64 -> int32
+val write32 : t -> int64 -> int32 -> unit
+val read64 : t -> int64 -> int64
+val write64 : t -> int64 -> int64 -> unit
+
+(** [blit_string t pa s] writes the bytes of [s] starting at [pa]. *)
+val blit_string : t -> int64 -> string -> unit
+
+(** [read_string t pa len]. *)
+val read_string : t -> int64 -> int -> string
+
+(** Number of frames currently allocated (for memory-use reporting). *)
+val frames_allocated : t -> int

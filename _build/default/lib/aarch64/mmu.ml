@@ -1,0 +1,78 @@
+type perm = { r : bool; w : bool; x : bool }
+
+let no_access = { r = false; w = false; x = false }
+let rwx = { r = true; w = true; x = true }
+let rw = { r = true; w = true; x = false }
+let ro = { r = true; w = false; x = false }
+let rx = { r = true; w = false; x = true }
+let xo = { r = false; w = false; x = true }
+
+type access = Read | Write | Exec
+
+type fault_kind = Translation | Permission | Stage2_permission
+
+type fault = { kind : fault_kind; va : int64; access : access }
+
+type s1_entry = { pa_page : int64; el0 : perm; el1 : perm }
+
+type t = {
+  stage1 : (int64, s1_entry) Hashtbl.t;
+  stage2 : (int64, perm) Hashtbl.t;
+}
+
+let create () = { stage1 = Hashtbl.create 256; stage2 = Hashtbl.create 64 }
+
+let map t ~va_page ~pa_page ~el0 ~el1 =
+  Hashtbl.replace t.stage1 va_page { pa_page; el0; el1 }
+
+let unmap t ~va_page = Hashtbl.remove t.stage1 va_page
+
+let stage1_lookup t va_page =
+  match Hashtbl.find_opt t.stage1 va_page with
+  | Some e -> Some (e.pa_page, e.el0, e.el1)
+  | None -> None
+
+let stage2_protect t ~pa_page perm = Hashtbl.replace t.stage2 pa_page perm
+
+let stage2_lookup t pa_page = Hashtbl.find_opt t.stage2 pa_page
+
+let allows perm access =
+  match access with Read -> perm.r | Write -> perm.w | Exec -> perm.x
+
+(* Stage 1 implicitly grants EL1 read on any mapping (VMSAv8 has no
+   EL1 execute-only encoding): model that by or-ing in the read bit. *)
+let effective_el1 perm = { perm with r = true }
+
+let translate t ~el ~access va =
+  let va_page = Int64.shift_right_logical va 12 in
+  match Hashtbl.find_opt t.stage1 va_page with
+  | None -> Error { kind = Translation; va; access }
+  | Some entry ->
+      let s1_perm =
+        match el with
+        | El.El0 -> entry.el0
+        | El.El1 -> effective_el1 entry.el1
+        | El.El2 -> invalid_arg "Mmu.translate: EL2 is not subject to this walk"
+      in
+      if not (allows s1_perm access) then Error { kind = Permission; va; access }
+      else begin
+        let s2_perm =
+          match Hashtbl.find_opt t.stage2 entry.pa_page with
+          | Some p -> p
+          | None -> rwx
+        in
+        if not (allows s2_perm access) then Error { kind = Stage2_permission; va; access }
+        else
+          Ok (Int64.logor (Int64.shift_left entry.pa_page 12) (Int64.logand va 0xfffL))
+      end
+
+let access_name = function Read -> "read" | Write -> "write" | Exec -> "exec"
+
+let fault_to_string f =
+  let kind =
+    match f.kind with
+    | Translation -> "translation fault"
+    | Permission -> "stage-1 permission fault"
+    | Stage2_permission -> "stage-2 permission fault"
+  in
+  Printf.sprintf "%s on %s at 0x%Lx" kind (access_name f.access) f.va

@@ -1,0 +1,102 @@
+type t =
+  | APIAKeyLo_EL1
+  | APIAKeyHi_EL1
+  | APIBKeyLo_EL1
+  | APIBKeyHi_EL1
+  | APDAKeyLo_EL1
+  | APDAKeyHi_EL1
+  | APDBKeyLo_EL1
+  | APDBKeyHi_EL1
+  | APGAKeyLo_EL1
+  | APGAKeyHi_EL1
+  | SCTLR_EL1
+  | CONTEXTIDR_EL1
+  | TTBR0_EL1
+  | TTBR1_EL1
+  | VBAR_EL1
+  | ELR_EL1
+  | SPSR_EL1
+  | ESR_EL1
+  | FAR_EL1
+  | TPIDR_EL1
+  | CNTVCT_EL0
+
+type pauth_key = IA | IB | DA | DB | GA
+
+let key_halves = function
+  | IA -> (APIAKeyHi_EL1, APIAKeyLo_EL1)
+  | IB -> (APIBKeyHi_EL1, APIBKeyLo_EL1)
+  | DA -> (APDAKeyHi_EL1, APDAKeyLo_EL1)
+  | DB -> (APDBKeyHi_EL1, APDBKeyLo_EL1)
+  | GA -> (APGAKeyHi_EL1, APGAKeyLo_EL1)
+
+let is_pauth_key = function
+  | APIAKeyLo_EL1 | APIAKeyHi_EL1 | APIBKeyLo_EL1 | APIBKeyHi_EL1 | APDAKeyLo_EL1
+  | APDAKeyHi_EL1 | APDBKeyLo_EL1 | APDBKeyHi_EL1 | APGAKeyLo_EL1 | APGAKeyHi_EL1 ->
+      true
+  | SCTLR_EL1 | CONTEXTIDR_EL1 | TTBR0_EL1 | TTBR1_EL1 | VBAR_EL1 | ELR_EL1 | SPSR_EL1
+  | ESR_EL1 | FAR_EL1 | TPIDR_EL1 | CNTVCT_EL0 ->
+      false
+
+let is_mmu_control = function
+  | SCTLR_EL1 | TTBR0_EL1 | TTBR1_EL1 -> true
+  | APIAKeyLo_EL1 | APIAKeyHi_EL1 | APIBKeyLo_EL1 | APIBKeyHi_EL1 | APDAKeyLo_EL1
+  | APDAKeyHi_EL1 | APDBKeyLo_EL1 | APDBKeyHi_EL1 | APGAKeyLo_EL1 | APGAKeyHi_EL1
+  | CONTEXTIDR_EL1 | VBAR_EL1 | ELR_EL1 | SPSR_EL1 | ESR_EL1 | FAR_EL1 | TPIDR_EL1
+  | CNTVCT_EL0 ->
+      false
+
+(* Architectural SCTLR_EL1 bit positions (ARM DDI 0487). *)
+let sctlr_enia_bit = 31
+let sctlr_enib_bit = 30
+let sctlr_enda_bit = 27
+let sctlr_endb_bit = 13
+
+let sctlr_enable_bit = function
+  | IA -> sctlr_enia_bit
+  | IB -> sctlr_enib_bit
+  | DA -> sctlr_enda_bit
+  | DB -> sctlr_endb_bit
+  | GA -> invalid_arg "Sysreg.sctlr_enable_bit: GA has no enable bit"
+
+let all =
+  [
+    APIAKeyLo_EL1; APIAKeyHi_EL1; APIBKeyLo_EL1; APIBKeyHi_EL1; APDAKeyLo_EL1;
+    APDAKeyHi_EL1; APDBKeyLo_EL1; APDBKeyHi_EL1; APGAKeyLo_EL1; APGAKeyHi_EL1;
+    SCTLR_EL1; CONTEXTIDR_EL1; TTBR0_EL1; TTBR1_EL1; VBAR_EL1; ELR_EL1; SPSR_EL1;
+    ESR_EL1; FAR_EL1; TPIDR_EL1; CNTVCT_EL0;
+  ]
+
+let to_id r =
+  let rec index i = function
+    | [] -> assert false
+    | x :: rest -> if x = r then i else index (i + 1) rest
+  in
+  index 0 all
+
+let of_id i = List.nth_opt all i
+
+let name = function
+  | APIAKeyLo_EL1 -> "APIAKeyLo_EL1"
+  | APIAKeyHi_EL1 -> "APIAKeyHi_EL1"
+  | APIBKeyLo_EL1 -> "APIBKeyLo_EL1"
+  | APIBKeyHi_EL1 -> "APIBKeyHi_EL1"
+  | APDAKeyLo_EL1 -> "APDAKeyLo_EL1"
+  | APDAKeyHi_EL1 -> "APDAKeyHi_EL1"
+  | APDBKeyLo_EL1 -> "APDBKeyLo_EL1"
+  | APDBKeyHi_EL1 -> "APDBKeyHi_EL1"
+  | APGAKeyLo_EL1 -> "APGAKeyLo_EL1"
+  | APGAKeyHi_EL1 -> "APGAKeyHi_EL1"
+  | SCTLR_EL1 -> "SCTLR_EL1"
+  | CONTEXTIDR_EL1 -> "CONTEXTIDR_EL1"
+  | TTBR0_EL1 -> "TTBR0_EL1"
+  | TTBR1_EL1 -> "TTBR1_EL1"
+  | VBAR_EL1 -> "VBAR_EL1"
+  | ELR_EL1 -> "ELR_EL1"
+  | SPSR_EL1 -> "SPSR_EL1"
+  | ESR_EL1 -> "ESR_EL1"
+  | FAR_EL1 -> "FAR_EL1"
+  | TPIDR_EL1 -> "TPIDR_EL1"
+  | CNTVCT_EL0 -> "CNTVCT_EL0"
+
+let pp fmt r = Format.pp_print_string fmt (name r)

@@ -1,0 +1,81 @@
+module Val64 = Camo_util.Val64
+
+type space = User | Kernel | Invalid
+
+type config = { va_bits : int; tbi : bool }
+
+let linux_user = { va_bits = 48; tbi = true }
+let linux_kernel = { va_bits = 48; tbi = false }
+
+let select va = if Val64.bit 55 va then Kernel else User
+
+let check_config cfg =
+  if cfg.va_bits < 32 || cfg.va_bits > 52 then invalid_arg "Vaddr: va_bits"
+
+(* Bits that must equal bit 55 for the pointer to translate: everything
+   from va_bits up to 63, except bit 55 itself and, under TBI, the top
+   byte 63:56. *)
+let extension_ranges cfg =
+  check_config cfg;
+  let top = if cfg.tbi then 55 else 64 in
+  let ranges = ref [] in
+  if cfg.va_bits < 55 then ranges := (cfg.va_bits, 55 - cfg.va_bits) :: !ranges;
+  if (not cfg.tbi) && top > 56 then ranges := (56, 8) :: !ranges;
+  List.rev !ranges
+
+let pac_field cfg = List.rev (extension_ranges cfg)
+
+let pac_bits cfg = List.fold_left (fun acc (_, w) -> acc + w) 0 (pac_field cfg)
+
+let is_canonical cfg va =
+  let sign = if Val64.bit 55 va then Val64.all_ones else Val64.zero in
+  List.for_all
+    (fun (lo, width) ->
+      Val64.extract ~lo ~width va = Val64.extract ~lo ~width sign)
+    (extension_ranges cfg)
+
+let canonical cfg va =
+  let sign = if Val64.bit 55 va then Val64.all_ones else Val64.zero in
+  List.fold_left
+    (fun acc (lo, width) ->
+      Val64.insert ~lo ~width ~field:(Val64.extract ~lo ~width sign) acc)
+    va (extension_ranges cfg)
+
+let insert_pac cfg ~pac va =
+  let fold (acc, consumed) (lo, width) =
+    let field = Val64.extract ~lo:consumed ~width pac in
+    (Val64.insert ~lo ~width ~field acc, consumed + width)
+  in
+  (* Least-significant field range consumes the low PAC bits first. *)
+  let acc, _ = List.fold_left fold (va, 0) (extension_ranges cfg) in
+  acc
+
+let extract_pac cfg va =
+  let fold (acc, consumed) (lo, width) =
+    let field = Val64.extract ~lo ~width va in
+    (Val64.insert ~lo:consumed ~width ~field acc, consumed + width)
+  in
+  let acc, _ = List.fold_left fold (0L, 0) (extension_ranges cfg) in
+  acc
+
+let strip_pac = canonical
+
+(* A failed AUT on ARMv8.3 writes an error code into two extension bits
+   (one per key class), guaranteeing a translation fault on use. We model
+   it by flipping the two extension bits just above the address. *)
+let poison cfg va =
+  let base = canonical cfg va in
+  let lo =
+    match extension_ranges cfg with
+    | (lo, _) :: _ -> lo
+    | [] -> invalid_arg "Vaddr.poison: no extension bits"
+  in
+  Int64.logxor base (Int64.shift_left 3L lo)
+
+let is_poisoned cfg va = (not (is_canonical cfg va)) && va = poison cfg (canonical cfg va)
+
+let page_size = 4096
+
+let page_of va = Int64.shift_right_logical va 12
+
+let offset_in_page va = Int64.to_int (Val64.extract ~lo:0 ~width:12 va)

@@ -1,0 +1,1 @@
+lib/attacks/bruteforce_attack.ml: Aarch64 Camo_util Camouflage Cpu Int64 Kernel Mmu Primitives Printf Result Vaddr

@@ -1,0 +1,1 @@
+lib/attacks/bruteforce_attack.mli: Kernel

@@ -1,0 +1,1 @@
+lib/attacks/context_tamper.ml: Aarch64 Asm Insn Int64 Kernel List Primitives Printf Result String

@@ -1,0 +1,1 @@
+lib/attacks/context_tamper.mli: Kernel

@@ -1,0 +1,1 @@
+lib/attacks/cred_hijack.ml: Int64 Kernel List Primitives Printf Result String

@@ -1,0 +1,1 @@
+lib/attacks/cred_hijack.mli: Kernel

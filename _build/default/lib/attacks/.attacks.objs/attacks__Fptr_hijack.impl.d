@@ -1,0 +1,1 @@
+lib/attacks/fptr_hijack.ml: Int64 Kernel Primitives Printf Result String

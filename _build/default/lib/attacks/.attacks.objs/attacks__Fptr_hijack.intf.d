@@ -1,0 +1,1 @@
+lib/attacks/fptr_hijack.mli: Kernel

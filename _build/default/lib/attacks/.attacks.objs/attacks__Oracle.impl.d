@@ -1,0 +1,1 @@
+lib/attacks/oracle.ml: Aarch64 Camouflage Int64 Kernel List Primitives Printf Result String

@@ -1,0 +1,1 @@
+lib/attacks/primitives.ml: Aarch64 Buffer Char Int64 Kernel List Mmu Result String

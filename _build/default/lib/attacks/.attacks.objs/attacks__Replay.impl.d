@@ -1,0 +1,1 @@
+lib/attacks/replay.ml: Aarch64 Camo_util Camouflage Cpu Int64 Kernel Pac Primitives Printf Result

@@ -1,0 +1,1 @@
+lib/attacks/replay.mli: Camouflage Kernel

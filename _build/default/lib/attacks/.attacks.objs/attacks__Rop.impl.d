@@ -1,0 +1,1 @@
+lib/attacks/rop.ml: Int64 Kernel Primitives Printf Result String

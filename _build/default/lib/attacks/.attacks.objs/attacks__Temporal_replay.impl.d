@@ -1,0 +1,1 @@
+lib/attacks/temporal_replay.ml: Aarch64 Asm Bare Camouflage Cpu El Insn Int64

@@ -1,0 +1,1 @@
+lib/attacks/temporal_replay.mli: Camouflage

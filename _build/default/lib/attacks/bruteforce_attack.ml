@@ -1,0 +1,65 @@
+open Aarch64
+module C = Camouflage
+module K = Kernel
+
+type report = { attempts : int; successes : int; detected : int; panicked : bool }
+
+let run sys ~attempts ~seed =
+  let rng = Camo_util.Rng.create seed in
+  let cpu = K.System.cpu sys in
+  let cfg = Cpu.kernel_cfg cpu in
+  let ubuf = K.Layout.user_data_base in
+  K.Kmem.map_user_region cpu ~base:ubuf ~bytes:4096 Mmu.rw;
+  let made = ref 0 and successes = ref 0 and detected = ref 0 in
+  let task = (K.System.current sys).K.System.va in
+  (try
+     for _ = 1 to attempts do
+       if K.System.panicked sys then raise Exit;
+       (* a fresh signed pointer to guess against *)
+       let fd =
+         match K.System.syscall sys ~nr:K.Kbuild.sys_open ~args:[ 1L ] with
+         | K.System.Ok v when v >= 0L -> v
+         | K.System.Ok _ | K.System.Killed _ -> raise Exit
+         | K.System.Panicked _ -> raise Exit
+       in
+       let file =
+         match
+           Primitives.kread sys
+             (Int64.add task
+                (Int64.of_int (K.Kobject.Task.off_fd_table + (8 * Int64.to_int fd))))
+         with
+         | Result.Ok v -> v
+         | Result.Error _ -> raise Exit
+       in
+       let fops_field = Int64.add file (Int64.of_int K.Kobject.File.off_f_ops) in
+       (match Primitives.kread sys fops_field with
+       | Result.Error _ -> raise Exit
+       | Result.Ok signed ->
+           let guess =
+             Int64.logand (Camo_util.Rng.next rng)
+               (Camo_util.Val64.mask (Vaddr.pac_bits cfg))
+           in
+           let forged = Vaddr.insert_pac cfg ~pac:guess signed in
+           (match Primitives.kwrite sys fops_field forged with
+           | Result.Error _ -> raise Exit
+           | Result.Ok () -> ());
+           incr made;
+           (match K.System.syscall sys ~nr:K.Kbuild.sys_read ~args:[ fd; ubuf; 8L ] with
+           | K.System.Ok _ -> incr successes
+           | K.System.Killed _ -> incr detected
+           | K.System.Panicked _ ->
+               incr detected;
+               raise Exit));
+       ignore (K.System.syscall sys ~nr:K.Kbuild.sys_close ~args:[ fd ])
+     done
+   with Exit -> ());
+  {
+    attempts = !made;
+    successes = !successes;
+    detected = !detected;
+    panicked = K.System.panicked sys;
+  }
+
+let report_to_string r =
+  Printf.sprintf "attempts=%d successes=%d detected=%d panicked=%b" r.attempts r.successes
+    r.detected r.panicked

@@ -1,0 +1,22 @@
+(** PAC brute forcing (Section 5.4; Appendix A).
+
+    With 15 PAC bits a local attacker can afford to guess: each attempt
+    plants a forged PAC on a signed pointer and triggers its use. A
+    correct guess survives authentication; a wrong one kills the
+    guessing process — and the paper's mitigation halts the system after
+    a bounded number of failures, turning an expected 2^14-attempt
+    search into a handful of tries. *)
+
+type report = {
+  attempts : int;  (** guesses actually made *)
+  successes : int;  (** forged pointers that authenticated *)
+  detected : int;  (** PAC failures recorded *)
+  panicked : bool;  (** the threshold fired *)
+}
+
+(** [run sys ~attempts ~seed] — repeatedly corrupt the PAC bits of a
+    freshly signed [f_ops] pointer with random guesses and invoke the
+    read path. Stops early on panic. *)
+val run : Kernel.System.t -> attempts:int -> seed:int64 -> report
+
+val report_to_string : report -> string

@@ -1,0 +1,25 @@
+(** Register-spill / interrupt-handler attack (the first unexplored
+    direction of Section 8).
+
+    While a task is preempted, its entire user register state — including
+    the program counter it will resume at — sits in writable kernel
+    memory (the task structure). The arbitrary-write bug rewrites the
+    saved PC of a sleeping task to an attacker-chosen address; on the
+    next slice the scheduler "resumes" the task straight into the
+    attacker's code.
+
+    With the context-integrity extension (X7: a chained PACGA MAC over
+    the saved context, verified before resumption) the tampered state is
+    detected and the task killed instead. *)
+
+type outcome =
+  | Diverted of { exit_code : int64 }  (** the victim resumed at the planted PC *)
+  | Detected  (** context-integrity MAC mismatch; victim killed *)
+  | Failed of string
+
+(** [run sys ~protect] — spawn two looping tasks, preempt them, tamper
+    with the second task's saved PC, and resume the schedule with
+    [context_integrity:protect]. *)
+val run : Kernel.System.t -> protect:bool -> outcome
+
+val outcome_to_string : outcome -> string

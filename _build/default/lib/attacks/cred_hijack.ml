@@ -1,0 +1,55 @@
+module K = Kernel
+
+type variant = Raw | Replayed
+
+type outcome = Escalated of { uid : int64 } | Detected | Failed of string
+
+let ( let* ) = Result.bind
+
+let attack sys variant =
+  (* run as an unprivileged task: fork one and switch to it *)
+  let* attacker_task =
+    match K.System.fork sys with
+    | Result.Ok t -> Result.Ok t
+    | Result.Error m -> Result.Error ("fork: " ^ m)
+  in
+  (match K.System.switch_to sys attacker_task with
+  | K.System.Ok _ -> ()
+  | K.System.Killed m | K.System.Panicked m -> failwith ("switch: " ^ m));
+  (* confirm we are unprivileged *)
+  let* uid0 =
+    match K.System.syscall sys ~nr:K.Kbuild.sys_getuid ~args:[] with
+    | K.System.Ok v -> Result.Ok v
+    | K.System.Killed m | K.System.Panicked m -> Result.Error ("getuid: " ^ m)
+  in
+  if uid0 <> 1000L then Result.Error (Printf.sprintf "expected uid 1000, got %Ld" uid0)
+  else begin
+    let cred_field =
+      Int64.add attacker_task.K.System.va (Int64.of_int K.Kobject.Task.off_cred)
+    in
+    let* planted =
+      match variant with
+      | Raw -> Result.Ok (K.System.kernel_symbol sys "root_cred")
+      | Replayed ->
+          (* harvest init's signed root-cred pointer *)
+          let init = List.hd (K.System.tasks sys) in
+          Primitives.kread sys
+            (Int64.add init.K.System.va (Int64.of_int K.Kobject.Task.off_cred))
+    in
+    let* () = Primitives.kwrite sys cred_field planted in
+    match K.System.syscall sys ~nr:K.Kbuild.sys_getuid ~args:[] with
+    | K.System.Ok uid when uid = 0L -> Result.Ok (Escalated { uid })
+    | K.System.Ok uid -> Result.Error (Printf.sprintf "uid now %Ld" uid)
+    | K.System.Killed m ->
+        if String.length m >= 3 && String.sub m 0 3 = "PAC" then Result.Ok Detected
+        else Result.Error ("killed: " ^ m)
+    | K.System.Panicked m -> Result.Error ("panicked: " ^ m)
+  end
+
+let run sys variant =
+  match attack sys variant with Result.Ok o -> o | Result.Error m -> Failed m
+
+let outcome_to_string = function
+  | Escalated { uid } -> Printf.sprintf "ESCALATED: getuid() = %Ld — the process is root" uid
+  | Detected -> "DETECTED: PAC authentication failure on the credentials pointer"
+  | Failed m -> "attack failed: " ^ m

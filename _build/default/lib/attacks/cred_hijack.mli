@@ -1,0 +1,23 @@
+(** Privilege-escalation attack on the task credentials (the f_cred
+    pattern of Section 4.5 applied to the task structure).
+
+    The attacker rewrites its own task's credentials pointer to aim at
+    the root credentials. Two variants:
+
+    - [Raw]: plant the raw address of [root_cred]. Without DFI,
+      [getuid] now returns 0 and the process is root; with DFI the
+      unsigned pointer fails authentication.
+    - [Replayed]: copy init's {e legitimately signed} root-credential
+      pointer into the attacker's task — the cross-object replay the
+      address-bound modifier is designed to reject. *)
+
+type variant = Raw | Replayed
+
+type outcome =
+  | Escalated of { uid : int64 }  (** getuid returned the root uid *)
+  | Detected  (** PAC failure on the credentials pointer *)
+  | Failed of string
+
+val run : Kernel.System.t -> variant -> outcome
+
+val outcome_to_string : outcome -> string

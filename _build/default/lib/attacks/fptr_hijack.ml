@@ -1,0 +1,52 @@
+module K = Kernel
+
+type outcome = Hijacked of { evidence : int64 } | Detected | Failed of string
+
+let ( let* ) = Result.bind
+
+let attack sys =
+  (* The attacker-chosen "gadget": any existing kernel function; its
+     observable side effect (the counter) is the evidence of arbitrary
+     kernel code execution. *)
+  let gadget = K.System.kernel_symbol sys "work_counter" in
+  let counter_cell = K.System.kernel_symbol sys "work_counter_cell" in
+  let* fd =
+    match K.System.syscall sys ~nr:K.Kbuild.sys_open ~args:[ 1L ] with
+    | K.System.Ok v when v >= 0L -> Result.Ok v
+    | K.System.Ok _ -> Result.Error "open failed"
+    | K.System.Killed m | K.System.Panicked m -> Result.Error m
+  in
+  (* Fake ops table: all four slots point at the gadget. *)
+  let* fake_table = Primitives.spray_words sys ~words:[ gadget; gadget; gadget; gadget ] in
+  (* Locate the file object through the fd table (addresses are known to
+     the attacker: the model has no KASLR, as in the paper's prototype). *)
+  let task = (K.System.current sys).K.System.va in
+  let* file =
+    Primitives.kread sys
+      (Int64.add task
+         (Int64.of_int (K.Kobject.Task.off_fd_table + (8 * Int64.to_int fd))))
+  in
+  let fops_field = Int64.add file (Int64.of_int K.Kobject.File.off_f_ops) in
+  let* () = Primitives.kwrite sys fops_field fake_table in
+  let* before = Primitives.kread sys counter_cell in
+  match
+    K.System.syscall sys ~nr:K.Kbuild.sys_read
+      ~args:[ fd; K.Layout.user_data_base; 8L ]
+  with
+  | K.System.Ok _ -> (
+      match Primitives.kread sys counter_cell with
+      | Result.Ok after when after > before -> Result.Ok (Hijacked { evidence = after })
+      | Result.Ok _ -> Result.Error "read returned but gadget did not run"
+      | Result.Error m -> Result.Error m)
+  | K.System.Killed m ->
+      if String.length m >= 3 && String.sub m 0 3 = "PAC" then Result.Ok Detected
+      else Result.Error ("killed: " ^ m)
+  | K.System.Panicked m -> Result.Error ("panicked: " ^ m)
+
+let run sys = match attack sys with Result.Ok o -> o | Result.Error m -> Failed m
+
+let outcome_to_string = function
+  | Hijacked { evidence } ->
+      Printf.sprintf "HIJACKED: attacker gadget executed (evidence counter = %Ld)" evidence
+  | Detected -> "DETECTED: PAC authentication failure, process killed"
+  | Failed m -> "attack failed: " ^ m

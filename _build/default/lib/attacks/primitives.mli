@@ -1,0 +1,17 @@
+(** Attacker capabilities under the paper's threat model (Section 3.1):
+    full control of an unprivileged process and a memory-corruption bug
+    in the syscall interface giving arbitrary kernel-memory read and
+    write. Write-protected memory (text, rodata, XOM) remains out of
+    reach — those accesses fault on the machine. *)
+
+val kread : Kernel.System.t -> int64 -> (int64, string) result
+
+val kwrite : Kernel.System.t -> int64 -> int64 -> (unit, string) result
+
+(** [spray sys ~bytes] — place attacker-controlled bytes into kernel
+    memory at a known address using the pipe buffer, returning the
+    kernel address of the sprayed data. *)
+val spray : Kernel.System.t -> bytes:string -> (int64, string) result
+
+(** [spray_words sys ~words] — same, for 64-bit words. *)
+val spray_words : Kernel.System.t -> words:int64 list -> (int64, string) result

@@ -1,0 +1,95 @@
+open Aarch64
+module C = Camouflage
+module K = Kernel
+
+type outcome = Accepted of { evidence : int64 } | Rejected | Failed of string
+
+let ( let* ) = Result.bind
+
+(* Model the harvest step: a return address that legitimately existed,
+   signed by the kernel in the victim context (task A's switch frame).
+   The attacker then replays those bytes into the congruent frame of a
+   task 64 KiB away. *)
+let harvested_return sys ~context_sp ~target =
+  let config = K.System.config sys in
+  let cpu = K.System.cpu sys in
+  match config.C.Config.scheme with
+  | C.Modifier.No_cfi -> target
+  | scheme ->
+      if not (Cpu.has_pauth cpu) then target
+      else begin
+        let key = Cpu.pac_key cpu (C.Keys.key_for config.C.Config.mode C.Keys.Backward) in
+        let modifier =
+          C.Modifier.return_modifier scheme ~sp:context_sp
+            ~func_addr:(K.System.kernel_symbol sys "cpu_switch_to")
+        in
+        Pac.compute ~cipher:(Cpu.cipher cpu) ~key ~cfg:(Cpu.kernel_cfg cpu) ~modifier
+          target
+      end
+
+let attack sys =
+  let gadget = K.System.kernel_symbol sys "work_counter" in
+  let counter_cell = K.System.kernel_symbol sys "work_counter_cell" in
+  (* Tasks whose kernel stacks are exactly 64 KiB apart: with 16 KiB
+     stacks that is 4 slots (Section 7's PARTS shortcoming). *)
+  let rec make n last = if n = 0 then last else make (n - 1) (K.System.create_task sys) in
+  let victim_a = K.System.create_task sys in
+  let victim_b = make 4 victim_a in
+  let top_a = K.Layout.task_stack_top ~slot:victim_a.K.System.slot in
+  let top_b = K.Layout.task_stack_top ~slot:victim_b.K.System.slot in
+  assert (Int64.sub top_b top_a = 0x10000L);
+  (* Harvested from A's context, planted into B's frame. *)
+  let signed = harvested_return sys ~context_sp:top_a ~target:gadget in
+  let frame_lr_b = Int64.sub top_b 8L in
+  let* () = Primitives.kwrite sys frame_lr_b signed in
+  let* before = Primitives.kread sys counter_cell in
+  match K.System.switch_to sys victim_b with
+  | K.System.Ok _ | K.System.Killed _ -> (
+      match Primitives.kread sys counter_cell with
+      | Result.Ok after when after > before -> Result.Ok (Accepted { evidence = after })
+      | Result.Ok _ ->
+          (* killed without evidence: the PAC failure path *)
+          Result.Ok Rejected
+      | Result.Error m -> Result.Error m)
+  | K.System.Panicked m -> Result.Error ("panicked: " ^ m)
+
+let cross_task_switch_frame sys =
+  match attack sys with Result.Ok o -> o | Result.Error m -> Failed m
+
+(* Quantitative collision analysis over synthetic contexts. *)
+
+let collision_fraction scheme ~samples ~seed =
+  let rng = Camo_util.Rng.create seed in
+  let stack_area = 0xffff000001000000L in
+  let random_context () =
+    (* a random task (64 tasks), random frame depth within the 16 KiB
+       stack (16-byte aligned), random kernel function address *)
+    let task = Camo_util.Rng.next_in rng 64 in
+    let depth = 16 * Camo_util.Rng.next_in rng 1024 in
+    let sp =
+      Int64.sub
+        (Int64.add stack_area (Int64.of_int ((task + 1) * 16384)))
+        (Int64.of_int depth)
+    in
+    let func =
+      Int64.add 0xffff000000100000L (Int64.of_int (4 * Camo_util.Rng.next_in rng 250000))
+    in
+    (sp, func)
+  in
+  let collisions = ref 0 in
+  for _ = 1 to samples do
+    let sp1, f1 = random_context () in
+    let sp2, f2 = random_context () in
+    if (sp1, f1) <> (sp2, f2) then begin
+      let m1 = C.Modifier.return_modifier scheme ~sp:sp1 ~func_addr:f1 in
+      let m2 = C.Modifier.return_modifier scheme ~sp:sp2 ~func_addr:f2 in
+      if m1 = m2 then incr collisions
+    end
+  done;
+  float_of_int !collisions /. float_of_int samples
+
+let outcome_to_string = function
+  | Accepted { evidence } ->
+      Printf.sprintf "ACCEPTED: replayed pointer authenticated (evidence = %Ld)" evidence
+  | Rejected -> "REJECTED: modifier separates the contexts"
+  | Failed m -> "attack failed: " ^ m

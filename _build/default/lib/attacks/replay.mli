@@ -1,0 +1,39 @@
+(** Reuse/replay attacks against backward-edge CFI (Sections 4.2 and 7).
+
+    A PAC binds a pointer to (key, modifier): any signed value harvested
+    from one context authenticates successfully in every other context
+    with an equal modifier. The schemes differ exactly in how often
+    kernel contexts collide:
+
+    - PARTS truncates SP to 16 bits, so kernel stacks separated by a
+      multiple of 2^16 bytes produce colliding modifiers;
+    - plain SP modifiers collide whenever two functions run at the same
+      stack depth in the same task;
+    - Camouflage requires equal SP low-32 {e and} equal function
+      address low-32.
+
+    [cross_task_switch_frame] runs the PARTS-collision attack on the
+    machine: harvest (model) a return address signed in a victim task's
+    switch-frame context, plant it in the congruent frame of a task
+    whose stack lies 64 KiB away, and trigger the switch.
+    [collision_fraction] measures modifier-collision rates over
+    synthetic harvest/target context populations (the quantitative side
+    of ablation A1). *)
+
+type outcome =
+  | Accepted of { evidence : int64 }  (** replayed pointer authenticated; control diverted *)
+  | Rejected  (** PAC failure: the scheme separates the two contexts *)
+  | Failed of string
+
+(** [cross_task_switch_frame sys] — requires a booted system; creates
+    the victim tasks itself (stack slots 64 KiB apart). *)
+val cross_task_switch_frame : Kernel.System.t -> outcome
+
+(** [collision_fraction scheme ~samples ~seed] — fraction of ordered
+    pairs of distinct synthetic kernel contexts (function, SP) whose
+    modifiers collide under [scheme]. Contexts model the paper's stack
+    discipline: 16 KiB stacks, 4 KiB-aligned, multiple tasks. *)
+val collision_fraction :
+  Camouflage.Modifier.return_scheme -> samples:int -> seed:int64 -> float
+
+val outcome_to_string : outcome -> string

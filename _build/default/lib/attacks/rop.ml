@@ -1,0 +1,42 @@
+module K = Kernel
+
+type outcome = Diverted of { evidence : int64 } | Detected | Failed of string
+
+let ( let* ) = Result.bind
+
+let attack sys =
+  let gadget = K.System.kernel_symbol sys "work_counter" in
+  let counter_cell = K.System.kernel_symbol sys "work_counter_cell" in
+  (* A sleeping victim task whose switch frame sits at a predictable,
+     4 KiB-aligned stack-top (Section 4.2). *)
+  let victim = K.System.create_task sys in
+  let frame_lr =
+    Int64.sub (K.Layout.task_stack_top ~slot:victim.K.System.slot) 8L
+  in
+  let* () = Primitives.kwrite sys frame_lr gadget in
+  let* before = Primitives.kread sys counter_cell in
+  match K.System.switch_to sys victim with
+  | K.System.Ok _ -> (
+      (* switch "succeeded": the corrupted return was taken as-is *)
+      match Primitives.kread sys counter_cell with
+      | Result.Ok after when after > before -> Result.Ok (Diverted { evidence = after })
+      | Result.Ok _ -> Result.Error "switch returned normally"
+      | Result.Error m -> Result.Error m)
+  | K.System.Killed m ->
+      if String.length m >= 3 && String.sub m 0 3 = "PAC" then Result.Ok Detected
+      else begin
+        (* An unprotected kernel typically loops in the gadget until the
+           oops; evidence still shows the diversion happened. *)
+        match Primitives.kread sys counter_cell with
+        | Result.Ok after when after > before -> Result.Ok (Diverted { evidence = after })
+        | Result.Ok _ | Result.Error _ -> Result.Error ("killed: " ^ m)
+      end
+  | K.System.Panicked m -> Result.Error ("panicked: " ^ m)
+
+let run sys = match attack sys with Result.Ok o -> o | Result.Error m -> Failed m
+
+let outcome_to_string = function
+  | Diverted { evidence } ->
+      Printf.sprintf "DIVERTED: kernel returned into the gadget (evidence = %Ld)" evidence
+  | Detected -> "DETECTED: PAC authentication failure on return address"
+  | Failed m -> "attack failed: " ^ m

@@ -1,0 +1,17 @@
+(** Backward-edge attack: return-address overwrite (Section 2.1, 6.2.1).
+
+    The attacker overwrites the saved link register in the switch frame
+    of a sleeping task's kernel stack — the frame [cpu_switch_to] will
+    pop when the task is next scheduled — redirecting the return to an
+    attacker-chosen address. With backward-edge CFI the epilogue's AUT
+    poisons the corrupted address and the fetch faults; without it the
+    kernel "returns" into the attacker's gadget. *)
+
+type outcome =
+  | Diverted of { evidence : int64 }  (** control reached the gadget *)
+  | Detected  (** PAC failure on the corrupted return address *)
+  | Failed of string
+
+val run : Kernel.System.t -> outcome
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,78 @@
+open Aarch64
+module C = Camouflage
+
+type outcome = Replay_accepted | Replay_rejected | Inconclusive of string
+
+(* x26 carries the marker-cell address (set by the driver); x0 carries
+   the value to plant into the victim's saved-LR slot (0 = benign). *)
+let build_program config =
+  let prog = Asm.create () in
+  let wrap name body =
+    let f = C.Instrument.wrap config ~name body in
+    Asm.add_function prog ~name f.C.Instrument.items
+  in
+  wrap "victim"
+    [
+      (* record the frame base so the harvest step can find the slot *)
+      Asm.ins (Insn.Str (Insn.fp, Insn.Off (Insn.R 26, 16)));
+      Asm.cbz_to (Insn.R 0) "skip";
+      (* the attacker's mid-flight write of the saved return address *)
+      Asm.ins (Insn.Str (Insn.R 0, Insn.Off (Insn.fp, 8)));
+      Asm.label "skip";
+    ];
+  wrap "site_a"
+    [
+      Asm.bl_to "victim";
+      Asm.ins (Insn.Movz (Insn.R 9, 0xA, 0));
+      Asm.ins (Insn.Str (Insn.R 9, Insn.Off (Insn.R 26, 0)));
+    ];
+  wrap "site_b"
+    [
+      Asm.bl_to "victim";
+      Asm.ins (Insn.Movz (Insn.R 9, 0xB, 0));
+      Asm.ins (Insn.Str (Insn.R 9, Insn.Off (Insn.R 26, 0)));
+    ];
+  wrap "main_a" [ Asm.bl_to "site_a" ];
+  wrap "main_b" [ Asm.bl_to "site_b" ];
+  prog
+
+let run scheme =
+  let config = { C.Config.backward_only with scheme } in
+  let cpu = Bare.machine ~seed:0xACDCL () in
+  let layout = Bare.load cpu (build_program config) in
+  let marker = Bare.data_base in
+  let read64 va = Bare.read64 cpu va in
+  let write64 va v = Bare.write64 cpu va v in
+  Cpu.set_reg cpu (Insn.R 26) marker;
+  (* Phase 1: the benign path leaves a stale signed return address. *)
+  Cpu.set_reg cpu (Insn.R 0) 0L;
+  match Cpu.call cpu (Asm.symbol layout "main_a") with
+  | Cpu.Sentinel_return -> (
+      if read64 marker <> 0xAL then Inconclusive "phase 1 did not mark"
+      else begin
+        let victim_fp = read64 (Int64.add marker 16L) in
+        let stale_lr = read64 (Int64.add victim_fp 8L) in
+        write64 marker 0L;
+        (* Phase 2: same (SP, function) context via the other path, with
+           the stale value planted mid-flight. *)
+        Cpu.set_sp_of cpu El.El1 Bare.stack_top;
+        Cpu.set_reg cpu (Insn.R 0) stale_lr;
+        Cpu.set_reg cpu (Insn.R 26) marker;
+        match Cpu.call cpu (Asm.symbol layout "main_b") with
+        | Cpu.Sentinel_return ->
+            if read64 marker = 0xAL then Replay_accepted
+            else Inconclusive "phase 2 returned normally"
+        | Cpu.Fault _ ->
+            (* diverted control marks 0xA before the collateral fault;
+               a rejected replay faults before any marking *)
+            if read64 marker = 0xAL then Replay_accepted
+            else if read64 marker = 0L then Replay_rejected
+            else Inconclusive "phase 2 marked the wrong site"
+        | other -> Inconclusive (Cpu.stop_to_string other)
+      end)
+  | other -> Inconclusive ("phase 1: " ^ Cpu.stop_to_string other)
+
+let outcome_to_string = function
+  | Replay_accepted -> "ACCEPTED: stale return address reused, control diverted"
+  | Replay_rejected -> "REJECTED: call-path binding separates the two contexts"
+  | Inconclusive m -> "inconclusive: " ^ m

@@ -1,0 +1,30 @@
+(** Temporal (same-context) replay: the residual reuse risk Section
+    6.2.1 acknowledges for every static-modifier scheme.
+
+    A return address signed at (SP, function) context C authenticates
+    whenever C recurs — including {e later in time} along a different
+    call path that happens to revisit the same stack depth and callee.
+    The experiment builds two call paths (main_a -> site_a -> victim and
+    main_b -> site_b -> victim) that place the victim at an identical
+    (SP, function) context, harvests the stale signed return address
+    left by the first path, and has the attacker plant it into the
+    victim's live frame on the second path:
+
+    - under SP-based modifiers (including Camouflage) the replay is
+      {b accepted}: control returns into [site_a] instead of [site_b];
+    - under the chained (PACStack-style) scheme the two paths carry
+      different chain tokens, so the replay is {b rejected}.
+
+    Runs on a bare machine (no kernel): the chained scheme reserves a
+    live chain register and cannot use prefabricated frames. *)
+
+type outcome =
+  | Replay_accepted  (** control diverted to the first path's call site *)
+  | Replay_rejected  (** PAC failure: the chain separates the paths *)
+  | Inconclusive of string
+
+(** [run scheme] — execute both phases under a backward-edge-only
+    configuration using [scheme]. *)
+val run : Camouflage.Modifier.return_scheme -> outcome
+
+val outcome_to_string : outcome -> string

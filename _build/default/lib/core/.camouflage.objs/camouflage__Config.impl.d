@@ -1,0 +1,1 @@
+lib/core/config.ml: Keys Modifier Printf

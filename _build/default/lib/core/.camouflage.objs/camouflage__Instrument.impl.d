@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Aarch64 Asm Config Insn Keys Modifier Sysreg

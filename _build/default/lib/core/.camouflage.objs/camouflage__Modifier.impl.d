@@ -1,0 +1,1 @@
+lib/core/modifier.ml: Aarch64 Asm Camo_util Insn Int64

@@ -1,0 +1,1 @@
+lib/core/modifier.mli: Aarch64 Asm Insn

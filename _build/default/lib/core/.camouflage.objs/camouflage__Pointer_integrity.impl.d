@@ -1,0 +1,1 @@
+lib/core/pointer_integrity.ml: Aarch64 Asm Config Cpu Hashtbl Insn Keys List Modifier Pac Sysreg

@@ -1,0 +1,1 @@
+lib/core/pointer_integrity.mli: Aarch64 Asm Config Cpu Insn Keys

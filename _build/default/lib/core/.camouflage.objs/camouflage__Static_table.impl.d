@@ -1,0 +1,1 @@
+lib/core/static_table.ml: Int64 Keys List Pointer_integrity Printf

@@ -1,0 +1,1 @@
+lib/core/static_table.mli: Aarch64 Config Cpu Keys Pointer_integrity

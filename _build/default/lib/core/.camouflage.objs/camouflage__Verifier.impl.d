@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Aarch64 Encode Insn Int64 List Printf Sysreg

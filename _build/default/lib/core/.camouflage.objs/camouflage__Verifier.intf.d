@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Aarch64 Insn Sysreg

@@ -1,0 +1,18 @@
+type verdict = Kill_process | Panic
+
+type event = { pid : int; faulting_va : int64; at_failure : int }
+
+type t = { threshold : int; mutable count : int; mutable events : event list }
+
+let create ~threshold =
+  if threshold <= 0 then invalid_arg "Bruteforce.create: threshold";
+  { threshold; count = 0; events = [] }
+
+let record_failure t ~pid ~faulting_va =
+  t.count <- t.count + 1;
+  t.events <- { pid; faulting_va; at_failure = t.count } :: t.events;
+  if t.count >= t.threshold then Panic else Kill_process
+
+let failures t = t.count
+let log t = List.rev t.events
+let threshold t = t.threshold

@@ -1,0 +1,25 @@
+(** Brute-force mitigation (Section 5.4).
+
+    With the typical configuration only 15 PAC bits remain for kernel
+    pointers, well within reach of a local brute-force attack. Every
+    PAC authentication failure therefore kills the offending process
+    and is logged; once the system-wide failure count crosses the
+    configured threshold, the kernel halts, treating the stream of
+    failures as a strong signal of attempted exploitation. *)
+
+type verdict =
+  | Kill_process  (** SIGKILL the faulting process; system continues *)
+  | Panic  (** threshold exceeded: halt the system *)
+
+type event = { pid : int; faulting_va : int64; at_failure : int }
+
+type t
+
+val create : threshold:int -> t
+
+(** [record_failure t ~pid ~faulting_va] accounts one PAC failure. *)
+val record_failure : t -> pid:int -> faulting_va:int64 -> verdict
+
+val failures : t -> int
+val log : t -> event list
+val threshold : t -> int

@@ -1,0 +1,21 @@
+open Aarch64
+
+type role = Backward | Forward | Data
+
+type mode = Armv83 | Compat
+
+(* Listing 3 signs return addresses with PACIB and Listing 4
+   authenticates operations pointers with AUTDB; the remaining
+   instruction key IA serves forward-edge CFI. *)
+let key_for mode role =
+  match (mode, role) with
+  | Armv83, Backward -> Sysreg.IB
+  | Armv83, Forward -> Sysreg.IA
+  | Armv83, Data -> Sysreg.DB
+  | Compat, (Backward | Forward | Data) -> Sysreg.IB
+
+let keys_in_use = function
+  | Armv83 -> [ Sysreg.IB; Sysreg.IA; Sysreg.DB ]
+  | Compat -> [ Sysreg.IB ]
+
+let role_name = function Backward -> "backward" | Forward -> "forward" | Data -> "data"

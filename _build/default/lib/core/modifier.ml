@@ -1,0 +1,70 @@
+open Aarch64
+
+module Val64 = Camo_util.Val64
+
+type return_scheme = No_cfi | Sp_only | Parts of int64 | Camouflage | Chained
+
+let return_modifier scheme ~sp ~func_addr =
+  match scheme with
+  | No_cfi -> 0L
+  | Chained ->
+      invalid_arg
+        "Modifier.return_modifier: the chained modifier is a dynamic run-time value"
+  | Sp_only -> sp
+  | Parts func_id ->
+      (* low 48 bits: LTO function id; top 16 bits: low 16 bits of SP *)
+      Val64.insert ~lo:48 ~width:16 ~field:sp (Int64.logand func_id (Val64.mask 48))
+  | Camouflage ->
+      (* low 32 bits: function address; top 32 bits: low 32 bits of SP *)
+      Val64.insert ~lo:32 ~width:32 ~field:sp (Val64.extract ~lo:0 ~width:32 func_addr)
+
+let pointer_modifier ~obj_addr ~constant =
+  Val64.insert ~lo:16 ~width:48 ~field:obj_addr (Int64.of_int (constant land 0xffff))
+
+let chunk16 v i = Int64.to_int (Val64.extract ~lo:(16 * i) ~width:16 v)
+
+let materialize_return scheme ~func_label ~dst ~scratch =
+  match scheme with
+  | No_cfi | Sp_only -> []
+  | Chained -> []  (* the modifier is the live chain register *)
+  | Parts func_id ->
+      (* movz/movk the 48-bit id, then insert SP's low 16 bits on top.
+         AArch64 forbids SP as a bit-field-move operand, hence the MOV. *)
+      [
+        Asm.ins (Insn.Movz (dst, chunk16 func_id 0, 0));
+        Asm.ins (Insn.Movk (dst, chunk16 func_id 1, 16));
+        Asm.ins (Insn.Movk (dst, chunk16 func_id 2, 32));
+        Asm.ins (Insn.Mov (scratch, Insn.SP));
+        Asm.ins (Insn.Bfi (dst, scratch, 48, 16));
+      ]
+  | Camouflage ->
+      (* Listing 3: adr ip0, function; mov ip1, sp; bfi ip0, ip1, #32, #32 *)
+      [
+        Asm.adr_of dst func_label;
+        Asm.ins (Insn.Mov (scratch, Insn.SP));
+        Asm.ins (Insn.Bfi (dst, scratch, 32, 32));
+      ]
+
+let materialize_pointer ~obj ~constant ~dst =
+  (* Listing 4: mov w9, #const; bfi x9, x0, #16, #48 *)
+  [
+    Asm.ins (Insn.Movz (dst, constant land 0xffff, 0));
+    Asm.ins (Insn.Bfi (dst, obj, 16, 48));
+  ]
+
+(* The chain register of the Chained (PACStack-style) scheme: callee-
+   saved, reserved by the instrumentation convention. *)
+let chain_register = Insn.R 27
+
+let modifier_register scheme ~dst =
+  match scheme with
+  | No_cfi | Sp_only -> Insn.SP
+  | Parts _ | Camouflage -> dst
+  | Chained -> chain_register
+
+let scheme_name = function
+  | No_cfi -> "none"
+  | Sp_only -> "sp-only (Clang)"
+  | Parts _ -> "PARTS (16b SP + 48b func id)"
+  | Camouflage -> "Camouflage (32b SP + 32b func addr)"
+  | Chained -> "Chained (PACStack-style authenticated call stack)"

@@ -1,0 +1,68 @@
+(** PAuth modifier construction (Sections 4.2, 4.3 and 5.2).
+
+    The modifier is the cryptographic salt of each PAC. The paper
+    compares three return-address schemes (Figure 2):
+
+    - [Sp_only]: the stack pointer alone — the Qualcomm/Clang reference,
+      replayable because kernel task stacks are shallow (16 KiB) and
+      4 KiB-aligned, so the low 12 bits of SP repeat across threads;
+    - [Parts]: low 16 bits of SP concatenated with a 48-bit link-time
+      function id (PARTS, USENIX Sec'19) — needs LTO, incompatible with
+      loadable modules;
+    - [Camouflage]: low 32 bits of SP concatenated with the low 32 bits
+      of the function address, materializable with ADR + MOV + BFI
+      (Listing 3) and module-safe.
+
+    Pointer integrity (forward-edge CFI and DFI) uses the unified
+    scheme of Section 4.3: the 48-bit address of the containing object
+    concatenated with a 16-bit constant identifying the (type, member)
+    pair. *)
+
+open Aarch64
+
+type return_scheme =
+  | No_cfi
+  | Sp_only
+  | Parts of int64  (** 48-bit LTO function id *)
+  | Camouflage
+  | Chained
+      (** PACStack-style authenticated call stack (Liljestrand et al.,
+          cited as related work): the modifier is the previous signed
+          return address held in a reserved chain register, spilled per
+          frame. Binds each return to the {e entire} call path, closing
+          the same-context temporal replay left open by SP-based
+          modifiers — at the price of extra spills and no support for
+          prefabricated frames (so it is evaluated as a microbenchmark
+          ablation, not a bootable kernel configuration). *)
+
+(** The reserved chain register of the [Chained] scheme (X27). *)
+val chain_register : Insn.reg
+
+(** [return_modifier scheme ~sp ~func_addr] — the modifier value the
+    instrumentation computes at run time (host-side mirror, used by
+    tests and by reuse-attack analysis). Raises [Invalid_argument] for
+    [Chained], whose modifier is a dynamic value. *)
+val return_modifier : return_scheme -> sp:int64 -> func_addr:int64 -> int64
+
+(** [pointer_modifier ~obj_addr ~constant] — Listing 4: the low 16 bits
+    hold the type/member constant, bits 16..63 the low 48 bits of the
+    containing object's address. *)
+val pointer_modifier : obj_addr:int64 -> constant:int -> int64
+
+(** [materialize_return scheme ~func_label ~dst ~scratch] — assembler
+    items computing the return modifier into [dst] (clobbering
+    [scratch]), exactly as the modified compiler emits them. [Sp_only]
+    needs no materialization (SP is used directly) and yields []. *)
+val materialize_return :
+  return_scheme -> func_label:string -> dst:Insn.reg -> scratch:Insn.reg -> Asm.item list
+
+(** [materialize_pointer ~obj ~constant ~dst] — assembler items for the
+    pointer-integrity modifier of an object held in register [obj]. *)
+val materialize_pointer : obj:Insn.reg -> constant:int -> dst:Insn.reg -> Asm.item list
+
+(** [modifier_register scheme] — the register the PAC/AUT instruction
+    should use as modifier operand: [SP] for [Sp_only]/[No_cfi], the
+    scratch destination otherwise. *)
+val modifier_register : return_scheme -> dst:Insn.reg -> Insn.reg
+
+val scheme_name : return_scheme -> string

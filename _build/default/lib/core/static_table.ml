@@ -1,0 +1,33 @@
+type entry = { location : int64; role : Keys.role; constant : int }
+
+type t = entry list
+
+let sign_all cpu config registry table ~read64 ~write64 =
+  let sign entry =
+    match Pointer_integrity.member_of_constant registry entry.constant with
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Static_table: unknown constant 0x%04x" entry.constant)
+    | Some m ->
+        if m.Pointer_integrity.role <> entry.role then
+          invalid_arg
+            (Printf.sprintf "Static_table: role mismatch for constant 0x%04x"
+               entry.constant);
+        let obj_addr =
+          Int64.sub entry.location (Int64.of_int m.Pointer_integrity.offset)
+        in
+        let raw = read64 entry.location in
+        let signed =
+          Pointer_integrity.sign_value cpu config registry
+            ~type_name:m.Pointer_integrity.type_name
+            ~member_name:m.Pointer_integrity.member_name ~obj_addr raw
+        in
+        write64 entry.location signed
+  in
+  List.iter sign table
+
+let entry_for registry ~location ~type_name ~member_name =
+  let constant = Pointer_integrity.constant_of registry ~type_name ~member_name in
+  match Pointer_integrity.member_of_constant registry constant with
+  | Some m -> { location; role = m.Pointer_integrity.role; constant }
+  | None -> assert false

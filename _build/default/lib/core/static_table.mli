@@ -1,0 +1,45 @@
+(** Run-time linkage for statically initialized signed pointers
+    (Section 4.6).
+
+    A few protected pointers are initialized in static structure
+    instances (e.g. [DECLARE_WORK]); their PACs cannot exist in the
+    on-disk image, so a dedicated ELF-like section lists each such
+    pointer as (location, key role, 16-bit constant). At early boot —
+    and again whenever a module is loaded — the table is walked and
+    every listed pointer is signed in place. The containing object's
+    base address is recovered from the member offset that the constant
+    identifies in the registry. *)
+
+open Aarch64
+
+type entry = {
+  location : int64;  (** virtual address of the to-be-signed pointer field *)
+  role : Keys.role;
+  constant : int;  (** the type/member constant, resolvable in the registry *)
+}
+
+type t = entry list
+
+(** [sign_all cpu config registry table ~read64 ~write64] walks the
+    table, signing each pointer in place. Raises [Invalid_argument] if a
+    constant is unknown to the registry or its role disagrees with the
+    entry. Idempotence is NOT guaranteed — signing twice corrupts the
+    pointer, as in the real design — so callers sign exactly once. *)
+val sign_all :
+  Cpu.t ->
+  Config.t ->
+  Pointer_integrity.registry ->
+  t ->
+  read64:(int64 -> int64) ->
+  write64:(int64 -> int64 -> unit) ->
+  unit
+
+(** [entry_for registry ~location ~type_name ~member_name] — convenience
+    constructor: builds the entry for a member whose field sits at
+    [location]. *)
+val entry_for :
+  Pointer_integrity.registry ->
+  location:int64 ->
+  type_name:string ->
+  member_name:string ->
+  entry

@@ -1,0 +1,47 @@
+open Aarch64
+
+type reason =
+  | Reads_key_register of Sysreg.t
+  | Writes_key_register of Sysreg.t
+  | Writes_sctlr
+
+type violation = { va : int64; insn : Insn.t; reason : reason }
+
+let check ~allowed va insn =
+  match Insn.reads_sysreg insn with
+  | Some sr when Sysreg.is_pauth_key sr ->
+      Some { va; insn; reason = Reads_key_register sr }
+  | Some _ | None -> (
+      match Insn.writes_sysreg insn with
+      | Some sr when Sysreg.is_pauth_key sr && not (allowed va) ->
+          Some { va; insn; reason = Writes_key_register sr }
+      | Some Sysreg.SCTLR_EL1 when not (allowed va) ->
+          Some { va; insn; reason = Writes_sctlr }
+      | Some _ | None -> None)
+
+let scan_insns ~base:_ insns ~allowed =
+  List.filter_map (fun (va, insn) -> check ~allowed va insn) insns
+
+let scan ~read32 ~base ~size ~allowed =
+  let rec go acc off =
+    if off >= size then List.rev acc
+    else begin
+      let va = Int64.add base (Int64.of_int off) in
+      let acc =
+        match Encode.decode ~pc:va (read32 va) with
+        | None -> acc
+        | Some insn -> ( match check ~allowed va insn with Some v -> v :: acc | None -> acc)
+      in
+      go acc (off + 4)
+    end
+  in
+  go [] 0
+
+let reason_to_string = function
+  | Reads_key_register sr -> Printf.sprintf "reads key register %s" (Sysreg.name sr)
+  | Writes_key_register sr ->
+      Printf.sprintf "writes key register %s outside the key setter" (Sysreg.name sr)
+  | Writes_sctlr -> "writes SCTLR_EL1 outside the key setter"
+
+let violation_to_string v =
+  Printf.sprintf "0x%Lx: %s (%s)" v.va (Insn.to_string v.insn) (reason_to_string v.reason)

@@ -1,0 +1,37 @@
+(** Static code verification (Sections 4.1 and 6.2.2).
+
+    The kernel never needs to read its PAuth keys, only to set them from
+    one audited function. Because MRS/MSR immediately encode the
+    register they touch, a linear scan over the words of a code region
+    finds every key access and every write to the SCTLR PAuth flags.
+    The scan runs over the kernel image at build/boot time and over each
+    loadable module before it is accepted. *)
+
+open Aarch64
+
+type reason =
+  | Reads_key_register of Sysreg.t
+  | Writes_key_register of Sysreg.t  (** outside the audited setter *)
+  | Writes_sctlr  (** could clear the PAuth enable flags *)
+
+type violation = { va : int64; insn : Insn.t; reason : reason }
+
+(** [scan ~read32 ~base ~size ~allowed] decodes every word of
+    [base, base+size) and reports violations. [allowed va] marks
+    addresses belonging to the audited key-setter, where MSRs to key
+    registers are legitimate. Data words that do not decode are ignored:
+    they cannot be executed as key accesses. *)
+val scan :
+  read32:(int64 -> int32) ->
+  base:int64 ->
+  size:int ->
+  allowed:(int64 -> bool) ->
+  violation list
+
+(** [scan_insns ~base insns ~allowed] — same policy over an instruction
+    listing (used for pre-assembly checks in tests). *)
+val scan_insns :
+  base:int64 -> (int64 * Insn.t) list -> allowed:(int64 -> bool) -> violation list
+
+val reason_to_string : reason -> string
+val violation_to_string : violation -> string

@@ -1,0 +1,1 @@
+lib/kelf/loader.ml: Aarch64 Asm Camouflage Int64 List Object_file Printf String

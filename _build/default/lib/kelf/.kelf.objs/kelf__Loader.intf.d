@@ -1,0 +1,1 @@
+lib/kelf/loader.mli: Aarch64 Asm Camouflage Cpu Object_file

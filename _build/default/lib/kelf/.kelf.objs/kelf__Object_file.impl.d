@@ -1,0 +1,1 @@
+lib/kelf/object_file.ml: Aarch64 Asm List

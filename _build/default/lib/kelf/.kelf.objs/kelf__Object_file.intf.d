@@ -1,0 +1,1 @@
+lib/kelf/object_file.mli: Aarch64 Asm

@@ -1,0 +1,37 @@
+open Aarch64
+
+type word = Lit of int64 | Sym of string | Sym_off of string * int
+
+type blob = { blob_name : string; words : word list }
+
+type static_sign = {
+  sign_blob : string;
+  word_index : int;
+  type_name : string;
+  member_name : string;
+}
+
+type t = {
+  obj_name : string;
+  functions : (string * Asm.item list) list;
+  rodata : blob list;
+  data : blob list;
+  pauth_static : static_sign list;
+}
+
+let empty obj_name =
+  { obj_name; functions = []; rodata = []; data = []; pauth_static = [] }
+
+let add_function t ~name items = { t with functions = t.functions @ [ (name, items) ] }
+let add_rodata t blob = { t with rodata = t.rodata @ [ blob ] }
+let add_data t blob = { t with data = t.data @ [ blob ] }
+let add_static_sign t s = { t with pauth_static = t.pauth_static @ [ s ] }
+
+let text_instruction_count t =
+  List.fold_left (fun acc (_, items) -> acc + Asm.instruction_count items) 0 t.functions
+
+let blob_bytes blobs =
+  List.fold_left (fun acc b -> acc + (8 * List.length b.words)) 0 blobs
+
+let data_size_bytes t = blob_bytes t.data
+let rodata_size_bytes t = blob_bytes t.rodata

@@ -1,0 +1,51 @@
+(** Relocatable kernel objects (the model's ELF stand-in).
+
+    A loadable kernel module — and the kernel image itself — is a set of
+    text functions (pre-assembly, so they can be placed anywhere), data
+    and rodata blobs whose words may reference symbols, and the paper's
+    new [.pauth_static] section (Section 4.6) listing every statically
+    initialized pointer that must be signed in place after placement. *)
+
+open Aarch64
+
+(** A 64-bit data word: either a literal or a symbol reference resolved
+    at load time (function or data symbol), optionally displaced. *)
+type word = Lit of int64 | Sym of string | Sym_off of string * int
+
+type blob = {
+  blob_name : string;  (** data symbol name *)
+  words : word list;
+}
+
+(** One [.pauth_static] entry in symbolic form: the pointer at
+    [blob_name + word_index*8] is a statically initialized instance of
+    (type, member) and must be signed after relocation. *)
+type static_sign = {
+  sign_blob : string;
+  word_index : int;
+  type_name : string;
+  member_name : string;
+}
+
+type t = {
+  obj_name : string;
+  functions : (string * Asm.item list) list;  (** text, in layout order *)
+  rodata : blob list;  (** write-protected after load *)
+  data : blob list;
+  pauth_static : static_sign list;
+}
+
+val empty : string -> t
+
+val add_function : t -> name:string -> Asm.item list -> t
+val add_rodata : t -> blob -> t
+val add_data : t -> blob -> t
+val add_static_sign : t -> static_sign -> t
+
+(** [text_instruction_count t] — total instructions across functions. *)
+val text_instruction_count : t -> int
+
+(** [data_size_bytes t] / [rodata_size_bytes t]. *)
+val data_size_bytes : t -> int
+
+val rodata_size_bytes : t -> int

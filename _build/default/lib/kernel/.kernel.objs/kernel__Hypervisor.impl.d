@@ -1,0 +1,1 @@
+lib/kernel/hypervisor.ml: Aarch64 Cpu Int64 Layout Mmu Sysreg Vaddr

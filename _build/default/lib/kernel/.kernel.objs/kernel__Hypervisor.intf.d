@@ -1,0 +1,1 @@
+lib/kernel/hypervisor.mli: Aarch64 Cpu Sysreg

@@ -1,0 +1,1 @@
+lib/kernel/kbuild.ml: Aarch64 Asm Camouflage Insn Kelf Kobject List Sysreg

@@ -1,0 +1,1 @@
+lib/kernel/kbuild.mli: Camouflage Kelf

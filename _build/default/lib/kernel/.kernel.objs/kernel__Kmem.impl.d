@@ -1,0 +1,1 @@
+lib/kernel/kmem.ml: Aarch64 Cpu Int64 Layout Mem Mmu Vaddr

@@ -1,0 +1,1 @@
+lib/kernel/kobject.ml: Camouflage

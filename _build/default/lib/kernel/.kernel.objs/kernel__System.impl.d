@@ -1,0 +1,1 @@
+lib/kernel/system.ml: Aarch64 Array Asm Camo_util Camouflage Cost Cpu El Hashtbl Hypervisor Insn Int64 Kbuild Kelf Kmem Kobject Layout List Mmu Pac Printf Qarma Queue Result Sysreg Vaddr Xom

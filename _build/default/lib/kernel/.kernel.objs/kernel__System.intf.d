@@ -1,0 +1,1 @@
+lib/kernel/system.mli: Aarch64 Asm Camouflage Cost Cpu Kelf Xom

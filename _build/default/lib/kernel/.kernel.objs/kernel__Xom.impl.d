@@ -1,0 +1,1 @@
+lib/kernel/xom.ml: Aarch64 Asm Camo_util Camouflage Hypervisor Insn Int64 Kmem Kobject Layout List Mmu Pac Sysreg

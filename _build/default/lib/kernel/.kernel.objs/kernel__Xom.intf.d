@@ -1,0 +1,1 @@
+lib/kernel/xom.mli: Aarch64 Asm Camo_util Camouflage Cpu Hypervisor Pac Sysreg

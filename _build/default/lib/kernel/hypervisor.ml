@@ -1,0 +1,23 @@
+open Aarch64
+
+type t = { cpu : Cpu.t }
+
+let is_locked_register _t = Sysreg.is_mmu_control
+
+let install cpu =
+  let t = { cpu } in
+  Cpu.set_sysreg_lock cpu (is_locked_register t);
+  t
+
+let protect_frames t ~base ~bytes perm =
+  let pages = Layout.round_pages bytes / 4096 in
+  for i = 0 to pages - 1 do
+    let va = Int64.add base (Int64.of_int (i * 4096)) in
+    Mmu.stage2_protect (Cpu.mmu t.cpu)
+      ~pa_page:(Vaddr.page_of (Layout.pa_of_va va))
+      perm
+  done
+
+let protect_xom t ~base ~bytes = protect_frames t ~base ~bytes Mmu.xo
+let protect_text t ~base ~bytes = protect_frames t ~base ~bytes Mmu.rx
+let protect_rodata t ~base ~bytes = protect_frames t ~base ~bytes Mmu.ro

@@ -1,0 +1,29 @@
+(** The EL2 hypervisor (Sections 3.1 and 5.1; Appendix A.2).
+
+    Not modeled as machine code: its observable guarantees are (1) the
+    stage-2 translation entries it installs — execute-only for the key
+    setter page, write-protection for kernel text and rodata — and
+    (2) the lockdown of MMU control registers against EL1 writes. Both
+    are enforced by the machine model on every access. *)
+
+open Aarch64
+
+type t
+
+(** [install cpu] activates the lockdown of TTBR0/TTBR1/SCTLR writes
+    from EL1 and returns the hypervisor handle. *)
+val install : Cpu.t -> t
+
+(** [protect_xom t ~base ~bytes] — stage-2 execute-only: EL0/EL1 can
+    neither read nor write the frames; only instruction fetch works. *)
+val protect_xom : t -> base:int64 -> bytes:int -> unit
+
+(** [protect_text t ~base ~bytes] — executable but immutable. *)
+val protect_text : t -> base:int64 -> bytes:int -> unit
+
+(** [protect_rodata t ~base ~bytes] — readable only. *)
+val protect_rodata : t -> base:int64 -> bytes:int -> unit
+
+(** [is_locked_register t sr] — the lockdown predicate installed in the
+    machine. *)
+val is_locked_register : t -> Sysreg.t -> bool

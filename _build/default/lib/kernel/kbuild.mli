@@ -1,0 +1,48 @@
+(** The kernel image, built per protection configuration.
+
+    Produces a {!Kelf.Object_file.t} containing every kernel text
+    function (syscall handlers, VFS ops, the context switch, workqueue
+    dispatch and helpers), the read-only operations structures and the
+    syscall table, the static data (object slabs, pipe, ramfs backing
+    store, a [DECLARE_WORK] instance), and the [.pauth_static] entries
+    for the statically initialized protected pointers.
+
+    The same builder serves all evaluation variants: full protection,
+    backward-edge only, compat, and the uninstrumented baseline —
+    the kernel text differs exactly as the paper's compiler flag
+    would make it differ. *)
+
+(** Syscall numbers (index into [sys_call_table]). *)
+val sys_exit : int
+
+val sys_getpid : int
+val sys_read : int
+val sys_write : int
+val sys_open : int
+val sys_close : int
+val sys_stat : int
+val sys_fstat : int
+val sys_notifier_register : int
+val sys_notifier_call : int
+val sys_pipe_write : int
+val sys_pipe_read : int
+val sys_fork : int
+val sys_vuln_read : int
+val sys_vuln_write : int
+val sys_getuid : int
+
+(** Hardened-ABI read (Section 8 future work): the buffer pointer must
+    be signed by the caller under its DA key. *)
+val sys_read_secure : int
+
+val sys_socketpair : int
+val sys_poll : int
+val sys_timer_set : int
+val syscall_count : int
+
+(** [build config registry] — the kernel object. [registry] must already
+    contain the protected members ({!Kobject.register_protected_members}). *)
+val build : Camouflage.Config.t -> Camouflage.Pointer_integrity.registry -> Kelf.Object_file.t
+
+(** Kernel symbols exported to loadable modules. *)
+val exported_symbols : string list

@@ -1,0 +1,23 @@
+open Aarch64
+
+let read64 cpu va = Mem.read64 (Cpu.mem cpu) (Layout.pa_of_va va)
+let write64 cpu va v = Mem.write64 (Cpu.mem cpu) (Layout.pa_of_va va) v
+let read32 cpu va = Mem.read32 (Cpu.mem cpu) (Layout.pa_of_va va)
+let write32 cpu va v = Mem.write32 (Cpu.mem cpu) (Layout.pa_of_va va) v
+let read_string cpu va len = Mem.read_string (Cpu.mem cpu) (Layout.pa_of_va va) len
+let blit_string cpu va s = Mem.blit_string (Cpu.mem cpu) (Layout.pa_of_va va) s
+
+let map_pages cpu ~base ~bytes ~el0 ~el1 =
+  let pages = Layout.round_pages bytes / 4096 in
+  for i = 0 to pages - 1 do
+    let va = Int64.add base (Int64.of_int (i * 4096)) in
+    Mmu.map (Cpu.mmu cpu) ~va_page:(Vaddr.page_of va)
+      ~pa_page:(Vaddr.page_of (Layout.pa_of_va va))
+      ~el0 ~el1
+  done
+
+let map_kernel_region cpu ~base ~bytes perm =
+  map_pages cpu ~base ~bytes ~el0:Mmu.no_access ~el1:perm
+
+let map_user_region cpu ~base ~bytes perm =
+  map_pages cpu ~base ~bytes ~el0:perm ~el1:Mmu.rw

@@ -1,0 +1,24 @@
+(** Host-side access to kernel memory through the identity map.
+
+    These accessors bypass the MMU permission checks — they model the
+    orchestrated parts of the kernel (allocator bookkeeping, boot-time
+    initialization), not attacker capabilities. Attacker memory access
+    goes through the vulnerable syscalls, which execute on the machine
+    and honour translation. *)
+
+open Aarch64
+
+val read64 : Cpu.t -> int64 -> int64
+val write64 : Cpu.t -> int64 -> int64 -> unit
+val read32 : Cpu.t -> int64 -> int32
+val write32 : Cpu.t -> int64 -> int32 -> unit
+val read_string : Cpu.t -> int64 -> int -> string
+val blit_string : Cpu.t -> int64 -> string -> unit
+
+(** [map_kernel_region cpu ~base ~bytes perm] — stage-1 map a kernel
+    range (EL1-only). *)
+val map_kernel_region : Cpu.t -> base:int64 -> bytes:int -> Mmu.perm -> unit
+
+(** [map_user_region cpu ~base ~bytes perm] — stage-1 map a user range:
+    EL0 gets [perm]; EL1 gets read/write (kernel uaccess). *)
+val map_user_region : Cpu.t -> base:int64 -> bytes:int -> Mmu.perm -> unit

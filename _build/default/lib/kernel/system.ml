@@ -1,0 +1,788 @@
+open Aarch64
+module C = Camouflage
+
+type task = { va : int64; slot : int; pid : int }
+
+type syscall_outcome = Ok of int64 | Killed of string | Panicked of string
+
+type user_exit =
+  | Exited of int64
+  | User_killed of string
+  | User_panicked of string
+  | Ran_out of string
+
+type t = {
+  cpu : Cpu.t;
+  config : C.Config.t;
+  registry : C.Pointer_integrity.registry;
+  hyp : Hypervisor.t;
+  xom : Xom.t;
+  bruteforce : C.Bruteforce.t;
+  mutable kernel : Kelf.Loader.placed;
+  rng : Camo_util.Rng.t;
+  mutable current : task;
+  mutable tasks : task list;
+  mutable next_pid : int;
+  mutable next_stack_slot : int;
+  mutable module_alloc : int64;
+  mutable log : string list;
+  mutable panicked : bool;
+  mutable table_mac_golden : int64;
+  (* X7: saved-context attestation MACs, pid -> MAC (host-held, like the
+     table MAC: state the attacker cannot reach) *)
+  context_macs : (int, int64) Hashtbl.t;
+  mutable context_key : Pac.key;  (** monitor key, host-held *)
+}
+
+(* GPR save/restore on the kernel entry/exit path, charged rather than
+   executed: the registers saved belong to the interrupted user context
+   which host-driven entries do not have. 31 stores or loads at the
+   store/load cost of the A53 profile, plus bookkeeping. *)
+let entry_overhead_cycles = 35
+let exit_overhead_cycles = 35
+
+(* Page-table and mm copying that the model's fork elides. *)
+let fork_vm_copy_cycles = 1200
+
+(* Run-queue manipulation and task-selection work of the scheduler that
+   the model's switch path elides (it jumps straight to cpu_switch_to). *)
+let sched_pick_cycles = 150
+
+let cpu t = t.cpu
+let config t = t.config
+let registry t = t.registry
+let xom t = t.xom
+let current t = t.current
+let tasks t = t.tasks
+let panicked t = t.panicked
+let log t = List.rev t.log
+let bruteforce t = t.bruteforce
+
+let logf t fmt = Printf.ksprintf (fun s -> t.log <- s :: t.log) fmt
+
+let kernel_symbol t name = Kelf.Loader.symbol t.kernel name
+
+let kernel_uses_pauth t =
+  Cpu.has_pauth t.cpu
+  && (t.config.C.Config.scheme <> C.Modifier.No_cfi || t.config.C.Config.protect_pointers)
+
+let install_kernel_keys t =
+  match Cpu.call t.cpu t.xom.Xom.setter_addr with
+  | Cpu.Sentinel_return -> ()
+  | other -> failwith ("key setter did not return: " ^ Cpu.stop_to_string other)
+
+let restore_user_keys t =
+  Cpu.set_reg t.cpu (Insn.R 0) t.current.va;
+  match Cpu.call t.cpu t.xom.Xom.restore_addr with
+  | Cpu.Sentinel_return -> ()
+  | other -> failwith ("key restore did not return: " ^ Cpu.stop_to_string other)
+
+(* Host-side mirror of the backward-edge signing, used to prefabricate
+   the switch frame of a fresh task (Section 5.2, cpu_switch_to). *)
+let sign_return_address t ~sp ~func_addr value =
+  match t.config.C.Config.scheme with
+  | C.Modifier.No_cfi -> value
+  | scheme ->
+      if not (Cpu.has_pauth t.cpu) then value
+      else begin
+        let key =
+          Cpu.pac_key t.cpu (C.Keys.key_for t.config.C.Config.mode C.Keys.Backward)
+        in
+        let modifier = C.Modifier.return_modifier scheme ~sp ~func_addr in
+        Pac.compute ~cipher:(Cpu.cipher t.cpu) ~key ~cfg:(Cpu.kernel_cfg t.cpu) ~modifier
+          value
+      end
+
+let task_stack_top task = Layout.task_stack_top ~slot:task.slot
+
+(* Host-orchestrated kernel work (task setup, scheduling, workqueues)
+   conceptually runs between kernel entry and exit: the kernel keys must
+   be live in the key registers, not the interrupted user's. *)
+let enter_kernel_context t = if kernel_uses_pauth t then install_kernel_keys t
+
+(* Write the prefabricated frame a fresh task is "resumed" from: popping
+   it inside cpu_switch_to authenticates LR and returns to the host
+   sentinel. *)
+let prepare_switch_frame t task =
+  enter_kernel_context t;
+  let top = task_stack_top task in
+  let sp = Int64.sub top 16L in
+  let switch_addr = kernel_symbol t "cpu_switch_to" in
+  let signed_lr =
+    sign_return_address t ~sp:top ~func_addr:switch_addr Cpu.sentinel
+  in
+  Kmem.write64 t.cpu sp 0L;
+  Kmem.write64 t.cpu (Int64.add sp 8L) signed_lr;
+  let stored_sp =
+    C.Pointer_integrity.sign_value t.cpu t.config t.registry ~type_name:"task"
+      ~member_name:"kernel_sp" ~obj_addr:task.va sp
+  in
+  Kmem.write64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_kernel_sp)) stored_sp
+
+let write_user_keys t task =
+  List.iteri
+    (fun idx _key ->
+      let hi, lo = Camo_util.Rng.key128 t.rng in
+      let base = Int64.add task.va (Int64.of_int (Kobject.Task.off_user_keys + (16 * idx))) in
+      Kmem.write64 t.cpu base hi;
+      Kmem.write64 t.cpu (Int64.add base 8L) lo)
+    Sysreg.[ IA; IB; DA; DB; GA ]
+
+let alloc_task_struct t =
+  let cell = kernel_symbol t "task_slab_next" in
+  let va = Kmem.read64 t.cpu cell in
+  Kmem.write64 t.cpu cell (Int64.add va (Int64.of_int Kobject.Task.size));
+  va
+
+let init_task_fields t task =
+  Kmem.write64 t.cpu
+    (Int64.add task.va (Int64.of_int Kobject.Task.off_pid))
+    (Int64.of_int task.pid);
+  Kmem.write64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_state)) 0L;
+  Kmem.write64 t.cpu
+    (Int64.add task.va (Int64.of_int Kobject.Task.off_kstack_base))
+    (Int64.sub (task_stack_top task) (Int64.of_int Layout.task_stack_bytes))
+
+(* Install a signed credentials pointer: pid 1 (init) runs as root, all
+   other tasks get the unprivileged user credentials. *)
+let assign_cred t task =
+  enter_kernel_context t;
+  let cred_sym = if task.pid = 1 then "root_cred" else "user_cred" in
+  let cred = kernel_symbol t cred_sym in
+  let signed =
+    C.Pointer_integrity.sign_value t.cpu t.config t.registry ~type_name:"task"
+      ~member_name:"cred" ~obj_addr:task.va cred
+  in
+  Kmem.write64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_cred)) signed
+
+(* Give a task the console on stdout/stderr: a file object whose signed
+   ops pointer targets the console ops table. *)
+let install_console_fds t task =
+  let cell = kernel_symbol t "file_slab_next" in
+  let file = Kmem.read64 t.cpu cell in
+  Kmem.write64 t.cpu cell (Int64.add file (Int64.of_int Kobject.File.size));
+  let fops = kernel_symbol t "console_fops" in
+  enter_kernel_context t;
+  let signed =
+    C.Pointer_integrity.sign_value t.cpu t.config t.registry ~type_name:"file"
+      ~member_name:"f_ops" ~obj_addr:file fops
+  in
+  Kmem.write64 t.cpu (Int64.add file (Int64.of_int Kobject.File.off_f_ops)) signed;
+  List.iter
+    (fun fd ->
+      Kmem.write64 t.cpu
+        (Int64.add task.va (Int64.of_int (Kobject.Task.off_fd_table + (8 * fd))))
+        file)
+    [ 1; 2 ]
+
+let create_task t =
+  let va = alloc_task_struct t in
+  let task = { va; slot = t.next_stack_slot; pid = t.next_pid } in
+  t.next_pid <- t.next_pid + 1;
+  t.next_stack_slot <- t.next_stack_slot + 1;
+  init_task_fields t task;
+  write_user_keys t task;
+  prepare_switch_frame t task;
+  assign_cred t task;
+  install_console_fds t task;
+  t.tasks <- t.tasks @ [ task ];
+  task
+
+let mark_dead t task =
+  Kmem.write64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_state)) 1L
+
+(* Classify a machine stop on the kernel path. *)
+let handle_kernel_stop t stop =
+  match stop with
+  | Cpu.Sentinel_return -> Ok (Cpu.reg t.cpu (Insn.R 0))
+  | Cpu.Fault { fault = Cpu.Mmu_fault f; pc } ->
+      let poisoned =
+        Vaddr.is_poisoned (Cpu.kernel_cfg t.cpu) f.Mmu.va
+        || Vaddr.is_poisoned (Cpu.user_cfg t.cpu) f.Mmu.va
+      in
+      if poisoned then begin
+        logf t "PAC authentication failure: pid %d at pc=0x%Lx va=0x%Lx" t.current.pid pc
+          f.Mmu.va;
+        match
+          C.Bruteforce.record_failure t.bruteforce ~pid:t.current.pid ~faulting_va:f.Mmu.va
+        with
+        | C.Bruteforce.Kill_process ->
+            mark_dead t t.current;
+            Killed "PAC failure: SIGKILL"
+        | C.Bruteforce.Panic ->
+            t.panicked <- true;
+            logf t "kernel panic: PAC failure threshold exceeded (%d failures)"
+              (C.Bruteforce.failures t.bruteforce);
+            Panicked "PAC failure threshold exceeded"
+      end
+      else begin
+        logf t "kernel oops: pid %d %s at pc=0x%Lx" t.current.pid (Mmu.fault_to_string f) pc;
+        List.iter
+          (fun (ipc, insn) -> logf t "  trace: %Lx: %s" ipc (Insn.to_string insn))
+          (Cpu.recent_trace ~limit:4 t.cpu);
+        mark_dead t t.current;
+        Killed "kernel oops: SIGKILL"
+      end
+  | Cpu.Fault { fault; pc } ->
+      logf t "kernel oops: pid %d %s at pc=0x%Lx" t.current.pid
+        (Cpu.stop_to_string (Cpu.Fault { fault; pc }))
+        pc;
+      mark_dead t t.current;
+      Killed "kernel oops: SIGKILL"
+  | Cpu.Hlt code ->
+      t.panicked <- true;
+      logf t "kernel halted (hlt #%d)" code;
+      Panicked (Printf.sprintf "hlt #%d" code)
+  | Cpu.Svc _ | Cpu.Brk _ | Cpu.Eret_done | Cpu.Insn_limit ->
+      logf t "kernel oops: unexpected stop %s" (Cpu.stop_to_string stop);
+      mark_dead t t.current;
+      Killed "kernel oops: SIGKILL"
+
+let kernel_entry ?(trap_charged = false) t =
+  (* the SVC instruction charges the trap cost when the entry comes from
+     machine-executed user code; host-driven entries pay it here *)
+  if not trap_charged then Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.exception_entry;
+  Cpu.charge t.cpu entry_overhead_cycles;
+  Cpu.set_el t.cpu El.El1;
+  Cpu.set_sp_of t.cpu El.El1 (task_stack_top t.current);
+  if kernel_uses_pauth t then install_kernel_keys t;
+  Cpu.set_reg t.cpu (Insn.R 28) t.current.va
+
+let kernel_exit t =
+  if kernel_uses_pauth t then restore_user_keys t;
+  Cpu.charge t.cpu exit_overhead_cycles;
+  Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.eret
+
+let call_handler t addr =
+  let stop = Cpu.call t.cpu addr in
+  handle_kernel_stop t stop
+
+let syscall_gen ?trap_charged t ~nr ~args =
+  if t.panicked then Panicked "system halted"
+  else begin
+    kernel_entry ?trap_charged t;
+    List.iteri (fun idx v -> Cpu.set_reg t.cpu (Insn.R idx) v) args;
+    Cpu.set_reg t.cpu (Insn.R 28) t.current.va;
+    let table = kernel_symbol t "sys_call_table" in
+    let handler =
+      if nr < 0 || nr >= Kbuild.syscall_count then 0L
+      else Kmem.read64 t.cpu (Int64.add table (Int64.of_int (8 * nr)))
+    in
+    let outcome =
+      if handler = 0L then Ok (-38L) (* -ENOSYS *) else call_handler t handler
+    in
+    (match outcome with
+    | Ok _ | Killed _ -> kernel_exit t
+    | Panicked _ -> ());
+    outcome
+  end
+
+let syscall t ~nr ~args = syscall_gen t ~nr ~args
+
+let fork t =
+  match syscall t ~nr:Kbuild.sys_fork ~args:[] with
+  | Ok child_va ->
+      Cpu.charge t.cpu fork_vm_copy_cycles;
+      let child = { va = child_va; slot = t.next_stack_slot; pid = t.next_pid } in
+      t.next_pid <- t.next_pid + 1;
+      t.next_stack_slot <- t.next_stack_slot + 1;
+      init_task_fields t child;
+      (* fork inherits the parent's user keys (already copied with the
+         task struct); the stored kernel SP and credentials pointer must
+         be re-signed for the child object, exactly the struct-copy
+         hazard of Section 6.3. *)
+      prepare_switch_frame t child;
+      assign_cred t child;
+      t.tasks <- t.tasks @ [ child ];
+      Result.Ok child
+  | Killed m | Panicked m -> Result.Error m
+
+let switch_to t next =
+  if t.panicked then Panicked "system halted"
+  else begin
+    let prev = t.current in
+    Cpu.set_el t.cpu El.El1;
+    enter_kernel_context t;
+    (* the scheduler runs on the outgoing task's kernel stack; establish
+       it unless a syscall already did *)
+    let top = task_stack_top prev in
+    let sp = Cpu.sp_of t.cpu El.El1 in
+    let base = Int64.sub top (Int64.of_int Layout.task_stack_bytes) in
+    if Int64.unsigned_compare sp base <= 0 || Int64.unsigned_compare sp top > 0 then
+      Cpu.set_sp_of t.cpu El.El1 top;
+    Cpu.set_reg t.cpu (Insn.R 0) prev.va;
+    Cpu.set_reg t.cpu (Insn.R 1) next.va;
+    Cpu.charge t.cpu sched_pick_cycles;
+    (* the switch runs on the previous task's current kernel stack *)
+    let outcome = call_handler t (kernel_symbol t "cpu_switch_to") in
+    (match outcome with Ok _ -> t.current <- next | Killed _ | Panicked _ -> ());
+    outcome
+  end
+
+let run_work t ~work_va =
+  if t.panicked then Panicked "system halted"
+  else begin
+    Cpu.set_el t.cpu El.El1;
+    enter_kernel_context t;
+    Cpu.set_sp_of t.cpu El.El1 (task_stack_top t.current);
+    Cpu.set_reg t.cpu (Insn.R 0) work_va;
+    call_handler t (kernel_symbol t "run_work")
+  end
+
+(* Timer dispatch: fire expired timers against the virtual counter,
+   authenticating every callback pointer on the way (timer.func is a
+   protected lone function pointer). *)
+let run_timers t =
+  if t.panicked then Panicked "system halted"
+  else begin
+    Cpu.set_el t.cpu El.El1;
+    enter_kernel_context t;
+    Cpu.set_sp_of t.cpu El.El1 (task_stack_top t.current);
+    Cpu.set_reg t.cpu (Insn.R 0) (Cpu.cycles t.cpu);
+    call_handler t (kernel_symbol t "run_timers")
+  end
+
+(* Host-side console drain: what the virtual UART has received. *)
+let console_output t =
+  let ring = kernel_symbol t "console_ring" in
+  let head = Int64.to_int (Kmem.read64 t.cpu (kernel_symbol t "console_state")) in
+  let len = min head 8192 in
+  Kmem.read_string t.cpu ring len
+
+(* Module loading. *)
+
+let loader_env t =
+  {
+    Kelf.Loader.place =
+      (fun ~text_bytes ~rodata_bytes ~data_bytes ->
+        let text = t.module_alloc in
+        let rodata = Int64.add text (Int64.of_int (Layout.round_pages text_bytes)) in
+        let data = Int64.add rodata (Int64.of_int (Layout.round_pages rodata_bytes)) in
+        t.module_alloc <- Int64.add data (Int64.of_int (Layout.round_pages data_bytes));
+        (text, rodata, data));
+    map_region =
+      (fun ~base ~bytes purpose ->
+        match purpose with
+        | Kelf.Loader.Text ->
+            Kmem.map_kernel_region t.cpu ~base ~bytes Mmu.rx;
+            Hypervisor.protect_text t.hyp ~base ~bytes
+        | Kelf.Loader.Rodata ->
+            Kmem.map_kernel_region t.cpu ~base ~bytes Mmu.ro;
+            Hypervisor.protect_rodata t.hyp ~base ~bytes
+        | Kelf.Loader.Data -> Kmem.map_kernel_region t.cpu ~base ~bytes Mmu.rw);
+    read32 = Kmem.read32 t.cpu;
+    write32 = Kmem.write32 t.cpu;
+    read64 = Kmem.read64 t.cpu;
+    write64 = Kmem.write64 t.cpu;
+    extra_symbols =
+      List.filter_map
+        (fun name ->
+          match kernel_symbol t name with
+          | addr -> Some (name, addr)
+          | exception Not_found -> None)
+        Kbuild.exported_symbols;
+    allowed_key_writer = Xom.allowed_key_writer t.xom;
+  }
+
+let load_module t obj =
+  let result =
+    Kelf.Loader.load ~cpu:t.cpu ~config:t.config ~registry:t.registry ~env:(loader_env t)
+      obj
+  in
+  (match result with
+  | Result.Ok placed ->
+      logf t "module %s loaded at 0x%Lx" placed.Kelf.Loader.object_name
+        placed.Kelf.Loader.text_base
+  | Result.Error e ->
+      logf t "module %s rejected: %s" obj.Kelf.Object_file.obj_name
+        (Kelf.Loader.error_to_string e));
+  result
+
+(* User execution. *)
+
+let map_user_program t prog =
+  let layout = Asm.assemble prog ~base:Layout.user_text_base in
+  Kmem.map_user_region t.cpu ~base:Layout.user_text_base
+    ~bytes:(max 4096 layout.Asm.size) Mmu.rx;
+  Kmem.map_user_region t.cpu
+    ~base:(Int64.sub Layout.user_stack_top 0x10000L)
+    ~bytes:0x10000 Mmu.rw;
+  Kmem.map_user_region t.cpu ~base:Layout.user_data_base ~bytes:0x10000 Mmu.rw;
+  Asm.encode_into layout ~write32:(Kmem.write32 t.cpu);
+  layout
+
+let save_user_gprs t = Array.init 31 (fun idx -> Cpu.reg t.cpu (Insn.R idx))
+
+let restore_user_gprs t saved = Array.iteri (fun idx v -> Cpu.set_reg t.cpu (Insn.R idx) v) saved
+
+let run_user ?(max_insns = 10_000_000) t ~entry =
+  (* entering EL0: the task's own keys must be live (R5) *)
+  if Cpu.has_pauth t.cpu then restore_user_keys t;
+  Cpu.set_el t.cpu El.El0;
+  Cpu.set_sp_of t.cpu El.El0 Layout.user_stack_top;
+  Cpu.set_reg t.cpu Insn.lr Cpu.sentinel;
+  Cpu.set_pc t.cpu entry;
+  let rec loop () =
+    match Cpu.run ~max_insns t.cpu with
+    | Cpu.Svc nr when nr = Kbuild.sys_exit -> Exited (Cpu.reg t.cpu (Insn.R 0))
+    | Cpu.Svc nr ->
+        let user_pc = Cpu.pc t.cpu in
+        let saved = save_user_gprs t in
+        let args =
+          [ Cpu.reg t.cpu (Insn.R 0); Cpu.reg t.cpu (Insn.R 1); Cpu.reg t.cpu (Insn.R 2) ]
+        in
+        let outcome = syscall_gen ~trap_charged:true t ~nr ~args in
+        let result = (match outcome with Ok v -> v | Killed _ | Panicked _ -> -1L) in
+        (match outcome with
+        | Ok _ ->
+            restore_user_gprs t saved;
+            Cpu.set_reg t.cpu (Insn.R 0) result;
+            Cpu.set_el t.cpu El.El0;
+            Cpu.set_pc t.cpu user_pc;
+            loop ()
+        | Killed m -> User_killed m
+        | Panicked m -> User_panicked m)
+    | Cpu.Sentinel_return -> Exited (Cpu.reg t.cpu (Insn.R 0))
+    | Cpu.Hlt code -> User_killed (Printf.sprintf "hlt #%d in user mode" code)
+    | Cpu.Brk code -> User_killed (Printf.sprintf "brk #%d" code)
+    | Cpu.Fault { fault; pc } ->
+        logf t "segfault: pid %d %s at pc=0x%Lx" t.current.pid
+          (match fault with
+          | Cpu.Mmu_fault f -> Mmu.fault_to_string f
+          | Cpu.Undefined_instruction w -> Printf.sprintf "undefined insn 0x%08lx" w
+          | Cpu.Hyp_denied sr | Cpu.El_denied sr -> "denied access to " ^ Sysreg.name sr)
+          pc;
+        mark_dead t t.current;
+        User_killed "SIGSEGV"
+    | Cpu.Eret_done -> loop ()
+    | Cpu.Insn_limit -> Ran_out "instruction limit"
+  in
+  loop ()
+
+(* Kernel integrity monitor: a chained PACGA MAC over the syscall table
+   under the generic-data key. The golden value is taken at boot and
+   kept host-side (playing the role of attestation state the attacker
+   cannot reach); re-measuring detects any tampering that slipped past
+   the stage-2 write protection. *)
+
+let measure_syscall_table t =
+  enter_kernel_context t;
+  Cpu.set_el t.cpu El.El1;
+  Cpu.set_sp_of t.cpu El.El1 (task_stack_top t.current);
+  Cpu.set_reg t.cpu (Insn.R 0) (kernel_symbol t "sys_call_table");
+  Cpu.set_reg t.cpu (Insn.R 1) (Int64.of_int Kbuild.syscall_count);
+  match Cpu.call t.cpu (kernel_symbol t "table_mac") with
+  | Cpu.Sentinel_return -> Cpu.reg t.cpu (Insn.R 0)
+  | other -> failwith ("table_mac: " ^ Cpu.stop_to_string other)
+
+let record_table_mac t = t.table_mac_golden <- measure_syscall_table t
+
+let verify_syscall_table t =
+  if not (Cpu.has_pauth t.cpu) then true
+  else begin
+  let current = measure_syscall_table t in
+  let ok = current = t.table_mac_golden in
+  if not ok then logf t "integrity monitor: syscall table MAC mismatch";
+  ok
+  end
+
+(* X7 (Section 8 future work, register spills / interrupt handler): a
+   chained PACGA MAC over a task's saved user context. Host-side mirror
+   of the machine's table_mac, with the machine's GA key; the cycle cost
+   of the 33 MAC operations is charged. *)
+let context_mac t task =
+  let cipher = Cpu.cipher t.cpu in
+  let key = t.context_key in
+  let words =
+    List.init 31 (fun idx -> Kmem.read64 t.cpu (Int64.add task.va (Int64.of_int (Kobject.Task.off_gprs + (8 * idx)))))
+    @ [
+        Kmem.read64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_saved_pc));
+        Kmem.read64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_saved_sp));
+      ]
+  in
+  Cpu.charge t.cpu (33 * (Cpu.cost_profile t.cpu).Cost.pauth);
+  List.fold_left
+    (fun acc w ->
+      Pac.generic ~cipher ~key ~value:(Int64.logxor w acc) ~modifier:acc)
+    0L words
+
+(* Preemptive round-robin scheduling: user tasks run in timer quanta;
+   quantum expiry triggers an IRQ-style kernel entry and a switch to the
+   next runnable task. User context lives in the task structure. *)
+
+let off_gpr idx = Kobject.Task.off_gprs + (8 * idx)
+
+let save_user_context t task =
+  for idx = 0 to 30 do
+    Kmem.write64 t.cpu
+      (Int64.add task.va (Int64.of_int (off_gpr idx)))
+      (Cpu.reg t.cpu (Insn.R idx))
+  done;
+  Kmem.write64 t.cpu
+    (Int64.add task.va (Int64.of_int Kobject.Task.off_saved_pc))
+    (Cpu.pc t.cpu);
+  Kmem.write64 t.cpu
+    (Int64.add task.va (Int64.of_int Kobject.Task.off_saved_sp))
+    (Cpu.sp_of t.cpu El.El0)
+
+let restore_user_context t task =
+  for idx = 0 to 30 do
+    Cpu.set_reg t.cpu (Insn.R idx)
+      (Kmem.read64 t.cpu (Int64.add task.va (Int64.of_int (off_gpr idx))))
+  done;
+  Cpu.set_pc t.cpu
+    (Kmem.read64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_saved_pc)));
+  Cpu.set_sp_of t.cpu El.El0
+    (Kmem.read64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_saved_sp)))
+
+(* Per-task user stacks, one MiB apart below the common stack top. *)
+let user_stack_top_of task =
+  Int64.sub Layout.user_stack_top (Int64.of_int (task.slot * 0x100000))
+
+let spawn_user_task t ~entry =
+  let task = create_task t in
+  let stack_top = user_stack_top_of task in
+  Kmem.map_user_region t.cpu ~base:(Int64.sub stack_top 0x10000L) ~bytes:0x10000 Mmu.rw;
+  Kmem.write64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_saved_pc)) entry;
+  Kmem.write64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_saved_sp)) stack_top;
+  (* LR starts at the host sentinel so falling off main exits cleanly *)
+  Kmem.write64 t.cpu (Int64.add task.va (Int64.of_int (off_gpr 30))) Cpu.sentinel;
+  task
+
+type sched_stats = {
+  exits : (int * user_exit) list;  (** pid, exit status *)
+  preemptions : int;
+  slices : int;
+}
+
+let run_scheduled ?(quantum = 2000) ?(max_slices = 10_000) ?(context_integrity = false)
+    t ~tasks:scheduled =
+  let runnable = Queue.create () in
+  List.iter (fun task -> Queue.add task runnable) scheduled;
+  let exits = ref [] in
+  let preemptions = ref 0 in
+  let slices = ref 0 in
+  let finish task status = exits := (task.pid, status) :: !exits in
+  let preempt_to task next =
+    (* timer IRQ: kernel entry, context switch, return to user *)
+    incr preemptions;
+    Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.exception_entry;
+    Cpu.charge t.cpu entry_overhead_cycles;
+    save_user_context t task;
+    if context_integrity && Cpu.has_pauth t.cpu then
+      Hashtbl.replace t.context_macs task.pid (context_mac t task);
+    (match switch_to t next with
+    | Ok _ -> ()
+    | Killed m | Panicked m -> failwith ("scheduler switch: " ^ m));
+    Cpu.charge t.cpu exit_overhead_cycles;
+    Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.eret
+  in
+  let rec drive () =
+    if Queue.is_empty runnable || !slices >= max_slices then ()
+    else begin
+      incr slices;
+      let task = Queue.pop runnable in
+      (* slice prologue runs in the kernel *)
+      Cpu.set_el t.cpu El.El1;
+      if t.current.pid <> task.pid then begin
+        match switch_to t task with
+        | Ok _ -> ()
+        | Killed m | Panicked m -> failwith ("scheduler switch: " ^ m)
+      end;
+      let context_ok =
+        if context_integrity && Cpu.has_pauth t.cpu then begin
+          match Hashtbl.find_opt t.context_macs task.pid with
+          | None -> true (* first slice: nothing saved yet *)
+          | Some golden ->
+              let ok = context_mac t task = golden in
+              if not ok then begin
+                logf t "context-integrity violation: pid %d saved state tampered"
+                  task.pid;
+                mark_dead t task;
+                finish task (User_killed "context integrity: SIGKILL")
+              end;
+              ok
+        end
+        else true
+      in
+      if not context_ok then drive ()
+      else begin
+      restore_user_context t task;
+      if Cpu.has_pauth t.cpu then begin
+        Cpu.set_reg t.cpu (Insn.R 0) task.va;
+        (match Cpu.call t.cpu t.xom.Xom.restore_addr with
+        | Cpu.Sentinel_return -> ()
+        | other -> failwith ("key restore: " ^ Cpu.stop_to_string other));
+        restore_user_context t task
+      end;
+      Cpu.set_el t.cpu El.El0;
+      run_slice task quantum
+      end
+    end
+  and run_slice task budget =
+    if budget <= 0 then begin
+      (* quantum expired: rotate *)
+      (match Queue.peek_opt runnable with
+      | Some next ->
+          preempt_to task next;
+          Queue.add task runnable
+      | None -> Queue.add task runnable);
+      drive ()
+    end
+    else begin
+      let insns_before = Cpu.insns_retired t.cpu in
+      let used () = Int64.to_int (Int64.sub (Cpu.insns_retired t.cpu) insns_before) in
+      match Cpu.run ~max_insns:budget t.cpu with
+      | Cpu.Insn_limit -> run_slice task 0
+      | Cpu.Svc nr when nr = Kbuild.sys_exit ->
+          finish task (Exited (Cpu.reg t.cpu (Insn.R 0)));
+          drive ()
+      | Cpu.Svc nr ->
+          let user_pc = Cpu.pc t.cpu in
+          let saved = save_user_gprs t in
+          let args =
+            [ Cpu.reg t.cpu (Insn.R 0); Cpu.reg t.cpu (Insn.R 1); Cpu.reg t.cpu (Insn.R 2) ]
+          in
+          let spent = used () in
+          (match syscall_gen ~trap_charged:true t ~nr ~args with
+          | Ok result ->
+              restore_user_gprs t saved;
+              Cpu.set_reg t.cpu (Insn.R 0) result;
+              Cpu.set_el t.cpu El.El0;
+              Cpu.set_pc t.cpu user_pc;
+              (* the user instructions before the trap consume quantum;
+                 the kernel-side work does not *)
+              run_slice task (budget - spent)
+          | Killed m ->
+              finish task (User_killed m);
+              drive ()
+          | Panicked m ->
+              finish task (User_panicked m);
+              Queue.clear runnable)
+      | Cpu.Sentinel_return ->
+          finish task (Exited (Cpu.reg t.cpu (Insn.R 0)));
+          drive ()
+      | Cpu.Hlt code ->
+          finish task (User_killed (Printf.sprintf "hlt #%d in user mode" code));
+          drive ()
+      | Cpu.Brk code ->
+          finish task (User_killed (Printf.sprintf "brk #%d" code));
+          drive ()
+      | Cpu.Fault { fault; pc } ->
+          logf t "segfault: pid %d %s at pc=0x%Lx" task.pid
+            (match fault with
+            | Cpu.Mmu_fault f -> Mmu.fault_to_string f
+            | Cpu.Undefined_instruction w -> Printf.sprintf "undefined insn 0x%08lx" w
+            | Cpu.Hyp_denied sr | Cpu.El_denied sr -> "denied access to " ^ Sysreg.name sr)
+            pc;
+          mark_dead t task;
+          finish task (User_killed "SIGSEGV");
+          drive ()
+      | Cpu.Eret_done -> run_slice task budget
+    end
+  in
+  drive ();
+  { exits = List.rev !exits; preemptions = !preemptions; slices = !slices }
+
+(* Boot. *)
+
+let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
+    ?(cost = Cost.cortex_a53) () =
+  (match config.C.Config.scheme with
+  | C.Modifier.Chained ->
+      failwith
+        "System.boot: the chained scheme cannot prefabricate switch frames and is \
+         evaluated as a microbenchmark ablation only (see bench a5)"
+  | C.Modifier.No_cfi | C.Modifier.Sp_only | C.Modifier.Parts _ | C.Modifier.Camouflage
+    ->
+      ());
+  let cipher = Qarma.Block.create () in
+  let cpu = Cpu.create ~cost ~has_pauth ~cipher () in
+  (* Bootloader: map the kernel's working memory. *)
+  Kmem.map_kernel_region cpu ~base:Layout.heap_base ~bytes:Layout.heap_bytes Mmu.rw;
+  Kmem.map_kernel_region cpu ~base:Layout.stack_area_base
+    ~bytes:(16 * Layout.task_stack_bytes)
+    Mmu.rw;
+  (* The bootloader configures SCTLR before lockdown. *)
+  if has_pauth then begin
+    let sctlr =
+      List.fold_left
+        (fun acc k -> Camo_util.Val64.set_bit (Sysreg.sctlr_enable_bit k) true acc)
+        0L
+        Sysreg.[ IA; IB; DA; DB ]
+    in
+    Cpu.set_sysreg cpu Sysreg.SCTLR_EL1 sctlr
+  end;
+  let hyp = Hypervisor.install cpu in
+  let rng = Camo_util.Rng.create seed in
+  let xom = Xom.install cpu hyp ~rng ~mode:config.C.Config.mode in
+  let registry = C.Pointer_integrity.create_registry () in
+  Kobject.register_protected_members registry;
+  let t =
+    {
+      cpu;
+      config;
+      registry;
+      hyp;
+      xom;
+      bruteforce = C.Bruteforce.create ~threshold:config.C.Config.bruteforce_threshold;
+      kernel =
+        (* placeholder; replaced below once the image is loaded *)
+        {
+          Kelf.Loader.object_name = "";
+          text_layout = Asm.assemble (Asm.create ()) ~base:Layout.text_base;
+          data_symbols = [];
+          text_base = Layout.text_base;
+          text_bytes = 0;
+          rodata_base = Layout.rodata_base;
+          rodata_bytes = 0;
+          data_base = Layout.data_base;
+          data_bytes = 0;
+        };
+      rng;
+      current = { va = 0L; slot = 0; pid = 0 };
+      tasks = [];
+      next_pid = 1;
+      next_stack_slot = 0;
+      module_alloc = Layout.module_area_base;
+      log = [];
+      panicked = false;
+      table_mac_golden = 0L;
+      context_macs = Hashtbl.create 16;
+      context_key = Pac.{ hi = 0L; lo = 0L };
+    }
+  in
+  (* Install the kernel keys before anything signs pointers (the loader
+     signs the .pauth_static entries). *)
+  if has_pauth then install_kernel_keys t;
+  let kernel_env =
+    {
+      (loader_env t) with
+      Kelf.Loader.place =
+        (fun ~text_bytes:_ ~rodata_bytes:_ ~data_bytes:_ ->
+          (Layout.text_base, Layout.rodata_base, Layout.data_base));
+      (* the audited bootloader routines are linked like firmware calls *)
+      extra_symbols =
+        [
+          ("kernel_key_setter", xom.Xom.setter_addr);
+          ("user_key_restore", xom.Xom.restore_addr);
+          ("uaccess_authda", xom.Xom.uaccess_authda_addr);
+        ];
+    }
+  in
+  let kernel_obj = Kbuild.build config registry in
+  let kernel =
+    match
+      Kelf.Loader.load ~cpu ~config ~registry ~env:kernel_env kernel_obj
+    with
+    | Result.Ok placed -> placed
+    | Result.Error e -> failwith ("kernel image rejected: " ^ Kelf.Loader.error_to_string e)
+  in
+  t.kernel <- kernel;
+  let chi, clo = Camo_util.Rng.key128 rng in
+  t.context_key <- Pac.{ hi = chi; lo = clo };
+  if has_pauth then record_table_mac t;
+  logf t "camouflage kernel booted (%s)" (C.Config.name config);
+  let init = create_task t in
+  t.current <- init;
+  t

@@ -1,0 +1,153 @@
+(** The running system: boot, tasks, syscall dispatch, fault policy.
+
+    The host side plays the architectural vector table (Section 2.3):
+    on every kernel entry it charges the exception cost, switches to the
+    current task's 16 KiB kernel stack, installs the kernel PAuth keys
+    by executing the XOM setter, dispatches the machine-code handler
+    from the read-only syscall table, and on exit restores the user keys
+    and charges the ERET. PAC authentication failures surface as
+    translation faults on poisoned addresses and feed the brute-force
+    mitigation (Section 5.4): the offending process is killed, the event
+    is logged, and past the threshold the system halts. *)
+
+open Aarch64
+
+type task = { va : int64; slot : int; pid : int }
+
+type syscall_outcome =
+  | Ok of int64
+  | Killed of string  (** the current process received SIGKILL *)
+  | Panicked of string  (** the system halted *)
+
+type user_exit =
+  | Exited of int64
+  | User_killed of string
+  | User_panicked of string
+  | Ran_out of string
+
+type t
+
+(** [boot ()] brings the system up: hypervisor lockdown, bootloader key
+    generation into XOM, kernel image load (with static verification and
+    static-pointer signing), and creation of the init task. [seed]
+    drives every PRNG (kernel keys, user keys). Raises [Failure] if the
+    kernel image fails verification. *)
+val boot :
+  ?config:Camouflage.Config.t ->
+  ?seed:int64 ->
+  ?has_pauth:bool ->
+  ?cost:Cost.profile ->
+  unit ->
+  t
+
+val cpu : t -> Cpu.t
+val config : t -> Camouflage.Config.t
+val registry : t -> Camouflage.Pointer_integrity.registry
+val xom : t -> Xom.t
+val current : t -> task
+val tasks : t -> task list
+val panicked : t -> bool
+val log : t -> string list
+val bruteforce : t -> Camouflage.Bruteforce.t
+
+(** [kernel_symbol t name] — address of a kernel text or data symbol.
+    Raises [Not_found]. *)
+val kernel_symbol : t -> string -> int64
+
+(** [syscall t ~nr ~args] — enter the kernel from the host (as a user
+    thread would via SVC) and run the handler to completion. *)
+val syscall : t -> nr:int -> args:int64 list -> syscall_outcome
+
+(** [create_task t] — allocate and initialize a new task (fresh user
+    keys, prefabricated kernel stack frame, signed stored SP). *)
+val create_task : t -> task
+
+(** [fork t] — run the machine-side fork handler, then complete the
+    child (new pid, stack, re-signed stored SP). *)
+val fork : t -> (task, string) result
+
+(** [switch_to t next] — run [cpu_switch_to] on the machine, updating
+    [current]. Returns the machine outcome. *)
+val switch_to : t -> task -> syscall_outcome
+
+(** [run_work t ~work_va] — dispatch a work item through the protected
+    [run_work] kernel routine. *)
+val run_work : t -> work_va:int64 -> syscall_outcome
+
+(** [run_timers t] — fire armed timers whose expiry (against the virtual
+    cycle counter) has passed; every callback is authenticated before
+    the indirect call. *)
+val run_timers : t -> syscall_outcome
+
+(** [load_module t obj] — verify and load a kernel object into the
+    module area. *)
+val load_module : t -> Kelf.Object_file.t -> (Kelf.Loader.placed, Kelf.Loader.error) result
+
+(** [map_user_program t prog] — assemble a user program into the current
+    task's user text and return its layout. *)
+val map_user_program : t -> Asm.program -> Asm.layout
+
+(** [run_user t ~entry] — execute user code at EL0 until exit, kill or
+    panic, dispatching syscalls along the way. *)
+val run_user : ?max_insns:int -> t -> entry:int64 -> user_exit
+
+(** [spawn_user_task t ~entry] — a new task with its own user stack and
+    an initial user context starting at [entry]. *)
+val spawn_user_task : t -> entry:int64 -> task
+
+(** [user_stack_top_of task] — the task's private user stack top. *)
+val user_stack_top_of : task -> int64
+
+type sched_stats = {
+  exits : (int * user_exit) list;  (** pid, exit status, in completion order *)
+  preemptions : int;  (** timer-IRQ context switches *)
+  slices : int;
+}
+
+(** [run_scheduled t ~tasks] — preemptive round-robin over user tasks:
+    each runs for [quantum] instructions, then a timer-IRQ kernel entry
+    switches to the next runnable task via [cpu_switch_to]. The user
+    instructions executed before an inline syscall count against the
+    quantum; the kernel-side work does not.
+
+    [context_integrity] enables the register-spill protection the paper
+    leaves as future work (Section 8): a chained PACGA MAC is taken over
+    the saved user context at preemption and verified before resumption;
+    a tampered context kills the task instead of resuming it. *)
+val run_scheduled :
+  ?quantum:int ->
+  ?max_slices:int ->
+  ?context_integrity:bool ->
+  t ->
+  tasks:task list ->
+  sched_stats
+
+(** [install_kernel_keys t] — execute the XOM key setter; exposed for
+    the key-switch benchmark (E1). *)
+val install_kernel_keys : t -> unit
+
+(** [restore_user_keys t] — execute the user-key restore routine for the
+    current task. *)
+val restore_user_keys : t -> unit
+
+(** [kernel_uses_pauth t] — whether this configuration switches keys on
+    entry/exit. *)
+val kernel_uses_pauth : t -> bool
+
+(** [console_output t] — everything written to file descriptors 1 and 2
+    (the console device) so far, in order. *)
+val console_output : t -> string
+
+(** [verify_syscall_table t] — re-measure the chained PACGA MAC of the
+    syscall table (GA key) and compare with the boot-time golden value:
+    the kernel integrity monitor, defense in depth over the stage-2
+    write protection. Always [true] on a PAuth-less part, where the
+    monitor is inactive. *)
+val verify_syscall_table : t -> bool
+
+(** Fixed host-charged costs (cycles), exposed for reporting. *)
+val entry_overhead_cycles : int
+
+val exit_overhead_cycles : int
+val fork_vm_copy_cycles : int
+val sched_pick_cycles : int

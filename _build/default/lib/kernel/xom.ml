@@ -1,0 +1,114 @@
+open Aarch64
+module Val64 = Camo_util.Val64
+
+type t = {
+  kernel_keys : (Sysreg.pauth_key * Pac.key) list;
+  setter_addr : int64;
+  restore_addr : int64;
+  uaccess_authda_addr : int64;
+  base : int64;
+  bytes : int;
+}
+
+(* movz/movk sequence materializing a 64-bit immediate into [reg]. *)
+let mov_imm64 reg v =
+  let chunk i = Int64.to_int (Val64.extract ~lo:(16 * i) ~width:16 v) in
+  Asm.ins (Insn.Movz (reg, chunk 0, 0))
+  :: List.filter_map
+       (fun i ->
+         (* MOVZ already zeroed the other chunks; skip zero MOVKs. *)
+         if chunk i = 0 then None else Some (Asm.ins (Insn.Movk (reg, chunk i, 16 * i))))
+       [ 1; 2; 3 ]
+
+let setter_items ~keys =
+  let per_key (key, Pac.{ hi; lo }) =
+    let hi_reg, lo_reg = Sysreg.key_halves key in
+    mov_imm64 (Insn.R 0) lo
+    @ [ Asm.ins (Insn.Msr (lo_reg, Insn.R 0)) ]
+    @ mov_imm64 (Insn.R 0) hi
+    @ [ Asm.ins (Insn.Msr (hi_reg, Insn.R 0)) ]
+  in
+  List.concat_map per_key keys
+  @ [
+      (* Clear the working register so key material never leaks past the
+         return (Section 5.1). *)
+      Asm.ins (Insn.Movz (Insn.R 0, 0, 0));
+      Asm.ins Insn.Isb;
+      Asm.ins Insn.Ret;
+    ]
+
+(* All five user keys are restored from the task structure: the AArch64
+   user ABI guarantees PAuth in EL0 (R5), so every key the user may use
+   must come back on kernel exit. *)
+let user_keys_order = Sysreg.[ IA; IB; DA; DB; GA ]
+
+let restore_items () =
+  let per_key i key =
+    let hi_reg, lo_reg = Sysreg.key_halves key in
+    let base = Kobject.Task.off_user_keys + (16 * i) in
+    [
+      Asm.ins (Insn.Ldr (Insn.R 1, Insn.Off (Insn.R 0, base)));
+      Asm.ins (Insn.Msr (hi_reg, Insn.R 1));
+      Asm.ins (Insn.Ldr (Insn.R 1, Insn.Off (Insn.R 0, base + 8)));
+      Asm.ins (Insn.Msr (lo_reg, Insn.R 1));
+    ]
+  in
+  List.concat (List.mapi per_key user_keys_order)
+  @ [
+      Asm.ins (Insn.Movz (Insn.R 1, 0, 0));
+      Asm.ins Insn.Isb;
+      Asm.ins Insn.Ret;
+    ]
+
+(* Cross-privilege pointer authentication (the hardened syscall ABI of
+   Section 8's future work): authenticate a user-signed pointer under
+   the calling task's DA key. DA is reserved for the user ABI in the
+   kernel key allocation, so clobbering its registers never affects the
+   kernel's own keys; the routine still lives on the audited page
+   because it writes key registers. x0 = signed pointer, x1 = task,
+   x2 = ABI modifier; returns the authenticated pointer in x0. *)
+let uaccess_authda_items () =
+  let da_index = 2 (* IA, IB, DA, ... in the thread_struct layout *) in
+  let base = Kobject.Task.off_user_keys + (16 * da_index) in
+  let hi_reg, lo_reg = Sysreg.key_halves Sysreg.DA in
+  [
+    Asm.ins (Insn.Ldr (Insn.R 3, Insn.Off (Insn.R 1, base)));
+    Asm.ins (Insn.Msr (hi_reg, Insn.R 3));
+    Asm.ins (Insn.Ldr (Insn.R 3, Insn.Off (Insn.R 1, base + 8)));
+    Asm.ins (Insn.Msr (lo_reg, Insn.R 3));
+    Asm.ins (Insn.Aut (Sysreg.DA, Insn.R 0, Insn.R 2));
+    Asm.ins (Insn.Movz (Insn.R 3, 0, 0));
+    Asm.ins Insn.Isb;
+    Asm.ins Insn.Ret;
+  ]
+
+let install cpu hyp ~rng ~mode =
+  let kernel_keys =
+    List.map
+      (fun key ->
+        let hi, lo = Camo_util.Rng.key128 rng in
+        (key, Pac.{ hi; lo }))
+      (Camouflage.Keys.keys_in_use mode)
+  in
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"kernel_key_setter" (setter_items ~keys:kernel_keys);
+  Asm.add_function prog ~name:"user_key_restore" (restore_items ());
+  Asm.add_function prog ~name:"uaccess_authda" (uaccess_authda_items ());
+  let layout = Asm.assemble prog ~base:Layout.xom_base in
+  (* The page must exist in stage 1 before the bootloader writes it and
+     the hypervisor seals it. *)
+  Kmem.map_kernel_region cpu ~base:Layout.xom_base ~bytes:layout.Asm.size Mmu.rx;
+  Asm.encode_into layout ~write32:(Kmem.write32 cpu);
+  Hypervisor.protect_xom hyp ~base:Layout.xom_base ~bytes:layout.Asm.size;
+  {
+    kernel_keys;
+    setter_addr = Asm.symbol layout "kernel_key_setter";
+    restore_addr = Asm.symbol layout "user_key_restore";
+    uaccess_authda_addr = Asm.symbol layout "uaccess_authda";
+    base = Layout.xom_base;
+    bytes = layout.Asm.size;
+  }
+
+let allowed_key_writer t va =
+  Int64.unsigned_compare va t.base >= 0
+  && Int64.unsigned_compare va (Int64.add t.base (Int64.of_int t.bytes)) < 0

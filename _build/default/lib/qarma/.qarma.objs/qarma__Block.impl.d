@@ -1,0 +1,1 @@
+lib/qarma/block.ml: Array Camo_util Cells Int64

@@ -1,0 +1,1 @@
+lib/qarma/cells.ml: Array Camo_util List

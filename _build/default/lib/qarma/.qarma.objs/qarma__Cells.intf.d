@@ -1,0 +1,1 @@
+lib/qarma/cells.mli:

@@ -1,0 +1,100 @@
+module Val64 = Camo_util.Val64
+
+type key = { w0 : int64; k0 : int64 }
+type t = { sbox : Cells.sbox; rounds : int }
+
+let alpha = 0xC0AC29B7C97C50DDL
+
+let round_constants =
+  [|
+    0x0000000000000000L;
+    0x13198A2E03707344L;
+    0xA4093822299F31D0L;
+    0x082EFA98EC4E6C89L;
+    0x452821E638D01377L;
+    0xBE5466CF34E90C6CL;
+    0x3F84D5B5B5470917L;
+    0x9216D5D98979FB1BL;
+  |]
+
+let create ?(sbox = Cells.Sigma1) ?(rounds = 6) () =
+  if rounds < 1 || rounds > Array.length round_constants then
+    invalid_arg "Qarma.Block.create: rounds";
+  { sbox; rounds }
+
+let sbox t = t.sbox
+let rounds t = t.rounds
+let key_of_pair (hi, lo) = { w0 = hi; k0 = lo }
+
+(* The orthomorphism o deriving the second whitening key half. *)
+let derive_w1 w0 = Int64.logxor (Val64.ror w0 1) (Int64.shift_right_logical w0 63)
+
+(* One forward round: tweakey addition, then (except in the short first
+   round) tau and MixColumns, then the S-box layer. *)
+let forward t is tk ~full =
+  let is = Int64.logxor is tk in
+  let is = if full then Cells.mix_columns (Cells.shuffle is) else is in
+  Cells.sub_cells t.sbox is
+
+(* Inverse of [forward]. *)
+let backward t is tk ~full =
+  let is = Cells.sub_cells_inv t.sbox is in
+  let is = if full then Cells.shuffle_inv (Cells.mix_columns is) else is in
+  Int64.logxor is tk
+
+(* The keyed pseudo-reflector: tau, M, central key addition, tau inverse. *)
+let reflect is k1 =
+  let is = Cells.shuffle is in
+  let is = Cells.mix_columns is in
+  let is = Int64.logxor is k1 in
+  Cells.shuffle_inv is
+
+(* Tweak values used by successive rounds: index 0 .. rounds. *)
+let tweak_schedule t tweak =
+  let sched = Array.make (t.rounds + 1) tweak in
+  for i = 1 to t.rounds do
+    sched.(i) <- Cells.tweak_update sched.(i - 1)
+  done;
+  sched
+
+let encrypt t ~key ~tweak plaintext =
+  let w1 = derive_w1 key.w0 in
+  let k1 = key.k0 in
+  let sched = tweak_schedule t tweak in
+  let is = ref (Int64.logxor plaintext key.w0) in
+  for i = 0 to t.rounds - 1 do
+    let tk = Int64.logxor (Int64.logxor key.k0 sched.(i)) round_constants.(i) in
+    is := forward t !is tk ~full:(i <> 0)
+  done;
+  is := forward t !is (Int64.logxor w1 sched.(t.rounds)) ~full:true;
+  is := reflect !is k1;
+  is := backward t !is (Int64.logxor key.w0 sched.(t.rounds)) ~full:true;
+  for i = t.rounds - 1 downto 0 do
+    let tk =
+      Int64.logxor (Int64.logxor (Int64.logxor key.k0 sched.(i)) round_constants.(i)) alpha
+    in
+    is := backward t !is tk ~full:(i <> 0)
+  done;
+  Int64.logxor !is w1
+
+(* Decryption runs the encryption data path in reverse; the inverse of the
+   reflector with central key k1 is the reflector with central key M * k1. *)
+let decrypt t ~key ~tweak ciphertext =
+  let w1 = derive_w1 key.w0 in
+  let k1_dec = Cells.mix_columns key.k0 in
+  let sched = tweak_schedule t tweak in
+  let is = ref (Int64.logxor ciphertext w1) in
+  for i = 0 to t.rounds - 1 do
+    let tk =
+      Int64.logxor (Int64.logxor (Int64.logxor key.k0 sched.(i)) round_constants.(i)) alpha
+    in
+    is := forward t !is tk ~full:(i <> 0)
+  done;
+  is := forward t !is (Int64.logxor key.w0 sched.(t.rounds)) ~full:true;
+  is := reflect !is k1_dec;
+  is := backward t !is (Int64.logxor w1 sched.(t.rounds)) ~full:true;
+  for i = t.rounds - 1 downto 0 do
+    let tk = Int64.logxor (Int64.logxor key.k0 sched.(i)) round_constants.(i) in
+    is := backward t !is tk ~full:(i <> 0)
+  done;
+  Int64.logxor !is key.w0

@@ -1,0 +1,78 @@
+module Val64 = Camo_util.Val64
+
+type sbox = Sigma0 | Sigma1 | Sigma2
+
+let sigma0 = [| 0; 14; 2; 10; 9; 15; 8; 11; 6; 4; 3; 7; 13; 12; 1; 5 |]
+let sigma1 = [| 10; 13; 14; 6; 15; 7; 3; 5; 9; 8; 0; 12; 11; 1; 2; 4 |]
+let sigma2 = [| 11; 6; 8; 15; 12; 0; 9; 14; 3; 7; 4; 5; 13; 2; 1; 10 |]
+
+let invert_table t =
+  let inv = Array.make 16 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) t;
+  inv
+
+let sigma0_inv = invert_table sigma0
+let sigma1_inv = invert_table sigma1
+let sigma2_inv = invert_table sigma2
+
+let table_of = function
+  | Sigma0 -> sigma0
+  | Sigma1 -> sigma1
+  | Sigma2 -> sigma2
+
+let table_inv_of = function
+  | Sigma0 -> sigma0_inv
+  | Sigma1 -> sigma1_inv
+  | Sigma2 -> sigma2_inv
+
+let map_cells f x =
+  let rec go acc i =
+    if i > 15 then acc else go (Val64.set_nibble i (f i (Val64.nibble i x)) acc) (i + 1)
+  in
+  go 0L 0
+
+let apply_table t x = map_cells (fun _ v -> t.(v)) x
+let sub_cells sigma x = apply_table (table_of sigma) x
+let sub_cells_inv sigma x = apply_table (table_inv_of sigma) x
+
+(* tau and h are the cell permutations of the QARMA-64 specification. *)
+let tau = [| 0; 11; 6; 13; 10; 1; 12; 7; 5; 14; 3; 8; 15; 4; 9; 2 |]
+let tau_inv = invert_table tau
+let h = [| 6; 5; 14; 15; 0; 1; 2; 3; 7; 12; 13; 4; 8; 9; 10; 11 |]
+let h_inv = invert_table h
+
+let permute p x = map_cells (fun i _ -> Val64.nibble p.(i) x) x
+let shuffle x = permute tau x
+let shuffle_inv x = permute tau_inv x
+
+(* M = circ(0, rho^1, rho^2, rho^1): entry (r, c) gives the left-rotation
+   amount applied to the input cell, 0 meaning the zero coefficient. *)
+let m_matrix = [| 0; 1; 2; 1; 1; 0; 1; 2; 2; 1; 0; 1; 1; 2; 1; 0 |]
+
+let rot4 a b = ((a lsl b) land 0xf) lor (a lsr (4 - b))
+
+let mix_columns x =
+  let out = ref 0L in
+  for row = 0 to 3 do
+    for col = 0 to 3 do
+      let acc = ref 0 in
+      for j = 0 to 3 do
+        let b = m_matrix.((4 * row) + j) in
+        if b <> 0 then acc := !acc lxor rot4 (Val64.nibble ((4 * j) + col) x) b
+      done;
+      out := Val64.set_nibble ((4 * row) + col) !acc !out
+    done
+  done;
+  !out
+
+(* The tweak-schedule LFSR maps (b3, b2, b1, b0) to (b0 xor b1, b3, b2, b1)
+   and is applied to cells 0, 1, 3 and 4 after the h permutation. *)
+let lfsr x = (((x lxor (x lsr 1)) land 1) lsl 3) lor (x lsr 1)
+let lfsr_inv x = ((x lsl 1) land 0xe) lor (((x lsr 3) lxor x) land 1)
+let lfsr_cells = [ 0; 1; 3; 4 ]
+
+let on_lfsr_cells f x =
+  List.fold_left (fun acc i -> Val64.set_nibble i (f (Val64.nibble i acc)) acc) x lfsr_cells
+
+let tweak_update x = on_lfsr_cells lfsr (permute h x)
+let tweak_update_inv x = permute h_inv (on_lfsr_cells lfsr_inv x)

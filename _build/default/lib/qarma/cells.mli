@@ -1,0 +1,32 @@
+(** QARMA-64 cell-array primitives.
+
+    A 64-bit block is a 4x4 array of 4-bit cells; cell 0 is the most
+    significant nibble (the convention of Avanzi's specification). The
+    functions here are the building blocks of the round function:
+    S-box layers, the cell shuffle tau, the MixColumns-like diffusion
+    matrix M, and the tweak-schedule permutation h with its LFSR. *)
+
+type sbox = Sigma0 | Sigma1 | Sigma2
+
+(** [sub_cells sigma x] applies the selected S-box to every cell. *)
+val sub_cells : sbox -> int64 -> int64
+
+(** [sub_cells_inv sigma x] applies the inverse S-box to every cell. *)
+val sub_cells_inv : sbox -> int64 -> int64
+
+(** [shuffle x] applies the cell permutation tau. *)
+val shuffle : int64 -> int64
+
+(** [shuffle_inv x] applies tau inverse. *)
+val shuffle_inv : int64 -> int64
+
+(** [mix_columns x] multiplies the state by the involutory matrix
+    M = circ(0, rho, rho^2, rho) over cell rotations. *)
+val mix_columns : int64 -> int64
+
+(** [tweak_update x] is one step of the forward tweak schedule:
+    permutation h followed by the 4-bit LFSR on cells 0, 1, 3, 4. *)
+val tweak_update : int64 -> int64
+
+(** [tweak_update_inv x] inverts [tweak_update]. *)
+val tweak_update_inv : int64 -> int64

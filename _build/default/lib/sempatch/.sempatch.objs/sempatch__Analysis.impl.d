@@ -1,0 +1,1 @@
+lib/sempatch/analysis.ml: Cast Hashtbl List Map

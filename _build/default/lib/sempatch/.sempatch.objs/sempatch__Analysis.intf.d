@@ -1,0 +1,1 @@
+lib/sempatch/analysis.mli: Cast

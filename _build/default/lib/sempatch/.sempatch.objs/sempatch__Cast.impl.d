@@ -1,0 +1,1 @@
+lib/sempatch/cast.ml: List

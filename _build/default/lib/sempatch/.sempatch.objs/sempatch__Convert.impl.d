@@ -1,0 +1,1 @@
+lib/sempatch/convert.ml: Analysis Cast Hashtbl List Map String

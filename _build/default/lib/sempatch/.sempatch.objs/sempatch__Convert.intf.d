@@ -1,0 +1,1 @@
+lib/sempatch/convert.mli: Analysis Cast

@@ -1,0 +1,1 @@
+lib/sempatch/corpus.ml: Array Camo_util Cast List Printf

@@ -1,0 +1,1 @@
+lib/sempatch/corpus.mli: Cast

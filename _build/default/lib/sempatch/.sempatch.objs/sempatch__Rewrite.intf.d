@@ -1,0 +1,1 @@
+lib/sempatch/rewrite.mli: Cast

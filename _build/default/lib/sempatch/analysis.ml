@@ -1,0 +1,100 @@
+type finding = { type_name : string; member_name : string; assigned_in : string list }
+
+type census = {
+  findings : finding list;
+  member_count : int;
+  type_count : int;
+  multi_member_type_count : int;
+  ops_table_convertible : int;
+  needs_pac : int;
+}
+
+(* Walk one function body collecting [obj->member = e] where the member
+   is a function pointer. The variable environment comes from the
+   function's parameters and locals. *)
+let assignments_in corpus (f : Cast.func_def) =
+  let env = f.Cast.params @ f.Cast.locals in
+  let hits = ref [] in
+  let record obj member =
+    match Cast.expr_type ~corpus ~env (Cast.Field_read (obj, member)) with
+    | Some (Cast.Func_ptr _) -> (
+        match Cast.expr_type ~corpus ~env obj with
+        | Some (Cast.Ptr (Cast.Struct_ref s)) | Some (Cast.Struct_ref s) ->
+            hits := (s, member) :: !hits
+        | Some (Cast.Void | Cast.Int | Cast.Char | Cast.Ptr _ | Cast.Func_ptr _) | None ->
+            ())
+    | Some (Cast.Void | Cast.Int | Cast.Char | Cast.Ptr _ | Cast.Struct_ref _) | None -> ()
+  in
+  let rec walk_stmt = function
+    | Cast.Field_write (obj, member, _) -> record obj member
+    | Cast.Set_accessor (_, _, _, _) | Cast.Expr_stmt _ | Cast.Assign_var _ -> ()
+    | Cast.If (_, then_, else_) ->
+        List.iter walk_stmt then_;
+        List.iter walk_stmt else_
+    | Cast.Return _ -> ()
+  in
+  List.iter walk_stmt f.Cast.body;
+  !hits
+
+module Pair_map = Map.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+let run corpus =
+  let table = ref Pair_map.empty in
+  List.iter
+    (fun (file : Cast.file) ->
+      List.iter
+        (fun f ->
+          List.iter
+            (fun key ->
+              let existing =
+                match Pair_map.find_opt key !table with Some l -> l | None -> []
+              in
+              table := Pair_map.add key (f.Cast.func_name :: existing) !table)
+            (assignments_in corpus f))
+        file.Cast.functions)
+    corpus;
+  let findings =
+    Pair_map.fold
+      (fun (type_name, member_name) assigned_in acc ->
+        { type_name; member_name; assigned_in = List.rev assigned_in } :: acc)
+      !table []
+    |> List.rev
+  in
+  let member_count = List.length findings in
+  let by_type = Hashtbl.create 64 in
+  List.iter
+    (fun finding ->
+      let n = match Hashtbl.find_opt by_type finding.type_name with Some n -> n | None -> 0 in
+      Hashtbl.replace by_type finding.type_name (n + 1))
+    findings;
+  let type_count = Hashtbl.length by_type in
+  let multi = Hashtbl.fold (fun _ n acc -> if n > 1 then acc + 1 else acc) by_type 0 in
+  let needs_pac =
+    Hashtbl.fold (fun _ n acc -> if n = 1 then acc + n else acc) by_type 0
+  in
+  {
+    findings;
+    member_count;
+    type_count;
+    multi_member_type_count = multi;
+    ops_table_convertible = multi;
+    needs_pac;
+  }
+
+let protected_members census =
+  let by_type = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let n = match Hashtbl.find_opt by_type f.type_name with Some n -> n | None -> 0 in
+      Hashtbl.replace by_type f.type_name (n + 1))
+    census.findings;
+  List.filter_map
+    (fun f ->
+      match Hashtbl.find_opt by_type f.type_name with
+      | Some 1 -> Some (f.type_name, f.member_name)
+      | Some _ | None -> None)
+    census.findings

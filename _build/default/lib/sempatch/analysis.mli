@@ -1,0 +1,35 @@
+(** The semantic search of Section 5.3: find every function-pointer
+    member of a compound type that is assigned at run time (i.e. inside
+    a function body, as opposed to a static initializer), and classify
+    the containing types.
+
+    On Linux 5.2 the paper reports 1285 such members in 504 types, of
+    which 229 hold more than one function pointer and should be
+    converted to read-only operations structures; the remainder need
+    PAuth protection in place. *)
+
+(** One runtime-assigned function-pointer member. *)
+type finding = {
+  type_name : string;
+  member_name : string;
+  assigned_in : string list;  (** functions performing the assignment *)
+}
+
+type census = {
+  findings : finding list;
+  member_count : int;  (** paper: 1285 *)
+  type_count : int;  (** paper: 504 *)
+  multi_member_type_count : int;  (** paper: 229 *)
+  ops_table_convertible : int;  (** = multi_member_type_count *)
+  needs_pac : int;  (** members in single-pointer types *)
+}
+
+(** [run corpus] — the full census. *)
+val run : Cast.corpus -> census
+
+(** [protected_members census] — the (type, member) set the Coccinelle
+    patch would wrap in accessors: members of the types that are NOT
+    converted to operations structures, i.e. single-pointer types. For
+    multi-pointer types the paper expects conversion to const ops
+    structures instead. *)
+val protected_members : census -> (string * string) list

@@ -1,0 +1,78 @@
+type ctype = Void | Int | Char | Ptr of ctype | Func_ptr of string | Struct_ref of string
+
+type field = { field_name : string; field_type : ctype }
+
+type struct_def = { struct_name : string; fields : field list }
+
+type expr =
+  | Var of string
+  | Int_lit of int
+  | Addr_of_func of string
+  | Addr_of_static of string * string  (* initializer name, struct name *)
+  | Field_read of expr * string
+  | Call of string * expr list
+  | Indirect_call of expr * expr list
+  | Get_accessor of string * string * expr
+
+type stmt =
+  | Expr_stmt of expr
+  | Assign_var of string * expr
+  | Field_write of expr * string * expr
+  | Set_accessor of string * string * expr * expr
+  | If of expr * stmt list * stmt list
+  | Return of expr option
+
+type func_def = {
+  func_name : string;
+  params : (string * ctype) list;
+  locals : (string * ctype) list;
+  body : stmt list;
+}
+
+type initializer_def = {
+  init_name : string;
+  init_struct : string;
+  init_values : (string * expr) list;
+  is_const : bool;
+}
+
+type file = {
+  file_name : string;
+  structs : struct_def list;
+  functions : func_def list;
+  initializers : initializer_def list;
+}
+
+type corpus = file list
+
+let find_struct corpus name =
+  List.find_map
+    (fun f -> List.find_opt (fun s -> s.struct_name = name) f.structs)
+    corpus
+
+let field_type corpus sname fname =
+  match find_struct corpus sname with
+  | None -> None
+  | Some s ->
+      List.find_map
+        (fun f -> if f.field_name = fname then Some f.field_type else None)
+        s.fields
+
+let rec expr_type ~corpus ~env e =
+  match e with
+  | Var v -> List.assoc_opt v env
+  | Int_lit _ -> Some Int
+  | Addr_of_func sig_name -> Some (Func_ptr sig_name)
+  | Addr_of_static (_, sname) -> Some (Ptr (Struct_ref sname))
+  | Field_read (obj, fname) -> (
+      match expr_type ~corpus ~env obj with
+      | Some (Ptr (Struct_ref s)) | Some (Struct_ref s) -> field_type corpus s fname
+      | Some (Void | Int | Char | Ptr _ | Func_ptr _) | None -> None)
+  | Call (_, _) -> None
+  | Indirect_call (_, _) -> None
+  | Get_accessor (type_name, member, _) -> field_type corpus type_name member
+
+let struct_count corpus = List.fold_left (fun acc f -> acc + List.length f.structs) 0 corpus
+
+let function_count corpus =
+  List.fold_left (fun acc f -> acc + List.length f.functions) 0 corpus

@@ -1,0 +1,210 @@
+type stats = {
+  types_converted : int;
+  ops_structs_created : int;
+  assignments_collapsed : int;
+  reads_redirected : int;
+}
+
+module String_map = Map.Make (String)
+
+(* Multi-pointer types and their function-pointer members, from the
+   census. *)
+let multi_types census =
+  let by_type = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      let existing =
+        match Hashtbl.find_opt by_type f.Analysis.type_name with
+        | Some l -> l
+        | None -> []
+      in
+      Hashtbl.replace by_type f.Analysis.type_name (f.Analysis.member_name :: existing))
+    census.Analysis.findings;
+  Hashtbl.fold
+    (fun type_name members acc ->
+      if List.length members > 1 then String_map.add type_name (List.rev members) acc
+      else acc)
+    by_type String_map.empty
+
+let ops_struct_name s = s ^ "_ops"
+let ops_instance_name s = s ^ "_default_ops"
+let ops_member = "ops"
+
+let is_fptr_member multi s member =
+  match String_map.find_opt s multi with
+  | Some members -> List.mem member members
+  | None -> false
+
+(* Split a struct definition: the converted record plus its ops struct. *)
+let convert_struct multi (sd : Cast.struct_def) =
+  match String_map.find_opt sd.Cast.struct_name multi with
+  | None -> (sd, None)
+  | Some members ->
+      let fptrs, rest =
+        List.partition (fun f -> List.mem f.Cast.field_name members) sd.Cast.fields
+      in
+      let ops =
+        {
+          Cast.struct_name = ops_struct_name sd.Cast.struct_name;
+          fields = fptrs;
+        }
+      in
+      let converted =
+        {
+          sd with
+          Cast.fields =
+            rest
+            @ [
+                {
+                  Cast.field_name = ops_member;
+                  field_type = Cast.Ptr (Cast.Struct_ref (ops_struct_name sd.Cast.struct_name));
+                };
+              ];
+        }
+      in
+      (converted, Some (ops, members))
+
+(* Rewrite one function against the original corpus typing. *)
+let convert_function corpus multi stats (f : Cast.func_def) =
+  let env = f.Cast.params @ f.Cast.locals in
+  let struct_of obj =
+    match Cast.expr_type ~corpus ~env obj with
+    | Some (Cast.Ptr (Cast.Struct_ref s)) | Some (Cast.Struct_ref s) ->
+        if String_map.mem s multi then Some s else None
+    | Some (Cast.Void | Cast.Int | Cast.Char | Cast.Ptr _ | Cast.Func_ptr _) | None ->
+        None
+  in
+  let rec rewrite_expr e =
+    match e with
+    | Cast.Field_read (obj, member) -> (
+        let obj' = rewrite_expr obj in
+        match struct_of obj with
+        | Some s when is_fptr_member multi s member ->
+            incr (snd stats);
+            Cast.Field_read (Cast.Get_accessor (s, ops_member, obj'), member)
+        | Some _ | None -> Cast.Field_read (obj', member))
+    | Cast.Var _ | Cast.Int_lit _ | Cast.Addr_of_func _ | Cast.Addr_of_static _ -> e
+    | Cast.Call (name, args) -> Cast.Call (name, List.map rewrite_expr args)
+    | Cast.Indirect_call (fn, args) ->
+        Cast.Indirect_call (rewrite_expr fn, List.map rewrite_expr args)
+    | Cast.Get_accessor (s, m, obj) -> Cast.Get_accessor (s, m, rewrite_expr obj)
+  in
+  (* Collapse consecutive fptr writes to the same object into a single
+     ops store; track which objects were already given one. *)
+  let installed = Hashtbl.create 4 in
+  let rec rewrite_stmts stmts =
+    List.concat_map
+      (fun st ->
+        match st with
+        | Cast.Field_write (obj, member, _value) -> (
+            match struct_of obj with
+            | Some s when is_fptr_member multi s member ->
+                incr (fst stats);
+                let key = (s, obj) in
+                if Hashtbl.mem installed key then []
+                else begin
+                  Hashtbl.add installed key ();
+                  [
+                    Cast.Set_accessor
+                      ( s,
+                        ops_member,
+                        rewrite_expr obj,
+                        Cast.Addr_of_static (ops_instance_name s, ops_struct_name s) );
+                  ]
+                end
+            | Some _ | None ->
+                [
+                  Cast.Field_write
+                    (rewrite_expr obj, member, rewrite_expr _value);
+                ])
+        | Cast.Expr_stmt e -> [ Cast.Expr_stmt (rewrite_expr e) ]
+        | Cast.Assign_var (v, e) -> [ Cast.Assign_var (v, rewrite_expr e) ]
+        | Cast.Set_accessor (s, m, obj, v) ->
+            [ Cast.Set_accessor (s, m, rewrite_expr obj, rewrite_expr v) ]
+        | Cast.If (c, then_, else_) ->
+            [ Cast.If (rewrite_expr c, rewrite_stmts then_, rewrite_stmts else_) ]
+        | Cast.Return _ -> [ st ])
+      stmts
+  in
+  { f with Cast.body = rewrite_stmts f.Cast.body }
+
+(* The const default-ops instance of a converted type: its values come
+   from the assignments the census recorded. *)
+let default_ops_initializer corpus s members =
+  let init_values =
+    List.map
+      (fun member ->
+        (* find the Addr_of_func assigned to this member anywhere *)
+        let found = ref (Cast.Addr_of_func (s ^ "_missing")) in
+        List.iter
+          (fun (file : Cast.file) ->
+            List.iter
+              (fun (f : Cast.func_def) ->
+                let env = f.Cast.params @ f.Cast.locals in
+                let rec scan stmts =
+                  List.iter
+                    (fun st ->
+                      match st with
+                      | Cast.Field_write (obj, m, (Cast.Addr_of_func _ as v))
+                        when m = member -> (
+                          match Cast.expr_type ~corpus ~env obj with
+                          | Some (Cast.Ptr (Cast.Struct_ref s')) when s' = s -> found := v
+                          | Some _ | None -> ())
+                      | Cast.If (_, a, b) ->
+                          scan a;
+                          scan b
+                      | Cast.Field_write _ | Cast.Expr_stmt _ | Cast.Assign_var _
+                      | Cast.Set_accessor _ | Cast.Return _ ->
+                          ())
+                    stmts
+                in
+                scan f.Cast.body)
+              file.Cast.functions)
+          corpus;
+        (member, !found))
+      members
+  in
+  {
+    Cast.init_name = ops_instance_name s;
+    init_struct = ops_struct_name s;
+    init_values;
+    is_const = true;
+  }
+
+let convert_multi corpus census =
+  let multi = multi_types census in
+  let collapsed = ref 0 and redirected = ref 0 in
+  let stats_cells = (collapsed, redirected) in
+  let new_ops_structs = ref 0 in
+  let corpus' =
+    List.map
+      (fun (file : Cast.file) ->
+        let structs, extras, inits =
+          List.fold_left
+            (fun (ss, extras, inits) sd ->
+              match convert_struct multi sd with
+              | converted, Some (ops, members) ->
+                  incr new_ops_structs;
+                  ( converted :: ops :: ss,
+                    extras,
+                    default_ops_initializer corpus sd.Cast.struct_name members
+                    :: inits )
+              | converted, None -> (converted :: ss, extras, inits))
+            ([], [], []) file.Cast.structs
+        in
+        ignore extras;
+        {
+          file with
+          Cast.structs = List.rev structs;
+          functions = List.map (convert_function corpus multi stats_cells) file.Cast.functions;
+          initializers = file.Cast.initializers @ List.rev inits;
+        })
+      corpus
+  in
+  ( corpus',
+    {
+      types_converted = String_map.cardinal multi;
+      ops_structs_created = !new_ops_structs;
+      assignments_collapsed = !collapsed;
+      reads_redirected = !redirected;
+    } )

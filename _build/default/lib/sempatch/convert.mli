@@ -1,0 +1,28 @@
+(** Operations-structure conversion (the second half of Section 5.3).
+
+    The paper expects the 229 compound types holding more than one
+    run-time-assigned function pointer to "follow existing kernel
+    practices and be converted to use read-only operations structures".
+    This pass performs that conversion mechanically:
+
+    + for each multi-pointer type [S], a new struct [S_ops] collects the
+      function-pointer fields and a [const] static instance
+      [S_default_ops] is emitted (destined for .rodata);
+    + [S] loses the function-pointer fields and gains an [ops] data
+      pointer — the member Camouflage then protects with DFI;
+    + every run-time assignment sequence [s->op_k = &f; ...] collapses
+      into one protected store [S_ops_set(s, &S_default_ops)];
+    + every read [s->op_k] becomes [S_ops_get(s)->op_k].
+
+    After conversion the census must report zero multi-pointer types:
+    the remaining protected surface is exactly the lone pointers. *)
+
+type stats = {
+  types_converted : int;  (** paper: 229 *)
+  ops_structs_created : int;
+  assignments_collapsed : int;  (** fptr writes folded into ops stores *)
+  reads_redirected : int;
+}
+
+(** [convert_multi corpus census] — returns the transformed corpus. *)
+val convert_multi : Cast.corpus -> Analysis.census -> Cast.corpus * stats

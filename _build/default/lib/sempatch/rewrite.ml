@@ -1,0 +1,106 @@
+type stats = { reads_rewritten : int; writes_rewritten : int; functions_touched : int }
+
+(* Determine whether [obj->member] resolves to a protected pair under
+   the function's typing environment. *)
+let protected_pair corpus env protected obj member =
+  match Cast.expr_type ~corpus ~env obj with
+  | Some (Cast.Ptr (Cast.Struct_ref s)) | Some (Cast.Struct_ref s) ->
+      if List.mem (s, member) protected then Some s else None
+  | Some (Cast.Void | Cast.Int | Cast.Char | Cast.Ptr _ | Cast.Func_ptr _) | None -> None
+
+let apply corpus ~protected =
+  let reads = ref 0 and writes = ref 0 and touched = ref 0 in
+  let rewrite_function (f : Cast.func_def) =
+    let env = f.Cast.params @ f.Cast.locals in
+    let changed = ref false in
+    let rec rewrite_expr e =
+      match e with
+      | Cast.Field_read (obj, member) -> (
+          let obj' = rewrite_expr obj in
+          match protected_pair corpus env protected obj member with
+          | Some s ->
+              incr reads;
+              changed := true;
+              Cast.Get_accessor (s, member, obj')
+          | None -> Cast.Field_read (obj', member))
+      | Cast.Var _ | Cast.Int_lit _ | Cast.Addr_of_func _ | Cast.Addr_of_static _ -> e
+      | Cast.Call (name, args) -> Cast.Call (name, List.map rewrite_expr args)
+      | Cast.Indirect_call (fn, args) ->
+          Cast.Indirect_call (rewrite_expr fn, List.map rewrite_expr args)
+      | Cast.Get_accessor (s, m, obj) -> Cast.Get_accessor (s, m, rewrite_expr obj)
+    in
+    let rec rewrite_stmt st =
+      match st with
+      | Cast.Field_write (obj, member, value) -> (
+          let obj' = rewrite_expr obj and value' = rewrite_expr value in
+          match protected_pair corpus env protected obj member with
+          | Some s ->
+              incr writes;
+              changed := true;
+              Cast.Set_accessor (s, member, obj', value')
+          | None -> Cast.Field_write (obj', member, value'))
+      | Cast.Expr_stmt e -> Cast.Expr_stmt (rewrite_expr e)
+      | Cast.Assign_var (v, e) -> Cast.Assign_var (v, rewrite_expr e)
+      | Cast.Set_accessor (s, m, obj, v) ->
+          Cast.Set_accessor (s, m, rewrite_expr obj, rewrite_expr v)
+      | Cast.If (c, then_, else_) ->
+          Cast.If (rewrite_expr c, List.map rewrite_stmt then_, List.map rewrite_stmt else_)
+      | Cast.Return None -> st
+      | Cast.Return (Some e) -> Cast.Return (Some (rewrite_expr e))
+    in
+    let body = List.map rewrite_stmt f.Cast.body in
+    if !changed then incr touched;
+    { f with Cast.body }
+  in
+  let corpus' =
+    List.map
+      (fun (file : Cast.file) ->
+        { file with Cast.functions = List.map rewrite_function file.Cast.functions })
+      corpus
+  in
+  (corpus', { reads_rewritten = !reads; writes_rewritten = !writes; functions_touched = !touched })
+
+let residual_accesses corpus ~protected =
+  let count = ref 0 in
+  let check_function (f : Cast.func_def) =
+    let env = f.Cast.params @ f.Cast.locals in
+    let rec walk_expr e =
+      match e with
+      | Cast.Field_read (obj, member) ->
+          (match protected_pair corpus env protected obj member with
+          | Some _ -> incr count
+          | None -> ());
+          walk_expr obj
+      | Cast.Var _ | Cast.Int_lit _ | Cast.Addr_of_func _ | Cast.Addr_of_static _ -> ()
+      | Cast.Call (_, args) -> List.iter walk_expr args
+      | Cast.Indirect_call (fn, args) ->
+          walk_expr fn;
+          List.iter walk_expr args
+      | Cast.Get_accessor (_, _, obj) -> walk_expr obj
+    in
+    let rec walk_stmt st =
+      match st with
+      | Cast.Field_write (obj, member, value) ->
+          (match protected_pair corpus env protected obj member with
+          | Some _ -> incr count
+          | None -> ());
+          walk_expr obj;
+          walk_expr value
+      | Cast.Expr_stmt e -> walk_expr e
+      | Cast.Assign_var (_, e) -> walk_expr e
+      | Cast.Set_accessor (_, _, obj, v) ->
+          walk_expr obj;
+          walk_expr v
+      | Cast.If (c, then_, else_) ->
+          walk_expr c;
+          List.iter walk_stmt then_;
+          List.iter walk_stmt else_
+      | Cast.Return None -> ()
+      | Cast.Return (Some e) -> walk_expr e
+    in
+    List.iter walk_stmt f.Cast.body
+  in
+  List.iter
+    (fun (file : Cast.file) -> List.iter check_function file.Cast.functions)
+    corpus;
+  !count

@@ -1,0 +1,18 @@
+(** The semi-automatic source rewrite of Section 5.3: substitute every
+    direct read and write of a protected pointer member with explicit
+    [get]/[set] accessor calls, which are then (in the real system)
+    patched to invoke the PAuth instructions. *)
+
+type stats = {
+  reads_rewritten : int;
+  writes_rewritten : int;
+  functions_touched : int;
+}
+
+(** [apply corpus ~protected] — rewrite all accesses to the given
+    (type, member) pairs. Returns the new corpus and statistics. *)
+val apply : Cast.corpus -> protected:(string * string) list -> Cast.corpus * stats
+
+(** [residual_accesses corpus ~protected] — direct accesses remaining
+    after a rewrite; must be empty for the patch to be complete. *)
+val residual_accesses : Cast.corpus -> protected:(string * string) list -> int

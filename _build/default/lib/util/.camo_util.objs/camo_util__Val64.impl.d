@@ -1,0 +1,1 @@
+lib/util/val64.ml: Char Int64 Printf String

@@ -1,0 +1,1 @@
+lib/util/val64.mli:

@@ -1,0 +1,1 @@
+lib/workloads/calls.ml: Aarch64 Asm Bare Camouflage Cost Cpu El Insn Int64 Kelf Kernel List Result

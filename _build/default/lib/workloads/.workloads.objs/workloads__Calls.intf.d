@@ -1,0 +1,1 @@
+lib/workloads/calls.mli: Aarch64 Camouflage

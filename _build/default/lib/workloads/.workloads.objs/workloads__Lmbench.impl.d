@@ -1,0 +1,1 @@
+lib/workloads/lmbench.ml: Aarch64 Array Camo_util Camouflage Cpu Int64 Kernel List Mmu Printf Result

@@ -1,0 +1,1 @@
+lib/workloads/userspace.ml: Aarch64 Array Asm Camo_util Camouflage Cpu El Insn Int64 Kernel List Lmbench Mmu Printf

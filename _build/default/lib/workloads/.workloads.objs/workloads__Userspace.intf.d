@@ -1,0 +1,1 @@
+lib/workloads/userspace.mli:

@@ -1,0 +1,98 @@
+open Aarch64
+module C = Camouflage
+module K = Kernel
+
+type measurement = {
+  scheme_label : string;
+  cycles_per_call : float;
+  ns_per_call : float;
+  overhead_cycles : float;
+}
+
+(* A caller that invokes the empty victim [calls] times, so the loop
+   bookkeeping is measured once and subtracted via the baseline. *)
+let bench_module config ~calls =
+  let obj = Kelf.Object_file.empty "callbench" in
+  let victim = C.Instrument.wrap config ~name:"victim" [] in
+  let caller =
+    C.Instrument.wrap config ~name:"caller"
+      [
+        Asm.ins (Insn.Movz (Insn.R 20, calls land 0xffff, 0));
+        Asm.ins (Insn.Movk (Insn.R 20, (calls lsr 16) land 0xffff, 16));
+        Asm.label "loop";
+        Asm.ins (Insn.Stp (Insn.R 20, Insn.XZR, Insn.Pre (Insn.SP, -16)));
+        Asm.bl_to "victim";
+        Asm.ins (Insn.Ldp (Insn.R 20, Insn.XZR, Insn.Post (Insn.SP, 16)));
+        Asm.ins (Insn.Sub_imm (Insn.R 20, Insn.R 20, 1));
+        Asm.cbnz_to (Insn.R 20) "loop";
+      ]
+  in
+  let obj =
+    Kelf.Object_file.add_function obj ~name:"victim" victim.C.Instrument.items
+  in
+  Kelf.Object_file.add_function obj ~name:"caller" caller.C.Instrument.items
+
+(* Bare-machine variant for schemes that cannot boot the kernel (the
+   chained scheme's live chain register precludes prefabricated frames). *)
+let measure_bare ?cost config ~calls =
+  let cpu = Bare.machine ?cost () in
+  let obj = bench_module config ~calls in
+  let prog = Asm.create () in
+  List.iter
+    (fun (name, items) -> Asm.add_function prog ~name items)
+    obj.Kelf.Object_file.functions;
+  let layout = Bare.load cpu prog in
+  let before = Cpu.cycles cpu in
+  (match Bare.call ~max_insns:100_000_000 cpu layout "caller" with
+  | Cpu.Sentinel_return -> ()
+  | other -> failwith ("bare call bench: " ^ Cpu.stop_to_string other));
+  Int64.sub (Cpu.cycles cpu) before
+
+let measure_one config ~calls =
+  let sys = K.System.boot ~config ~seed:11L () in
+  match K.System.load_module sys (bench_module config ~calls) with
+  | Result.Error e -> failwith (Kelf.Loader.error_to_string e)
+  | Result.Ok placed ->
+      let cpu = K.System.cpu sys in
+      Cpu.set_el cpu El.El1;
+      Cpu.set_sp_of cpu El.El1
+        (K.Layout.task_stack_top ~slot:(K.System.current sys).K.System.slot);
+      let before = Cpu.cycles cpu in
+      (match Cpu.call ~max_insns:100_000_000 cpu (Kelf.Loader.symbol placed "caller") with
+      | Cpu.Sentinel_return -> ()
+      | other -> failwith ("call bench: " ^ Cpu.stop_to_string other));
+      Int64.sub (Cpu.cycles cpu) before
+
+let schemes =
+  [
+    ("no CFI (baseline)", C.Config.none);
+    ("SP only (Clang)", { C.Config.backward_only with scheme = C.Modifier.Sp_only });
+    ( "PARTS (16b SP + 48b LTO id)",
+      { C.Config.backward_only with scheme = C.Modifier.Parts 0x4213_8723_0042L } );
+    ("Camouflage (32b SP + 32b fn addr)", C.Config.backward_only);
+  ]
+
+let measure ?(calls = 10_000) () =
+  let profile = Cost.cortex_a53 in
+  let results =
+    List.map
+      (fun (scheme_label, config) ->
+        let total = measure_one config ~calls in
+        let cycles_per_call = Int64.to_float total /. float_of_int calls in
+        (scheme_label, cycles_per_call))
+      schemes
+  in
+  let baseline =
+    match results with
+    | (_, c) :: _ -> c
+    | [] -> assert false
+  in
+  List.map
+    (fun (scheme_label, cycles_per_call) ->
+      {
+        scheme_label;
+        cycles_per_call;
+        ns_per_call = cycles_per_call /. profile.Cost.clock_hz *. 1e9;
+        overhead_cycles = cycles_per_call -. baseline;
+      })
+    results

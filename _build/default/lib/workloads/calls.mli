@@ -1,0 +1,26 @@
+(** Function-call overhead micro-benchmark (Figure 2).
+
+    Measures the per-call cost, in cycles and nanoseconds, of an empty
+    non-leaf function instrumented with each backward-edge scheme:
+    baseline (no CFI), the Clang/Qualcomm SP-only modifier, PARTS, and
+    the Camouflage modifier — reproducing the comparison of Section
+    6.1.2 on the model machine. *)
+
+type measurement = {
+  scheme_label : string;
+  cycles_per_call : float;
+  ns_per_call : float;
+  overhead_cycles : float;  (** vs the baseline in the same run *)
+}
+
+(** [measure ?calls ()] — per-scheme cost of one call+return. *)
+val measure : ?calls:int -> unit -> measurement list
+
+(** [measure_one config ~calls] — raw cycles for [calls] calls of the
+    empty victim under [config], measured inside a booted kernel. *)
+val measure_one : Camouflage.Config.t -> calls:int -> int64
+
+(** [measure_bare config ~calls] — same probe on a bare machine; the
+    only way to measure the chained scheme, which cannot boot the
+    kernel. *)
+val measure_bare : ?cost:Aarch64.Cost.profile -> Camouflage.Config.t -> calls:int -> int64

@@ -1,0 +1,198 @@
+open Aarch64
+module C = Camouflage
+module K = Kernel
+
+type probe = { probe_name : string; runs : int }
+
+type result = { name : string; cycles : float array; relative : float array }
+
+let configs =
+  [
+    ("full", C.Config.full);
+    ("backward-edge", C.Config.backward_only);
+    ("none", C.Config.none);
+  ]
+
+let probes =
+  [
+    { probe_name = "null (getpid)"; runs = 50 };
+    { probe_name = "read 512B"; runs = 50 };
+    { probe_name = "write 512B"; runs = 50 };
+    { probe_name = "stat"; runs = 50 };
+    { probe_name = "fstat"; runs = 50 };
+    { probe_name = "open/close"; runs = 50 };
+    { probe_name = "notifier install"; runs = 50 };
+    { probe_name = "notifier dispatch"; runs = 50 };
+    { probe_name = "pipe (512B rt)"; runs = 50 };
+    { probe_name = "sock send/recv 128B"; runs = 50 };
+    { probe_name = "poll 8 fds"; runs = 50 };
+    { probe_name = "timer arm+fire"; runs = 50 };
+    { probe_name = "fork"; runs = 8 };
+    { probe_name = "ctx switch"; runs = 20 };
+  ]
+
+let must name = function
+  | K.System.Ok v -> v
+  | K.System.Killed m | K.System.Panicked m ->
+      failwith (Printf.sprintf "lmbench %s: %s" name m)
+
+let user_buf sys =
+  let base = K.Layout.user_data_base in
+  K.Kmem.map_user_region (K.System.cpu sys) ~base ~bytes:0x4000 Mmu.rw;
+  base
+
+(* Host-side fixture reset: not attacker behaviour and not charged. *)
+let file_of_fd sys fd =
+  let task = (K.System.current sys).K.System.va in
+  K.Kmem.read64 (K.System.cpu sys)
+    (Int64.add task (Int64.of_int (K.Kobject.Task.off_fd_table + (8 * Int64.to_int fd))))
+
+let reset_pos sys fd =
+  let file = file_of_fd sys fd in
+  K.Kmem.write64 (K.System.cpu sys) (Int64.add file (Int64.of_int K.Kobject.File.off_pos)) 0L
+
+let reset_pipe sys =
+  let state = K.System.kernel_symbol sys "pipe_state" in
+  K.Kmem.write64 (K.System.cpu sys) state 0L;
+  K.Kmem.write64 (K.System.cpu sys) (Int64.add state 8L) 0L;
+  K.Kmem.write64 (K.System.cpu sys) (Int64.add state 16L) 0L
+
+(* Each probe: given a fresh system, return (setup, one_iteration). *)
+let probe_actions sys name =
+  let buf = user_buf sys in
+  match name with
+  | "null (getpid)" ->
+      ((fun () -> ()), fun () -> ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_getpid ~args:[])))
+  | "read 512B" ->
+      let fd = ref 0L in
+      ( (fun () -> fd := must name (K.System.syscall sys ~nr:K.Kbuild.sys_open ~args:[ 1L ])),
+        fun () ->
+          reset_pos sys !fd;
+          ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_read ~args:[ !fd; buf; 512L ])) )
+  | "write 512B" ->
+      let fd = ref 0L in
+      ( (fun () -> fd := must name (K.System.syscall sys ~nr:K.Kbuild.sys_open ~args:[ 1L ])),
+        fun () ->
+          reset_pos sys !fd;
+          ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_write ~args:[ !fd; buf; 512L ])) )
+  | "stat" ->
+      ( (fun () -> ()),
+        fun () -> ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_stat ~args:[ 9L; buf ])) )
+  | "fstat" ->
+      let fd = ref 0L in
+      ( (fun () -> fd := must name (K.System.syscall sys ~nr:K.Kbuild.sys_open ~args:[ 1L ])),
+        fun () ->
+          ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_fstat ~args:[ !fd; buf ])) )
+  | "open/close" ->
+      ( (fun () -> ()),
+        fun () ->
+          let fd = must name (K.System.syscall sys ~nr:K.Kbuild.sys_open ~args:[ 1L ]) in
+          ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_close ~args:[ fd ])) )
+  | "notifier install" ->
+      ( (fun () -> ()),
+        fun () ->
+          ignore
+            (must name
+               (K.System.syscall sys ~nr:K.Kbuild.sys_notifier_register ~args:[ 1L; 0L ])) )
+  | "notifier dispatch" ->
+      ( (fun () ->
+          ignore
+            (must name
+               (K.System.syscall sys ~nr:K.Kbuild.sys_notifier_register ~args:[ 1L; 0L ]))),
+        fun () ->
+          ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_notifier_call ~args:[ 1L ])) )
+  | "pipe (512B rt)" ->
+      ( (fun () -> ()),
+        fun () ->
+          reset_pipe sys;
+          ignore
+            (must name (K.System.syscall sys ~nr:K.Kbuild.sys_pipe_write ~args:[ buf; 512L ]));
+          ignore
+            (must name (K.System.syscall sys ~nr:K.Kbuild.sys_pipe_read ~args:[ buf; 512L ])) )
+  | "sock send/recv 128B" ->
+      let fd1 = ref 0L in
+      ( (fun () ->
+          fd1 := must name (K.System.syscall sys ~nr:K.Kbuild.sys_socketpair ~args:[])),
+        fun () ->
+          ignore
+            (must name (K.System.syscall sys ~nr:K.Kbuild.sys_write ~args:[ !fd1; buf; 128L ]));
+          ignore
+            (must name
+               (K.System.syscall sys ~nr:K.Kbuild.sys_read
+                  ~args:[ Int64.add !fd1 1L; buf; 128L ])) )
+  | "poll 8 fds" ->
+      let arr = Int64.add buf 2048L in
+      ( (fun () ->
+          List.iteri
+            (fun idx fd ->
+              ignore idx;
+              let fd = must name fd in
+              ignore
+                (must name (K.System.syscall sys ~nr:K.Kbuild.sys_write ~args:[ fd; buf; 8L ]));
+              K.Kmem.write64 (K.System.cpu sys)
+                (Int64.add arr (Int64.of_int (8 * idx)))
+                fd)
+            (List.init 8 (fun _ -> K.System.syscall sys ~nr:K.Kbuild.sys_open ~args:[ 1L ]))),
+        fun () ->
+          ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_poll ~args:[ arr; 8L ])) )
+  | "timer arm+fire" ->
+      ( (fun () -> ()),
+        fun () ->
+          ignore
+            (must name (K.System.syscall sys ~nr:K.Kbuild.sys_timer_set ~args:[ 0L; 0L; 0L ]));
+          match K.System.run_timers sys with
+          | K.System.Ok _ -> ()
+          | K.System.Killed m | K.System.Panicked m -> failwith ("timer: " ^ m) )
+  | "fork" ->
+      ( (fun () -> ()),
+        fun () ->
+          match K.System.fork sys with
+          | Result.Ok _ -> ()
+          | Result.Error m -> failwith ("fork: " ^ m) )
+  | "ctx switch" ->
+      let other = ref None in
+      ( (fun () -> other := Some (K.System.create_task sys)),
+        fun () ->
+          let target =
+            match !other with Some t -> t | None -> failwith "ctxsw: no task"
+          in
+          let back = K.System.current sys in
+          (match K.System.switch_to sys target with
+          | K.System.Ok _ -> ()
+          | K.System.Killed m | K.System.Panicked m -> failwith ("ctxsw: " ^ m));
+          (match K.System.switch_to sys back with
+          | K.System.Ok _ -> ()
+          | K.System.Killed m | K.System.Panicked m -> failwith ("ctxsw back: " ^ m)) )
+  | other -> failwith ("unknown probe " ^ other)
+
+let measure_probe ~config ~seed probe =
+  let sys = K.System.boot ~config ~seed () in
+  let setup, iter = probe_actions sys probe.probe_name in
+  setup ();
+  (* warm-up iteration excluded from the measurement *)
+  iter ();
+  let cpu = K.System.cpu sys in
+  let before = Cpu.cycles cpu in
+  for _ = 1 to probe.runs do
+    iter ()
+  done;
+  Int64.to_float (Int64.sub (Cpu.cycles cpu) before) /. float_of_int probe.runs
+
+let run ?(seed = 1234L) () =
+  let n = List.length configs in
+  List.map
+    (fun probe ->
+      let cycles =
+        Array.of_list
+          (List.map (fun (_, config) -> measure_probe ~config ~seed probe) configs)
+      in
+      let baseline = cycles.(n - 1) in
+      {
+        name = probe.probe_name;
+        cycles;
+        relative = Array.map (fun c -> c /. baseline) cycles;
+      })
+    probes
+
+let geometric_mean_overhead results ~config_index =
+  Camo_util.Stats.geomean (List.map (fun r -> r.relative.(config_index)) results)

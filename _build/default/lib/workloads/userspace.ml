@@ -1,0 +1,148 @@
+open Aarch64
+module C = Camouflage
+module K = Kernel
+
+type spec = {
+  workload_name : string;
+  iterations : int;
+  user_ops : int;
+  syscalls_per_iteration : string list;
+}
+
+type result = { name : string; cycles : float array; relative : float array }
+
+let specs =
+  [
+    {
+      workload_name = "jpeg resize (user-heavy)";
+      iterations = 12;
+      user_ops = 6000;
+      syscalls_per_iteration = [ "read" ];
+    };
+    {
+      workload_name = "deb build (balanced)";
+      iterations = 12;
+      user_ops = 1500;
+      syscalls_per_iteration = [ "open"; "stat"; "read"; "write"; "close" ];
+    };
+    {
+      workload_name = "net download (kernel-heavy)";
+      iterations = 12;
+      user_ops = 400;
+      syscalls_per_iteration = [ "read_small"; "write_small"; "stat" ];
+    };
+  ]
+
+(* The EL0 compute kernel: a tight arithmetic loop, identical across
+   kernel configurations (user binaries are untouched). *)
+let user_compute_program ~ops =
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"compute"
+    [
+      Asm.ins (Insn.Movz (Insn.R 9, ops land 0xffff, 0));
+      Asm.ins (Insn.Movk (Insn.R 9, (ops lsr 16) land 0xffff, 16));
+      Asm.ins (Insn.Movz (Insn.R 10, 0x1234, 0));
+      Asm.label "loop";
+      Asm.ins (Insn.Add_imm (Insn.R 10, Insn.R 10, 3));
+      Asm.ins (Insn.Eor_reg (Insn.R 10, Insn.R 10, Insn.R 9));
+      Asm.ins (Insn.Lsr_imm (Insn.R 11, Insn.R 10, 7));
+      Asm.ins (Insn.Add_reg (Insn.R 10, Insn.R 10, Insn.R 11));
+      Asm.ins (Insn.Sub_imm (Insn.R 9, Insn.R 9, 1));
+      Asm.cbnz_to (Insn.R 9) "loop";
+      Asm.ins (Insn.Mov (Insn.R 0, Insn.R 10));
+      Asm.ins Insn.Ret;
+    ];
+  prog
+
+let must name = function
+  | K.System.Ok v -> v
+  | K.System.Killed m | K.System.Panicked m ->
+      failwith (Printf.sprintf "workload %s: %s" name m)
+
+let reset_pos sys fd =
+  let task = (K.System.current sys).K.System.va in
+  let file =
+    K.Kmem.read64 (K.System.cpu sys)
+      (Int64.add task (Int64.of_int (K.Kobject.Task.off_fd_table + (8 * Int64.to_int fd))))
+  in
+  K.Kmem.write64 (K.System.cpu sys) (Int64.add file (Int64.of_int K.Kobject.File.off_pos)) 0L
+
+let reset_pipe sys =
+  let state = K.System.kernel_symbol sys "pipe_state" in
+  K.Kmem.write64 (K.System.cpu sys) state 0L;
+  K.Kmem.write64 (K.System.cpu sys) (Int64.add state 8L) 0L;
+  K.Kmem.write64 (K.System.cpu sys) (Int64.add state 16L) 0L
+
+let run_workload ~config ~seed spec =
+  let sys = K.System.boot ~config ~seed () in
+  let cpu = K.System.cpu sys in
+  let buf = K.Layout.user_data_base in
+  K.Kmem.map_user_region cpu ~base:buf ~bytes:0x4000 Mmu.rw;
+  let layout = K.System.map_user_program sys (user_compute_program ~ops:spec.user_ops) in
+  let compute = Asm.symbol layout "compute" in
+  let std_fd = must "open" (K.System.syscall sys ~nr:K.Kbuild.sys_open ~args:[ 1L ]) in
+  let scratch_fd = ref std_fd in
+  let do_syscall name =
+    match name with
+    | "read" ->
+        reset_pos sys std_fd;
+        ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_read ~args:[ std_fd; buf; 512L ]))
+    | "write" ->
+        reset_pos sys std_fd;
+        ignore
+          (must name (K.System.syscall sys ~nr:K.Kbuild.sys_write ~args:[ std_fd; buf; 512L ]))
+    | "read_small" ->
+        reset_pos sys std_fd;
+        ignore
+          (must name (K.System.syscall sys ~nr:K.Kbuild.sys_read ~args:[ std_fd; buf; 128L ]))
+    | "write_small" ->
+        reset_pos sys std_fd;
+        ignore
+          (must name (K.System.syscall sys ~nr:K.Kbuild.sys_write ~args:[ std_fd; buf; 128L ]))
+    | "open" ->
+        ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_close ~args:[ !scratch_fd ]));
+        scratch_fd := must name (K.System.syscall sys ~nr:K.Kbuild.sys_open ~args:[ 2L ])
+    | "close" -> ()
+    | "stat" ->
+        ignore (must name (K.System.syscall sys ~nr:K.Kbuild.sys_stat ~args:[ 4L; buf ]))
+    | "pipe_write" ->
+        reset_pipe sys;
+        ignore
+          (must name (K.System.syscall sys ~nr:K.Kbuild.sys_pipe_write ~args:[ buf; 512L ]))
+    | "pipe_read" ->
+        ignore
+          (must name (K.System.syscall sys ~nr:K.Kbuild.sys_pipe_read ~args:[ buf; 512L ]))
+    | other -> failwith ("unknown syscall tag " ^ other)
+  in
+  let run_compute () =
+    Cpu.set_el cpu El.El0;
+    Cpu.set_sp_of cpu El.El0 K.Layout.user_stack_top;
+    match Cpu.call ~max_insns:100_000_000 cpu compute with
+    | Cpu.Sentinel_return -> ()
+    | other -> failwith ("compute: " ^ Cpu.stop_to_string other)
+  in
+  let before = Cpu.cycles cpu in
+  for _ = 1 to spec.iterations do
+    run_compute ();
+    List.iter do_syscall spec.syscalls_per_iteration
+  done;
+  Int64.to_float (Int64.sub (Cpu.cycles cpu) before)
+
+let run ?(seed = 99L) () =
+  let n = List.length Lmbench.configs in
+  List.map
+    (fun spec ->
+      let cycles =
+        Array.of_list
+          (List.map (fun (_, config) -> run_workload ~config ~seed spec) Lmbench.configs)
+      in
+      let baseline = cycles.(n - 1) in
+      {
+        name = spec.workload_name;
+        cycles;
+        relative = Array.map (fun c -> c /. baseline) cycles;
+      })
+    specs
+
+let geometric_mean_overhead results ~config_index =
+  Camo_util.Stats.geomean (List.map (fun r -> r.relative.(config_index)) results)

@@ -1,0 +1,1 @@
+test/env.ml: Aarch64 Alcotest Asm Camo_util Cpu El Int64 List Mem Mmu Sysreg Vaddr

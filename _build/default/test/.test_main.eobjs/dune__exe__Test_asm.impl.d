@@ -1,0 +1,1 @@
+test/test_asm.ml: Aarch64 Alcotest Array Asm Cpu Env Insn Int64 String

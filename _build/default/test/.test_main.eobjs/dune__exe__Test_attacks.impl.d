@@ -1,0 +1,1 @@
+test/test_attacks.ml: Alcotest Attacks Camouflage Int64 Kernel List Result String

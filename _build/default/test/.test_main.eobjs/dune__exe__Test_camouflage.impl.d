@@ -1,0 +1,1 @@
+test/test_camouflage.ml: Aarch64 Alcotest Asm Attacks Camouflage Cpu Env Insn Int64 Kernel List Mem Mmu QCheck2 QCheck_alcotest String Sysreg Vaddr

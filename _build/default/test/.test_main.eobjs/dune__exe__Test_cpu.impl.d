@@ -1,0 +1,1 @@
+test/test_cpu.ml: Aarch64 Alcotest Asm Cost Cpu El Env Insn Int64 Mem Mmu Sysreg Vaddr

@@ -1,0 +1,1 @@
+test/test_encode.ml: Aarch64 Alcotest Encode Insn Int32 Int64 List QCheck2 QCheck_alcotest Sysreg

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Aarch64 Camouflage Int64 Kernel List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Aarch64 Alcotest Asm Camouflage Cpu El Insn Int64 Kelf Kernel List Mmu Printf Result String Sysreg

@@ -1,0 +1,1 @@
+test/test_loader.ml: Aarch64 Alcotest Asm Camouflage Insn Int64 Kelf Kernel Result

@@ -1,0 +1,1 @@
+test/test_mem_mmu.ml: Aarch64 Alcotest El Int64 Mem Mmu QCheck2 QCheck_alcotest

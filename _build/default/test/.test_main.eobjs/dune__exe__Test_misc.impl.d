@@ -1,0 +1,1 @@
+test/test_misc.ml: Aarch64 Alcotest Asm Bare Camouflage Cost Cpu El Insn Int64 Kernel List Sysreg

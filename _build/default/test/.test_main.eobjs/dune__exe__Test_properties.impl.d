@@ -1,0 +1,1 @@
+test/test_properties.ml: Aarch64 Alcotest Asm Bare Camo_util Camouflage Cpu El Encode Hashtbl Insn Int64 List Pac Printf QCheck2 QCheck_alcotest Qarma Sysreg Vaddr

@@ -1,0 +1,1 @@
+test/test_qarma.ml: Alcotest Camo_util Int64 List Printf QCheck2 QCheck_alcotest Qarma

@@ -1,0 +1,1 @@
+test/test_sempatch.ml: Alcotest List Sempatch

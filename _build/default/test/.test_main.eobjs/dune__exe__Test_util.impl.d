@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Camo_util Int64 QCheck2 QCheck_alcotest

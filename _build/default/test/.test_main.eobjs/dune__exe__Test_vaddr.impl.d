@@ -1,0 +1,1 @@
+test/test_vaddr.ml: Aarch64 Alcotest Camo_util Int64 QCheck2 QCheck_alcotest Vaddr

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Camouflage Int64 List Workloads

@@ -1,0 +1,1 @@
+test/test_xom.ml: Aarch64 Alcotest Asm Camo_util Camouflage Cpu Insn Int64 Kernel List Mmu Pac Sysreg

@@ -1,0 +1,120 @@
+(* Assembler tests: label resolution, function layout, imports, the
+   mov_addr pseudo-sequence and error behaviour. *)
+
+open Aarch64
+
+let base = 0xffff000000100000L
+
+let test_label_resolution () =
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"f"
+    [
+      Asm.ins (Insn.Movz (Insn.R 0, 1, 0));
+      Asm.label "mid";
+      Asm.ins (Insn.Movz (Insn.R 0, 2, 0));
+      Asm.b_to "mid";
+    ];
+  let layout = Asm.assemble prog ~base in
+  Alcotest.(check int) "3 instructions" 3 (Array.length layout.Asm.code);
+  let _, branch = layout.Asm.code.(2) in
+  match branch with
+  | Insn.B target -> Alcotest.(check int64) "branch to mid" (Int64.add base 4L) target
+  | other -> Alcotest.failf "expected B, got %s" (Insn.to_string other)
+
+let test_local_labels_scoped () =
+  (* two functions may use the same local label name *)
+  let prog = Asm.create () in
+  let body = [ Asm.label "loop"; Asm.ins (Insn.Sub_imm (Insn.R 0, Insn.R 0, 1)); Asm.cbnz_to (Insn.R 0) "loop" ] in
+  Asm.add_function prog ~name:"a" body;
+  Asm.add_function prog ~name:"b" body;
+  let layout = Asm.assemble prog ~base in
+  (* each cbnz must target its own function's loop label *)
+  let _, cbnz_a = layout.Asm.code.(1) in
+  let _, cbnz_b = layout.Asm.code.(3) in
+  match (cbnz_a, cbnz_b) with
+  | Insn.Cbnz (_, ta), Insn.Cbnz (_, tb) ->
+      Alcotest.(check int64) "a targets a.loop" base ta;
+      Alcotest.(check int64) "b targets b.loop" (Int64.add base 8L) tb
+  | _ -> Alcotest.fail "layout mismatch"
+
+let test_cross_function_call () =
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"callee" [ Asm.ins Insn.Ret ];
+  Asm.add_function prog ~name:"caller" [ Asm.bl_to "callee"; Asm.ins Insn.Ret ];
+  let layout = Asm.assemble prog ~base in
+  Alcotest.(check int64) "callee symbol" base (Asm.symbol layout "callee");
+  let _, bl = layout.Asm.code.(1) in
+  match bl with
+  | Insn.Bl target -> Alcotest.(check int64) "bl resolves to callee" base target
+  | other -> Alcotest.failf "expected BL, got %s" (Insn.to_string other)
+
+let test_undefined_label () =
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"broken" [ Asm.b_to "nowhere" ];
+  Alcotest.check_raises "undefined label" (Asm.Undefined_label "nowhere") (fun () ->
+      ignore (Asm.assemble prog ~base))
+
+let test_duplicate_function () =
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"f" [ Asm.ins Insn.Ret ];
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Asm.add_function: duplicate f") (fun () ->
+      Asm.add_function prog ~name:"f" [ Asm.ins Insn.Ret ])
+
+let test_extra_symbols () =
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"m" [ Asm.bl_to "kernel_export"; Asm.ins Insn.Ret ];
+  let layout = Asm.assemble prog ~base ~extra_symbols:[ ("kernel_export", 0xffff000000200000L) ] in
+  let _, bl = layout.Asm.code.(0) in
+  match bl with
+  | Insn.Bl t -> Alcotest.(check int64) "import resolved" 0xffff000000200000L t
+  | other -> Alcotest.failf "expected BL, got %s" (Insn.to_string other)
+
+let test_local_shadows_import () =
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"helper" [ Asm.ins Insn.Ret ];
+  Asm.add_function prog ~name:"m" [ Asm.bl_to "helper"; Asm.ins Insn.Ret ];
+  let layout = Asm.assemble prog ~base ~extra_symbols:[ ("helper", 0xffff0000ffff0000L) ] in
+  let _, bl = layout.Asm.code.(1) in
+  match bl with
+  | Insn.Bl t -> Alcotest.(check int64) "program symbol wins" base t
+  | other -> Alcotest.failf "expected BL, got %s" (Insn.to_string other)
+
+let test_mov_addr_materializes () =
+  let cpu = Env.fresh_cpu () in
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"get_addr" (Asm.mov_addr (Insn.R 0) "far" @ [ Asm.ins Insn.Ret ]);
+  Asm.add_function prog ~name:"far" [ Asm.ins Insn.Ret ];
+  let layout = Env.load_program cpu prog in
+  Env.expect_return cpu layout "get_addr";
+  Alcotest.(check int64) "full 64-bit address" (Asm.symbol layout "far")
+    (Cpu.reg cpu (Insn.R 0))
+
+let test_instruction_count () =
+  let items =
+    [ Asm.label "a"; Asm.ins Insn.Nop; Asm.b_to "a"; Asm.label "b"; Asm.ins Insn.Ret ]
+  in
+  Alcotest.(check int) "labels are zero-size" 3 (Asm.instruction_count items)
+
+let test_disassemble_contains_symbols () =
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"entry" [ Asm.ins Insn.Nop ];
+  let layout = Asm.assemble prog ~base in
+  let text = Asm.disassemble layout in
+  Alcotest.(check bool) "symbol name present" true
+    (String.length text > 6 && String.sub text 0 6 = "entry:")
+
+let suite =
+  [
+    Alcotest.test_case "label resolution" `Quick test_label_resolution;
+    Alcotest.test_case "local labels are function-scoped" `Quick test_local_labels_scoped;
+    Alcotest.test_case "cross-function call" `Quick test_cross_function_call;
+    Alcotest.test_case "undefined label raises" `Quick test_undefined_label;
+    Alcotest.test_case "duplicate function rejected" `Quick test_duplicate_function;
+    Alcotest.test_case "imports via extra_symbols" `Quick test_extra_symbols;
+    Alcotest.test_case "program symbols shadow imports" `Quick test_local_shadows_import;
+    Alcotest.test_case "mov_addr materializes 64-bit address" `Quick
+      test_mov_addr_materializes;
+    Alcotest.test_case "instruction_count ignores labels" `Quick test_instruction_count;
+    Alcotest.test_case "disassembly shows symbols" `Quick test_disassemble_contains_symbols;
+  ]

@@ -1,0 +1,213 @@
+(* Interpreter smoke tests: run small assembled programs end to end,
+   including PAuth sign/authenticate round trips and fault delivery. *)
+
+open Aarch64
+
+let code_base = Env.code_base
+let stack_top = Env.stack_top
+let pa_of_va = Env.pa_of_va
+let map_region cpu ~base ~pages perm = Env.map_region cpu ~base ~pages perm
+let fresh_cpu () = Env.fresh_cpu ()
+let load_program cpu prog = Env.load_program cpu prog
+let run_function = Env.run_function
+
+let test_arith_loop () =
+  let cpu = fresh_cpu () in
+  let prog = Asm.create () in
+  (* Sum 1..10 into x0. *)
+  Asm.add_function prog ~name:"sum"
+    [
+      Asm.ins (Insn.Movz (Insn.R 0, 0, 0));
+      Asm.ins (Insn.Movz (Insn.R 1, 10, 0));
+      Asm.label "loop";
+      Asm.ins (Insn.Add_reg (Insn.R 0, Insn.R 0, Insn.R 1));
+      Asm.ins (Insn.Sub_imm (Insn.R 1, Insn.R 1, 1));
+      Asm.cbnz_to (Insn.R 1) "loop";
+      Asm.ins Insn.Ret;
+    ];
+  let layout = load_program cpu prog in
+  (match run_function cpu layout "sum" with
+  | Cpu.Sentinel_return -> ()
+  | other -> Alcotest.failf "unexpected stop: %s" (Cpu.stop_to_string other));
+  Alcotest.(check int64) "sum 1..10" 55L (Cpu.reg cpu (Insn.R 0))
+
+let test_memory_and_frame () =
+  let cpu = fresh_cpu () in
+  let prog = Asm.create () in
+  (* Canonical frame push/pop as in Listing 1 of the paper. *)
+  Asm.add_function prog ~name:"callee"
+    [
+      Asm.ins (Insn.Stp (Insn.fp, Insn.lr, Insn.Pre (Insn.SP, -16)));
+      Asm.ins (Insn.Mov (Insn.fp, Insn.SP));
+      Asm.ins (Insn.Movz (Insn.R 0, 7, 0));
+      Asm.ins (Insn.Ldp (Insn.fp, Insn.lr, Insn.Post (Insn.SP, 16)));
+      Asm.ins Insn.Ret;
+    ];
+  Asm.add_function prog ~name:"caller"
+    [
+      Asm.ins (Insn.Stp (Insn.fp, Insn.lr, Insn.Pre (Insn.SP, -16)));
+      Asm.ins (Insn.Mov (Insn.fp, Insn.SP));
+      Asm.bl_to "callee";
+      Asm.ins (Insn.Add_imm (Insn.R 0, Insn.R 0, 1));
+      Asm.ins (Insn.Ldp (Insn.fp, Insn.lr, Insn.Post (Insn.SP, 16)));
+      Asm.ins Insn.Ret;
+    ];
+  let layout = load_program cpu prog in
+  (match run_function cpu layout "caller" with
+  | Cpu.Sentinel_return -> ()
+  | other -> Alcotest.failf "unexpected stop: %s" (Cpu.stop_to_string other));
+  Alcotest.(check int64) "nested call result" 8L (Cpu.reg cpu (Insn.R 0));
+  Alcotest.(check int64) "stack balanced" stack_top (Cpu.sp_of cpu El.El1)
+
+let test_pac_aut_roundtrip () =
+  let cpu = fresh_cpu () in
+  let prog = Asm.create () in
+  (* Sign x0 with the DB key under modifier x1, then authenticate. *)
+  Asm.add_function prog ~name:"sign_auth"
+    [
+      Asm.ins (Insn.Pac (Sysreg.DB, Insn.R 0, Insn.R 1));
+      Asm.ins (Insn.Mov (Insn.R 2, Insn.R 0));
+      Asm.ins (Insn.Aut (Sysreg.DB, Insn.R 0, Insn.R 1));
+      Asm.ins Insn.Ret;
+    ];
+  let layout = load_program cpu prog in
+  let ptr = 0xffff000000300040L in
+  Cpu.set_reg cpu (Insn.R 0) ptr;
+  Cpu.set_reg cpu (Insn.R 1) 0x1234L;
+  (match run_function cpu layout "sign_auth" with
+  | Cpu.Sentinel_return -> ()
+  | other -> Alcotest.failf "unexpected stop: %s" (Cpu.stop_to_string other));
+  Alcotest.(check int64) "auth restores pointer" ptr (Cpu.reg cpu (Insn.R 0));
+  Alcotest.(check bool) "signed form differs" true (Cpu.reg cpu (Insn.R 2) <> ptr)
+
+let test_aut_wrong_modifier_poisons () =
+  let cpu = fresh_cpu () in
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"bad_auth"
+    [
+      Asm.ins (Insn.Pac (Sysreg.DB, Insn.R 0, Insn.R 1));
+      Asm.ins (Insn.Aut (Sysreg.DB, Insn.R 0, Insn.R 2));
+      (* dereference the poisoned pointer: must fault *)
+      Asm.ins (Insn.Ldr (Insn.R 3, Insn.Off (Insn.R 0, 0)));
+      Asm.ins Insn.Ret;
+    ];
+  let layout = load_program cpu prog in
+  Cpu.set_reg cpu (Insn.R 0) 0xffff000000300040L;
+  Cpu.set_reg cpu (Insn.R 1) 0x1234L;
+  Cpu.set_reg cpu (Insn.R 2) 0x9999L;
+  (match run_function cpu layout "bad_auth" with
+  | Cpu.Fault { fault = Cpu.Mmu_fault f; _ } ->
+      Alcotest.(check bool) "translation fault" true (f.Mmu.kind = Mmu.Translation);
+      Alcotest.(check bool) "faulting VA is poisoned" true
+        (Vaddr.is_poisoned (Cpu.kernel_cfg cpu) f.Mmu.va)
+  | other -> Alcotest.failf "expected fault, got %s" (Cpu.stop_to_string other))
+
+let test_svc_and_sysreg_protection () =
+  let cpu = fresh_cpu () in
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"do_svc" [ Asm.ins (Insn.Svc 5) ];
+  let layout = load_program cpu prog in
+  (match run_function cpu layout "do_svc" with
+  | Cpu.Svc 5 -> ()
+  | other -> Alcotest.failf "expected svc, got %s" (Cpu.stop_to_string other));
+  (* Hypervisor locks SCTLR: EL1 write must be denied. *)
+  Cpu.set_sysreg_lock cpu Sysreg.is_mmu_control;
+  let prog2 = Asm.create () in
+  Asm.add_function prog2 ~name:"tamper"
+    [
+      Asm.ins (Insn.Movz (Insn.R 0, 0, 0));
+      Asm.ins (Insn.Msr (Sysreg.SCTLR_EL1, Insn.R 0));
+      Asm.ins Insn.Ret;
+    ];
+  let base2 = Int64.add code_base 0x8000L in
+  let layout2 = Asm.assemble prog2 ~base:base2 in
+  Asm.encode_into layout2 ~write32:(fun va word ->
+      Mem.write32 (Cpu.mem cpu) (pa_of_va va) word);
+  match Cpu.call cpu (Asm.symbol layout2 "tamper") with
+  | Cpu.Fault { fault = Cpu.Hyp_denied Sysreg.SCTLR_EL1; _ } -> ()
+  | other -> Alcotest.failf "expected hyp denial, got %s" (Cpu.stop_to_string other)
+
+let test_xom_enforcement () =
+  let cpu = fresh_cpu () in
+  let prog = Asm.create () in
+  (* A function that tries to read its own code. *)
+  Asm.add_function prog ~name:"read_self"
+    [
+      Asm.adr_of (Insn.R 1) "read_self";
+      Asm.ins (Insn.Ldr (Insn.R 0, Insn.Off (Insn.R 1, 0)));
+      Asm.ins Insn.Ret;
+    ];
+  let layout = load_program cpu prog in
+  (* Stage 2: make the code frame execute-only. *)
+  Mmu.stage2_protect (Cpu.mmu cpu)
+    ~pa_page:(Vaddr.page_of (pa_of_va code_base))
+    Mmu.xo;
+  match run_function cpu layout "read_self" with
+  | Cpu.Fault { fault = Cpu.Mmu_fault f; _ } ->
+      Alcotest.(check bool) "stage-2 permission fault" true
+        (f.Mmu.kind = Mmu.Stage2_permission)
+  | other -> Alcotest.failf "expected stage-2 fault, got %s" (Cpu.stop_to_string other)
+
+let test_pauthless_cpu () =
+  (* On an ARMv8.0 part the 1716 hint forms are NOP and PAC is undefined. *)
+  let cpu = Cpu.create ~has_pauth:false () in
+  map_region cpu ~base:code_base ~pages:4 Mmu.rx;
+  Cpu.set_el cpu El.El1;
+  Cpu.set_sp_of cpu El.El1 stack_top;
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"hints"
+    [
+      Asm.ins (Insn.Pac1716 Sysreg.IB);
+      Asm.ins (Insn.Aut1716 Sysreg.IB);
+      Asm.ins Insn.Ret;
+    ];
+  Asm.add_function prog ~name:"hard_pauth"
+    [ Asm.ins (Insn.Pac (Sysreg.IA, Insn.R 0, Insn.SP)); Asm.ins Insn.Ret ];
+  let layout = load_program cpu prog in
+  Cpu.set_reg cpu (Insn.R 17) 0x42L;
+  (match run_function cpu layout "hints" with
+  | Cpu.Sentinel_return -> ()
+  | other -> Alcotest.failf "hint forms must be NOP: %s" (Cpu.stop_to_string other));
+  Alcotest.(check int64) "x17 untouched" 0x42L (Cpu.reg cpu (Insn.R 17));
+  (* A PAC with keys disabled (no SCTLR bits) is a NOP even on 8.3; on a
+     8.0 part we model the whole instruction as available-but-inert only
+     for the hint space. The encoded Pac executes as pass-through since
+     pauth_enabled is false. *)
+  match run_function cpu layout "hard_pauth" with
+  | Cpu.Sentinel_return -> ()
+  | other -> Alcotest.failf "disabled pac is inert: %s" (Cpu.stop_to_string other)
+
+let test_cycle_accounting () =
+  let cpu = fresh_cpu () in
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"three_alu"
+    [
+      Asm.ins (Insn.Movz (Insn.R 0, 1, 0));
+      Asm.ins (Insn.Add_imm (Insn.R 0, Insn.R 0, 1));
+      Asm.ins (Insn.Pac (Sysreg.IA, Insn.R 0, Insn.SP));
+      Asm.ins Insn.Ret;
+    ];
+  let layout = load_program cpu prog in
+  let before = Cpu.cycles cpu in
+  (match run_function cpu layout "three_alu" with
+  | Cpu.Sentinel_return -> ()
+  | other -> Alcotest.failf "unexpected stop: %s" (Cpu.stop_to_string other));
+  let elapsed = Int64.to_int (Int64.sub (Cpu.cycles cpu) before) in
+  let c = Cpu.cost_profile cpu in
+  Alcotest.(check int) "cycles = 2 alu + pauth + branch"
+    ((2 * c.Cost.alu) + c.Cost.pauth + c.Cost.branch)
+    elapsed
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic loop" `Quick test_arith_loop;
+    Alcotest.test_case "frame record push/pop (Listing 1)" `Quick test_memory_and_frame;
+    Alcotest.test_case "pac/aut roundtrip" `Quick test_pac_aut_roundtrip;
+    Alcotest.test_case "wrong modifier poisons pointer" `Quick
+      test_aut_wrong_modifier_poisons;
+    Alcotest.test_case "svc + hypervisor sysreg lock" `Quick
+      test_svc_and_sysreg_protection;
+    Alcotest.test_case "XOM enforced by stage 2" `Quick test_xom_enforcement;
+    Alcotest.test_case "ARMv8.0 compatibility behaviour" `Quick test_pauthless_cpu;
+    Alcotest.test_case "cycle accounting" `Quick test_cycle_accounting;
+  ]

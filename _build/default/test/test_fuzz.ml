@@ -1,0 +1,142 @@
+(* Syscall-sequence fuzzing.
+
+   Random sequences of benign syscalls drive two strong properties:
+
+   - transparency: the fully protected kernel returns exactly the same
+     values as the unprotected kernel for every benign sequence (the
+     protection must never change semantics, R3/R5);
+   - determinism: the same seed yields the same cycle count;
+   - resilience: no benign sequence can panic the kernel, and the
+     system survives garbage arguments with error returns or process
+     kills, never host exceptions. *)
+
+module C = Camouflage
+module K = Kernel
+
+type op =
+  | Getpid
+  | Getuid
+  | Open
+  | Close of int
+  | Read of int * int
+  | Write of int * int
+  | Stat
+  | Fstat of int
+  | Notifier_register of int * int
+  | Notifier_call of int
+  | Pipe_write of int
+  | Pipe_read of int
+  | Socketpair
+  | Poll of int
+  | Timer_set of int * int
+  | Run_timers
+  | Run_static_work
+
+let gen_op =
+  QCheck2.Gen.(
+    let fd = int_range 0 17 in
+    oneof
+      [
+        return Getpid;
+        return Getuid;
+        return Open;
+        map (fun v -> Close v) fd;
+        map2 (fun a b -> Read (a, b)) fd (int_range 0 256);
+        map2 (fun a b -> Write (a, b)) fd (int_range 0 256);
+        return Stat;
+        map (fun v -> Fstat v) fd;
+        map2 (fun a b -> Notifier_register (a, b)) (int_range 0 9) (int_range 0 5);
+        map (fun v -> Notifier_call v) (int_range 0 9);
+        map (fun v -> Pipe_write v) (int_range 0 200);
+        map (fun v -> Pipe_read v) (int_range 0 200);
+        return Socketpair;
+        map (fun v -> Poll v) (int_range 0 4);
+        map2 (fun a b -> Timer_set (a, b)) (int_range 0 9) (int_range 0 3);
+        return Run_timers;
+        return Run_static_work;
+      ])
+
+let gen_sequence = QCheck2.Gen.(list_size (int_range 1 40) gen_op)
+
+(* Execute one op; the observable is (tag, return value or outcome). *)
+let execute sys op =
+  let buf = K.Layout.user_data_base in
+  let sc nr args =
+    match K.System.syscall sys ~nr ~args with
+    | K.System.Ok v -> ("ok", v)
+    | K.System.Killed m -> ("killed:" ^ m, 0L)
+    | K.System.Panicked m -> ("panicked:" ^ m, 0L)
+  in
+  match op with
+  | Getpid -> sc K.Kbuild.sys_getpid []
+  | Getuid -> sc K.Kbuild.sys_getuid []
+  | Open -> sc K.Kbuild.sys_open [ 1L ]
+  | Close fd -> sc K.Kbuild.sys_close [ Int64.of_int fd ]
+  | Read (fd, len) -> sc K.Kbuild.sys_read [ Int64.of_int fd; buf; Int64.of_int len ]
+  | Write (fd, len) -> sc K.Kbuild.sys_write [ Int64.of_int fd; buf; Int64.of_int len ]
+  | Stat -> sc K.Kbuild.sys_stat [ 3L; buf ]
+  | Fstat fd -> sc K.Kbuild.sys_fstat [ Int64.of_int fd; buf ]
+  | Notifier_register (slot, id) ->
+      sc K.Kbuild.sys_notifier_register [ Int64.of_int slot; Int64.of_int id ]
+  | Notifier_call slot -> sc K.Kbuild.sys_notifier_call [ Int64.of_int slot ]
+  | Pipe_write len -> sc K.Kbuild.sys_pipe_write [ buf; Int64.of_int len ]
+  | Pipe_read len -> sc K.Kbuild.sys_pipe_read [ buf; Int64.of_int len ]
+  | Socketpair -> sc K.Kbuild.sys_socketpair []
+  | Poll n ->
+      (* descriptor array: fds 3..3+n-1 *)
+      List.iteri
+        (fun idx fd ->
+          K.Kmem.write64 (K.System.cpu sys)
+            (Int64.add (Int64.add buf 2048L) (Int64.of_int (8 * idx)))
+            (Int64.of_int fd))
+        (List.init n (fun i -> 3 + i));
+      sc K.Kbuild.sys_poll [ Int64.add buf 2048L; Int64.of_int n ]
+  | Timer_set (slot, id) ->
+      sc K.Kbuild.sys_timer_set [ Int64.of_int slot; 0L; Int64.of_int id ]
+  | Run_timers -> (
+      match K.System.run_timers sys with
+      | K.System.Ok v -> ("ok", v)
+      | K.System.Killed m -> ("killed:" ^ m, 0L)
+      | K.System.Panicked m -> ("panicked:" ^ m, 0L))
+  | Run_static_work -> (
+      match K.System.run_work sys ~work_va:(K.System.kernel_symbol sys "static_work") with
+      | K.System.Ok v -> ("ok", v)
+      | K.System.Killed m -> ("killed:" ^ m, 0L)
+      | K.System.Panicked m -> ("panicked:" ^ m, 0L))
+
+let run_sequence config seq =
+  let sys = K.System.boot ~config ~seed:99L () in
+  K.Kmem.map_user_region (K.System.cpu sys) ~base:K.Layout.user_data_base ~bytes:0x4000
+    Aarch64.Mmu.rw;
+  let observations = List.map (execute sys) seq in
+  (observations, K.System.panicked sys, Aarch64.Cpu.cycles (K.System.cpu sys))
+
+let prop_transparency =
+  QCheck2.Test.make ~name:"full protection is semantically transparent" ~count:40
+    gen_sequence (fun seq ->
+      let obs_full, panicked_full, _ = run_sequence C.Config.full seq in
+      let obs_none, panicked_none, _ = run_sequence C.Config.none seq in
+      obs_full = obs_none && (not panicked_full) && not panicked_none)
+
+let prop_determinism =
+  QCheck2.Test.make ~name:"same sequence, same cycle count" ~count:20 gen_sequence
+    (fun seq ->
+      let _, _, c1 = run_sequence C.Config.full seq in
+      let _, _, c2 = run_sequence C.Config.full seq in
+      c1 = c2)
+
+let prop_no_benign_panic =
+  QCheck2.Test.make ~name:"benign sequences never panic any build" ~count:30 gen_sequence
+    (fun seq ->
+      List.for_all
+        (fun config ->
+          let _, panicked, _ = run_sequence config seq in
+          not panicked)
+        [ C.Config.full; C.Config.backward_only; C.Config.compat; C.Config.none ])
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_transparency;
+    QCheck_alcotest.to_alcotest prop_determinism;
+    QCheck_alcotest.to_alcotest prop_no_benign_panic;
+  ]

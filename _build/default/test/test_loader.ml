@@ -1,0 +1,166 @@
+(* Object-file and loader tests: relocation, symbol resolution,
+   .pauth_static signing, verification gating, and permission mapping. *)
+
+open Aarch64
+module C = Camouflage
+module K = Kernel
+module O = Kelf.Object_file
+
+let boot () = K.System.boot ~config:C.Config.full ~seed:3L ()
+
+let test_object_builders () =
+  let obj = O.empty "m" in
+  let obj = O.add_function obj ~name:"f" [ Asm.ins Insn.Ret ] in
+  let obj = O.add_rodata obj { O.blob_name = "tbl"; words = [ O.Lit 1L; O.Sym "f" ] } in
+  let obj = O.add_data obj { O.blob_name = "cell"; words = [ O.Lit 0L ] } in
+  Alcotest.(check int) "text insns" 1 (O.text_instruction_count obj);
+  Alcotest.(check int) "rodata bytes" 16 (O.rodata_size_bytes obj);
+  Alcotest.(check int) "data bytes" 8 (O.data_size_bytes obj)
+
+let test_data_relocation () =
+  let sys = boot () in
+  let obj =
+    O.empty "relmod"
+    |> fun o ->
+    O.add_function o ~name:"target" [ Asm.ins Insn.Ret ]
+    |> fun o ->
+    O.add_rodata o
+      { O.blob_name = "table";
+        words = [ O.Sym "target"; O.Sym_off ("target", 8); O.Lit 0x42L ] }
+  in
+  match K.System.load_module sys obj with
+  | Result.Error e -> Alcotest.failf "load: %s" (Kelf.Loader.error_to_string e)
+  | Result.Ok placed ->
+      let target = Kelf.Loader.symbol placed "target" in
+      let table = Kelf.Loader.symbol placed "table" in
+      let cpu = K.System.cpu sys in
+      Alcotest.(check int64) "Sym resolves" target (K.Kmem.read64 cpu table);
+      Alcotest.(check int64) "Sym_off resolves" (Int64.add target 8L)
+        (K.Kmem.read64 cpu (Int64.add table 8L));
+      Alcotest.(check int64) "Lit copies" 0x42L (K.Kmem.read64 cpu (Int64.add table 16L))
+
+let test_unknown_symbol_rejected () =
+  let sys = boot () in
+  let obj =
+    O.add_rodata (O.empty "badmod")
+      { O.blob_name = "table"; words = [ O.Sym "no_such_symbol" ] }
+  in
+  match K.System.load_module sys obj with
+  | Result.Error (Kelf.Loader.Unknown_symbol "no_such_symbol") -> ()
+  | Result.Error e -> Alcotest.failf "wrong error: %s" (Kelf.Loader.error_to_string e)
+  | Result.Ok _ -> Alcotest.fail "accepted"
+
+let test_unknown_member_rejected () =
+  let sys = boot () in
+  let obj =
+    O.empty "badsign"
+    |> fun o ->
+    O.add_data o { O.blob_name = "blob"; words = [ O.Lit 1L ] }
+    |> fun o ->
+    O.add_static_sign o
+      { O.sign_blob = "blob"; word_index = 0; type_name = "nonexistent";
+        member_name = "field" }
+  in
+  match K.System.load_module sys obj with
+  | Result.Error (Kelf.Loader.Unknown_member ("nonexistent", "field")) -> ()
+  | Result.Error e -> Alcotest.failf "wrong error: %s" (Kelf.Loader.error_to_string e)
+  | Result.Ok _ -> Alcotest.fail "accepted"
+
+let test_module_text_is_immutable () =
+  let sys = boot () in
+  let obj = O.add_function (O.empty "mod") ~name:"f" [ Asm.ins Insn.Ret ] in
+  match K.System.load_module sys obj with
+  | Result.Error e -> Alcotest.failf "load: %s" (Kelf.Loader.error_to_string e)
+  | Result.Ok placed -> (
+      let f = Kelf.Loader.symbol placed "f" in
+      (* the attacker's arbitrary write must not patch module text *)
+      match K.System.syscall sys ~nr:K.Kbuild.sys_vuln_write ~args:[ f; 0L ] with
+      | K.System.Ok _ -> Alcotest.fail "module text writable"
+      | K.System.Killed _ -> ()
+      | K.System.Panicked m -> Alcotest.failf "panic: %s" m)
+
+let test_module_rodata_immutable_data_writable () =
+  let sys = boot () in
+  let obj =
+    O.empty "mod2"
+    |> fun o ->
+    O.add_rodata o { O.blob_name = "ro"; words = [ O.Lit 7L ] }
+    |> fun o -> O.add_data o { O.blob_name = "rw"; words = [ O.Lit 8L ] }
+  in
+  match K.System.load_module sys obj with
+  | Result.Error e -> Alcotest.failf "load: %s" (Kelf.Loader.error_to_string e)
+  | Result.Ok placed -> (
+      let ro = Kelf.Loader.symbol placed "ro" in
+      let rw = Kelf.Loader.symbol placed "rw" in
+      (match K.System.syscall sys ~nr:K.Kbuild.sys_vuln_write ~args:[ ro; 1L ] with
+      | K.System.Ok _ -> Alcotest.fail "module rodata writable"
+      | K.System.Killed _ -> ()
+      | K.System.Panicked m -> Alcotest.failf "panic: %s" m);
+      match K.System.syscall sys ~nr:K.Kbuild.sys_vuln_write ~args:[ rw; 9L ] with
+      | K.System.Ok _ ->
+          Alcotest.(check int64) "data updated" 9L (K.Kmem.read64 (K.System.cpu sys) rw)
+      | K.System.Killed m | K.System.Panicked m -> Alcotest.failf "data write: %s" m)
+
+let test_static_sign_round_trip () =
+  let sys = boot () in
+  let config = K.System.config sys in
+  let handler_body = C.Instrument.wrap config ~name:"h" [ Asm.ins (Insn.Movz (Insn.R 0, 3, 0)) ] in
+  let obj =
+    O.empty "workmod"
+    |> fun o ->
+    O.add_function o ~name:"h" handler_body.C.Instrument.items
+    |> fun o ->
+    O.add_data o { O.blob_name = "w"; words = [ O.Lit 0L; O.Sym "h" ] }
+    |> fun o ->
+    O.add_static_sign o
+      { O.sign_blob = "w"; word_index = 1; type_name = "work_struct"; member_name = "func" }
+  in
+  match K.System.load_module sys obj with
+  | Result.Error e -> Alcotest.failf "load: %s" (Kelf.Loader.error_to_string e)
+  | Result.Ok placed -> (
+      let w = Kelf.Loader.symbol placed "w" in
+      let h = Kelf.Loader.symbol placed "h" in
+      let stored = K.Kmem.read64 (K.System.cpu sys) (Int64.add w 8L) in
+      Alcotest.(check bool) "stored signed" true (stored <> h);
+      match K.System.run_work sys ~work_va:w with
+      | K.System.Ok v -> Alcotest.(check int64) "dispatched" 3L v
+      | K.System.Killed m | K.System.Panicked m -> Alcotest.failf "dispatch: %s" m)
+
+let test_module_symbols_fallthrough () =
+  let sys = boot () in
+  let obj = O.add_function (O.empty "m") ~name:"f" [ Asm.ins Insn.Ret ] in
+  match K.System.load_module sys obj with
+  | Result.Error e -> Alcotest.failf "load: %s" (Kelf.Loader.error_to_string e)
+  | Result.Ok placed ->
+      (match Kelf.Loader.symbol placed "f" with
+      | _ -> ());
+      Alcotest.check_raises "unknown symbol" Not_found (fun () ->
+          ignore (Kelf.Loader.symbol placed "zzz"))
+
+let test_sequential_module_placement () =
+  let sys = boot () in
+  let mk name = O.add_function (O.empty name) ~name:(name ^ "_f") [ Asm.ins Insn.Ret ] in
+  match (K.System.load_module sys (mk "m1"), K.System.load_module sys (mk "m2")) with
+  | Result.Ok p1, Result.Ok p2 ->
+      Alcotest.(check bool) "disjoint placement" true
+        (Int64.unsigned_compare p2.Kelf.Loader.text_base
+           (Int64.add p1.Kelf.Loader.data_base (Int64.of_int p1.Kelf.Loader.data_bytes))
+        >= 0)
+  | Result.Error e, _ | _, Result.Error e ->
+      Alcotest.failf "load: %s" (Kelf.Loader.error_to_string e)
+
+let suite =
+  [
+    Alcotest.test_case "object builders account sizes" `Quick test_object_builders;
+    Alcotest.test_case "data relocation (Sym/Sym_off/Lit)" `Quick test_data_relocation;
+    Alcotest.test_case "unknown symbol rejected" `Quick test_unknown_symbol_rejected;
+    Alcotest.test_case "unknown protected member rejected" `Quick
+      test_unknown_member_rejected;
+    Alcotest.test_case "module text immutable" `Quick test_module_text_is_immutable;
+    Alcotest.test_case "module rodata ro, data rw" `Quick
+      test_module_rodata_immutable_data_writable;
+    Alcotest.test_case "module .pauth_static round trip" `Quick
+      test_static_sign_round_trip;
+    Alcotest.test_case "symbol lookup errors" `Quick test_module_symbols_fallthrough;
+    Alcotest.test_case "sequential placement" `Quick test_sequential_module_placement;
+  ]

@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "camouflage"
+    [
+      ("util", Test_util.suite);
+      ("qarma", Test_qarma.suite);
+      ("mem-mmu", Test_mem_mmu.suite);
+      ("asm", Test_asm.suite);
+      ("vaddr", Test_vaddr.suite);
+      ("encode", Test_encode.suite);
+      ("cpu", Test_cpu.suite);
+      ("camouflage", Test_camouflage.suite);
+      ("kernel", Test_kernel.suite);
+      ("xom", Test_xom.suite);
+      ("loader", Test_loader.suite);
+      ("attacks", Test_attacks.suite);
+      ("workloads", Test_workloads.suite);
+      ("sempatch", Test_sempatch.suite);
+      ("properties", Test_properties.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("misc", Test_misc.suite);
+    ]

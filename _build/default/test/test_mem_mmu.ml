@@ -1,0 +1,138 @@
+(* Memory and two-stage MMU tests: endianness, frame-boundary accesses,
+   permission composition, and the XOM property of Appendix A.2. *)
+
+open Aarch64
+
+let test_mem_endianness () =
+  let m = Mem.create () in
+  Mem.write64 m 0x1000L 0x0102030405060708L;
+  Alcotest.(check int) "LSB first" 8 (Mem.read8 m 0x1000L);
+  Alcotest.(check int) "MSB last" 1 (Mem.read8 m 0x1007L);
+  Alcotest.(check int32) "low word" 0x05060708l (Mem.read32 m 0x1000L)
+
+let test_mem_frame_boundary () =
+  let m = Mem.create () in
+  (* a 64-bit store straddling the 4 KiB frame boundary *)
+  Mem.write64 m 0x1ffcL 0x1122334455667788L;
+  Alcotest.(check int64) "read back across boundary" 0x1122334455667788L
+    (Mem.read64 m 0x1ffcL);
+  Alcotest.(check int) "byte in first frame" 0x88 (Mem.read8 m 0x1ffcL);
+  Alcotest.(check int) "byte in second frame" 0x11 (Mem.read8 m 0x2003L);
+  let w = Mem.read32 m 0x1ffeL in
+  Alcotest.(check int32) "32-bit across boundary" 0x33445566l w
+
+let test_mem_strings () =
+  let m = Mem.create () in
+  Mem.blit_string m 0x500L "camouflage";
+  Alcotest.(check string) "string roundtrip" "camouflage" (Mem.read_string m 0x500L 10)
+
+let test_mem_sparse () =
+  let m = Mem.create () in
+  Alcotest.(check int) "empty" 0 (Mem.frames_allocated m);
+  Alcotest.(check int) "read allocates lazily" 0 (Mem.read8 m 0xdead000L);
+  ignore (Mem.frames_allocated m);
+  Mem.write8 m 0x0L 1;
+  Mem.write8 m 0x100000L 1;
+  Alcotest.(check bool) "two+ distinct frames" true (Mem.frames_allocated m >= 2)
+
+let test_stage1_permissions () =
+  let mmu = Mmu.create () in
+  Mmu.map mmu ~va_page:0x10L ~pa_page:0x99L ~el0:Mmu.no_access ~el1:Mmu.rw;
+  (* EL1 read and write pass and translate *)
+  (match Mmu.translate mmu ~el:El.El1 ~access:Mmu.Read 0x10040L with
+  | Ok pa -> Alcotest.(check int64) "translated" 0x99040L pa
+  | Error f -> Alcotest.failf "unexpected fault %s" (Mmu.fault_to_string f));
+  (* EL0 is denied with a stage-1 permission fault *)
+  (match Mmu.translate mmu ~el:El.El0 ~access:Mmu.Read 0x10040L with
+  | Ok _ -> Alcotest.fail "el0 read allowed"
+  | Error f -> Alcotest.(check bool) "el0 perm fault" true (f.Mmu.kind = Mmu.Permission));
+  (* unmapped is a translation fault *)
+  match Mmu.translate mmu ~el:El.El1 ~access:Mmu.Read 0x999000L with
+  | Ok _ -> Alcotest.fail "unmapped translated"
+  | Error f -> Alcotest.(check bool) "translation fault" true (f.Mmu.kind = Mmu.Translation)
+
+let test_el1_implicit_read () =
+  (* VMSAv8: any EL1 mapping is implicitly readable — the reason kernel
+     XOM needs stage 2 (Appendix A.2). *)
+  let mmu = Mmu.create () in
+  Mmu.map mmu ~va_page:0x20L ~pa_page:0x20L ~el0:Mmu.no_access ~el1:Mmu.xo;
+  match Mmu.translate mmu ~el:El.El1 ~access:Mmu.Read 0x20000L with
+  | Ok _ -> ()
+  | Error f ->
+      Alcotest.failf "stage-1 xo should still read at EL1: %s" (Mmu.fault_to_string f)
+
+let test_stage2_composition () =
+  let mmu = Mmu.create () in
+  Mmu.map mmu ~va_page:0x30L ~pa_page:0x40L ~el0:Mmu.rwx ~el1:Mmu.rwx;
+  Mmu.stage2_protect mmu ~pa_page:0x40L Mmu.xo;
+  (* execution allowed, read/write denied by stage 2 for both ELs *)
+  (match Mmu.translate mmu ~el:El.El1 ~access:Mmu.Exec 0x30000L with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "exec blocked: %s" (Mmu.fault_to_string f));
+  (match Mmu.translate mmu ~el:El.El1 ~access:Mmu.Read 0x30000L with
+  | Ok _ -> Alcotest.fail "stage2 read allowed"
+  | Error f ->
+      Alcotest.(check bool) "stage-2 fault" true (f.Mmu.kind = Mmu.Stage2_permission));
+  match Mmu.translate mmu ~el:El.El0 ~access:Mmu.Write 0x30000L with
+  | Ok _ -> Alcotest.fail "stage2 write allowed"
+  | Error f ->
+      Alcotest.(check bool) "stage-2 fault el0" true (f.Mmu.kind = Mmu.Stage2_permission)
+
+let test_stage2_default_open () =
+  let mmu = Mmu.create () in
+  Mmu.map mmu ~va_page:0x50L ~pa_page:0x50L ~el0:Mmu.no_access ~el1:Mmu.rw;
+  match Mmu.translate mmu ~el:El.El1 ~access:Mmu.Write 0x50008L with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "no stage-2 entry should be open: %s" (Mmu.fault_to_string f)
+
+let test_remap_and_unmap () =
+  let mmu = Mmu.create () in
+  Mmu.map mmu ~va_page:0x60L ~pa_page:0x61L ~el0:Mmu.no_access ~el1:Mmu.rw;
+  Mmu.map mmu ~va_page:0x60L ~pa_page:0x62L ~el0:Mmu.no_access ~el1:Mmu.ro;
+  (match Mmu.translate mmu ~el:El.El1 ~access:Mmu.Read 0x60000L with
+  | Ok pa -> Alcotest.(check int64) "remapped" 0x62000L pa
+  | Error f -> Alcotest.failf "fault %s" (Mmu.fault_to_string f));
+  (match Mmu.translate mmu ~el:El.El1 ~access:Mmu.Write 0x60000L with
+  | Ok _ -> Alcotest.fail "write after ro remap"
+  | Error _ -> ());
+  Mmu.unmap mmu ~va_page:0x60L;
+  match Mmu.translate mmu ~el:El.El1 ~access:Mmu.Read 0x60000L with
+  | Ok _ -> Alcotest.fail "translated after unmap"
+  | Error f -> Alcotest.(check bool) "translation fault" true (f.Mmu.kind = Mmu.Translation)
+
+let gen_addr = QCheck2.Gen.(map (fun x -> Int64.of_int (abs x)) int)
+
+let prop_mem_write_read =
+  QCheck2.Test.make ~name:"write64 then read64 round-trips at any address" ~count:300
+    QCheck2.Gen.(pair gen_addr (map Int64.of_int int))
+    (fun (addr, v) ->
+      let m = Mem.create () in
+      Mem.write64 m addr v;
+      Mem.read64 m addr = v)
+
+let prop_translate_offset_preserved =
+  QCheck2.Test.make ~name:"translation preserves the page offset" ~count:300
+    QCheck2.Gen.(pair (int_range 0 4095) (int_range 1 1000))
+    (fun (off, page) ->
+      let mmu = Mmu.create () in
+      let va_page = Int64.of_int page and pa_page = Int64.of_int (page + 7) in
+      Mmu.map mmu ~va_page ~pa_page ~el0:Mmu.no_access ~el1:Mmu.rw;
+      let va = Int64.add (Int64.shift_left va_page 12) (Int64.of_int off) in
+      match Mmu.translate mmu ~el:El.El1 ~access:Mmu.Read va with
+      | Ok pa -> Int64.logand pa 0xfffL = Int64.of_int off
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "little-endian layout" `Quick test_mem_endianness;
+    Alcotest.test_case "frame-boundary access" `Quick test_mem_frame_boundary;
+    Alcotest.test_case "string blit/read" `Quick test_mem_strings;
+    Alcotest.test_case "sparse allocation" `Quick test_mem_sparse;
+    Alcotest.test_case "stage-1 permissions" `Quick test_stage1_permissions;
+    Alcotest.test_case "EL1 implicit readability" `Quick test_el1_implicit_read;
+    Alcotest.test_case "stage-2 composition (XOM)" `Quick test_stage2_composition;
+    Alcotest.test_case "stage-2 default open" `Quick test_stage2_default_open;
+    Alcotest.test_case "remap and unmap" `Quick test_remap_and_unmap;
+    QCheck_alcotest.to_alcotest prop_mem_write_read;
+    QCheck_alcotest.to_alcotest prop_translate_offset_preserved;
+  ]

@@ -1,0 +1,215 @@
+(* Deep property tests: a random generator over the whole instruction
+   AST drives encode/decode round-trips, and random straight-line bodies
+   drive an instrumentation-invariance property (every scheme computes
+   the same result and leaves the stack balanced). *)
+
+open Aarch64
+module C = Camouflage
+
+let pc = 0xffff000000180000L
+
+(* Generator over registers (weighted toward ordinary Xn). *)
+let gen_reg =
+  QCheck2.Gen.(
+    frequency
+      [
+        (8, map (fun n -> Insn.R n) (int_range 0 30));
+        (1, return Insn.SP);
+        (1, return Insn.XZR);
+      ])
+
+let gen_key = QCheck2.Gen.oneofl Sysreg.[ IA; IB; DA; DB; GA ]
+let gen_cond = QCheck2.Gen.oneofl Insn.[ Eq; Ne; Lt; Ge; Gt; Le ]
+let gen_sysreg = QCheck2.Gen.oneofl Sysreg.all
+
+(* Word-aligned target within ADR/branch range of [pc]. *)
+let gen_near_target =
+  QCheck2.Gen.(map (fun w -> Int64.add pc (Int64.of_int (4 * w))) (int_range (-60000) 60000))
+
+let gen_amode =
+  QCheck2.Gen.(
+    let open Insn in
+    oneof
+      [
+        map2 (fun r off -> Off (r, off)) gen_reg (int_range (-2048) 2047);
+        map2 (fun r off -> Pre (r, off)) gen_reg (int_range (-2048) 2047);
+        map2 (fun r off -> Post (r, off)) gen_reg (int_range (-2048) 2047);
+      ])
+
+let gen_amode_pair =
+  QCheck2.Gen.(
+    let open Insn in
+    let off = map (fun v -> v * 8) (int_range (-32) 31) in
+    oneof
+      [
+        map2 (fun r o -> Off (r, o)) gen_reg off;
+        map2 (fun r o -> Pre (r, o)) gen_reg off;
+        map2 (fun r o -> Post (r, o)) gen_reg off;
+      ])
+
+let gen_insn =
+  QCheck2.Gen.(
+    let open Insn in
+    let imm16 = int_range 0 0xffff in
+    let shift16 = map (fun s -> 16 * s) (int_range 0 3) in
+    let imm13 = int_range (-4096) 4095 in
+    let sh6 = int_range 0 63 in
+    let bf = map2 (fun lsb w -> (lsb, max 1 (min w (64 - lsb)))) (int_range 0 56) (int_range 1 64) in
+    oneof
+      [
+        return Nop;
+        return Ret;
+        return Eret;
+        return Isb;
+        map3 (fun r v s -> Movz (r, v, s)) gen_reg imm16 shift16;
+        map3 (fun r v s -> Movk (r, v, s)) gen_reg imm16 shift16;
+        map2 (fun a b -> Mov (a, b)) gen_reg gen_reg;
+        map3 (fun a b v -> Add_imm (a, b, v)) gen_reg gen_reg imm13;
+        map3 (fun a b v -> Sub_imm (a, b, v)) gen_reg gen_reg imm13;
+        map3 (fun a b c -> Add_reg (a, b, c)) gen_reg gen_reg gen_reg;
+        map3 (fun a b c -> Sub_reg (a, b, c)) gen_reg gen_reg gen_reg;
+        map3 (fun a b c -> Subs_reg (a, b, c)) gen_reg gen_reg gen_reg;
+        map3 (fun a b v -> Subs_imm (a, b, v)) gen_reg gen_reg imm13;
+        map3 (fun a b c -> And_reg (a, b, c)) gen_reg gen_reg gen_reg;
+        map3 (fun a b c -> Orr_reg (a, b, c)) gen_reg gen_reg gen_reg;
+        map3 (fun a b c -> Eor_reg (a, b, c)) gen_reg gen_reg gen_reg;
+        map3 (fun a b s -> Lsl_imm (a, b, s)) gen_reg gen_reg sh6;
+        map3 (fun a b s -> Lsr_imm (a, b, s)) gen_reg gen_reg sh6;
+        map3 (fun a b (lsb, w) -> Bfi (a, b, lsb, w)) gen_reg gen_reg bf;
+        map3 (fun a b (lsb, w) -> Ubfx (a, b, lsb, w)) gen_reg gen_reg bf;
+        map2 (fun r t -> Adr (r, t)) gen_reg gen_near_target;
+        map2 (fun r m -> Ldr (r, m)) gen_reg gen_amode;
+        map2 (fun r m -> Str (r, m)) gen_reg gen_amode;
+        map2 (fun r m -> Ldrb (r, m)) gen_reg gen_amode;
+        map2 (fun r m -> Strb (r, m)) gen_reg gen_amode;
+        map3 (fun a b m -> Ldp (a, b, m)) gen_reg gen_reg gen_amode_pair;
+        map3 (fun a b m -> Stp (a, b, m)) gen_reg gen_reg gen_amode_pair;
+        map (fun t -> B t) gen_near_target;
+        map (fun t -> Bl t) gen_near_target;
+        map (fun r -> Br r) gen_reg;
+        map (fun r -> Blr r) gen_reg;
+        map2 (fun r t -> Cbz (r, t)) gen_reg gen_near_target;
+        map2 (fun r t -> Cbnz (r, t)) gen_reg gen_near_target;
+        map2 (fun c t -> Bcond (c, t)) gen_cond gen_near_target;
+        map3 (fun k a b -> Pac (k, a, b)) gen_key gen_reg gen_reg;
+        map3 (fun k a b -> Aut (k, a, b)) gen_key gen_reg gen_reg;
+        map (fun k -> Pac1716 k) gen_key;
+        map (fun k -> Aut1716 k) gen_key;
+        map (fun r -> Xpac r) gen_reg;
+        map3 (fun a b c -> Pacga (a, b, c)) gen_reg gen_reg gen_reg;
+        map3 (fun k a b -> Blra (k, a, b)) gen_key gen_reg gen_reg;
+        map3 (fun k a b -> Bra (k, a, b)) gen_key gen_reg gen_reg;
+        map (fun k -> Reta k) gen_key;
+        map2 (fun r sr -> Mrs (r, sr)) gen_reg gen_sysreg;
+        map2 (fun r sr -> Msr (sr, r)) gen_reg gen_sysreg;
+        map (fun v -> Svc v) imm16;
+        map (fun v -> Brk v) imm16;
+        map (fun v -> Hlt v) imm16;
+      ])
+
+let prop_encode_roundtrip_all_forms =
+  QCheck2.Test.make ~name:"encode/decode round-trips the whole AST" ~count:5000
+    ~print:Insn.to_string gen_insn (fun insn ->
+      match Encode.decode ~pc (Encode.encode ~pc insn) with
+      | Some insn' -> insn' = insn
+      | None -> false)
+
+let prop_encoding_injective =
+  QCheck2.Test.make ~name:"distinct instructions encode to distinct words" ~count:2000
+    QCheck2.Gen.(pair gen_insn gen_insn)
+    (fun (a, b) ->
+      let wa = Encode.encode ~pc a and wb = Encode.encode ~pc b in
+      if a = b then wa = wb else wa <> wb)
+
+(* Random straight-line compute bodies: only ALU ops on x0..x7, so the
+   result is a pure function of the inputs. Instrumenting the function
+   with ANY backward-edge scheme must not change the result, and must
+   leave SP balanced. *)
+let gen_alu_insn =
+  QCheck2.Gen.(
+    let open Insn in
+    let reg8 = map (fun n -> R n) (int_range 0 7) in
+    let imm = int_range 0 4095 in
+    oneof
+      [
+        map3 (fun a b v -> Add_imm (a, b, v)) reg8 reg8 imm;
+        map3 (fun a b v -> Sub_imm (a, b, v)) reg8 reg8 imm;
+        map3 (fun a b c -> Add_reg (a, b, c)) reg8 reg8 reg8;
+        map3 (fun a b c -> Sub_reg (a, b, c)) reg8 reg8 reg8;
+        map3 (fun a b c -> Eor_reg (a, b, c)) reg8 reg8 reg8;
+        map3 (fun a b c -> And_reg (a, b, c)) reg8 reg8 reg8;
+        map3 (fun a b c -> Orr_reg (a, b, c)) reg8 reg8 reg8;
+        map3 (fun a b s -> Lsl_imm (a, b, s)) reg8 reg8 (int_range 0 13);
+        map3 (fun a b s -> Lsr_imm (a, b, s)) reg8 reg8 (int_range 0 13);
+        map2 (fun a v -> Movz (a, v, 0)) reg8 imm;
+      ])
+
+let gen_body = QCheck2.Gen.(list_size (int_range 1 30) gen_alu_insn)
+
+let run_body config body =
+  let cpu = Bare.machine () in
+  let prog = Asm.create () in
+  let f = C.Instrument.wrap config ~name:"f" (List.map Asm.ins body) in
+  Asm.add_function prog ~name:"f" f.C.Instrument.items;
+  let layout = Bare.load cpu prog in
+  for idx = 0 to 7 do
+    Cpu.set_reg cpu (Insn.R idx) (Int64.of_int ((idx * 7919) + 13))
+  done;
+  match Bare.call cpu layout "f" with
+  | Cpu.Sentinel_return -> Some (Cpu.reg cpu (Insn.R 0), Cpu.sp_of cpu El.El1)
+  | _ -> None
+
+let instrument_configs =
+  [
+    C.Config.none;
+    { C.Config.backward_only with scheme = C.Modifier.Sp_only };
+    { C.Config.backward_only with scheme = C.Modifier.Parts 0xfeedL };
+    C.Config.backward_only;
+    C.Config.compat;
+    { C.Config.backward_only with scheme = C.Modifier.Chained };
+  ]
+
+let prop_instrumentation_transparent =
+  QCheck2.Test.make ~name:"instrumentation preserves results and stack balance"
+    ~count:100 gen_body (fun body ->
+      match run_body C.Config.none body with
+      | None -> false
+      | Some (expected, sp) ->
+          sp = Bare.stack_top
+          && List.for_all
+               (fun config ->
+                 match run_body config body with
+                 | Some (result, sp') -> result = expected && sp' = Bare.stack_top
+                 | None -> false)
+               instrument_configs)
+
+(* PAC distribution: over many random pointers/modifiers the PAC values
+   should hit a large fraction of the 15-bit space (no degenerate
+   truncation). *)
+let test_pac_spread () =
+  let cipher = Qarma.Block.create () in
+  let key = Pac.{ hi = 0xfeedfacecafebeefL; lo = 0x0123456789abcdefL } in
+  let cfg = Vaddr.linux_kernel in
+  let rng = Camo_util.Rng.create 31L in
+  let seen = Hashtbl.create 4096 in
+  let samples = 20_000 in
+  for _ = 1 to samples do
+    let ptr =
+      Int64.logor 0xffff000000000000L (Int64.logand (Camo_util.Rng.next rng) 0xffffffffL)
+    in
+    let signed = Pac.compute ~cipher ~key ~cfg ~modifier:(Camo_util.Rng.next rng) ptr in
+    Hashtbl.replace seen (Vaddr.extract_pac cfg signed) ()
+  done;
+  let distinct = Hashtbl.length seen in
+  (* coupon-collector: 20k draws over 32768 bins should fill > 40% *)
+  Alcotest.(check bool)
+    (Printf.sprintf "PAC spread (%d distinct)" distinct)
+    true (distinct > 13_000)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_encode_roundtrip_all_forms;
+    QCheck_alcotest.to_alcotest prop_encoding_injective;
+    QCheck_alcotest.to_alcotest prop_instrumentation_transparent;
+    Alcotest.test_case "PAC value spread" `Quick test_pac_spread;
+  ]

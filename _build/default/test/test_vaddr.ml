@@ -1,0 +1,88 @@
+(* Appendix A of the paper: VMSAv8 address ranges (Table 1), pointer
+   layouts (Table 2) and the resulting PAC widths. *)
+
+open Aarch64
+
+let test_select () =
+  Alcotest.(check bool) "kernel top" true (Vaddr.select 0xffffffffffffffffL = Vaddr.Kernel);
+  Alcotest.(check bool) "kernel base" true (Vaddr.select 0xffff000000000000L = Vaddr.Kernel);
+  Alcotest.(check bool) "user top" true (Vaddr.select 0x0000ffffffffffffL = Vaddr.User);
+  Alcotest.(check bool) "user base" true (Vaddr.select 0L = Vaddr.User)
+
+let test_canonical_kernel () =
+  let cfg = Vaddr.linux_kernel in
+  Alcotest.(check bool) "kernel canonical" true
+    (Vaddr.is_canonical cfg 0xffff000012345678L);
+  Alcotest.(check bool) "kernel with junk top" false
+    (Vaddr.is_canonical cfg 0xabff000012345678L);
+  (* bit 55 of the input is 1, so the kernel form is reconstructed *)
+  Alcotest.(check int64) "canonicalize restores sign" 0xffff000012345678L
+    (Vaddr.canonical cfg 0xab80000012345678L)
+
+let test_canonical_user_tbi () =
+  let cfg = Vaddr.linux_user in
+  (* TBI: the top byte is a tag and ignored. *)
+  Alcotest.(check bool) "tagged user pointer is canonical" true
+    (Vaddr.is_canonical cfg 0xab00123456789abcL);
+  Alcotest.(check bool) "extension bits must still be clear" false
+    (Vaddr.is_canonical cfg 0xab80123456789abcL)
+
+let test_pac_widths () =
+  (* Paper, Section 5.4: typical Linux configuration leaves 15 bits for
+     the kernel PAC (48-bit VA, no tag) and 7 for tagged user space. *)
+  Alcotest.(check int) "kernel pac bits" 15 (Vaddr.pac_bits Vaddr.linux_kernel);
+  Alcotest.(check int) "user pac bits (TBI)" 7 (Vaddr.pac_bits Vaddr.linux_user);
+  Alcotest.(check int) "39-bit VA kernel" 24
+    (Vaddr.pac_bits { Vaddr.va_bits = 39; tbi = false });
+  Alcotest.(check int) "39-bit VA user (TBI)" 16
+    (Vaddr.pac_bits { Vaddr.va_bits = 39; tbi = true })
+
+let test_insert_extract_pac () =
+  let cfg = Vaddr.linux_kernel in
+  let va = 0xffff00dead00beefL in
+  let pac = 0x5a77L in
+  let signed = Vaddr.insert_pac cfg ~pac va in
+  Alcotest.(check int64) "extract returns inserted (masked)"
+    (Int64.logand pac (Camo_util.Val64.mask (Vaddr.pac_bits cfg)))
+    (Vaddr.extract_pac cfg signed);
+  Alcotest.(check int64) "strip recovers canonical" va (Vaddr.strip_pac cfg signed);
+  Alcotest.(check bool) "bit 55 preserved" true (Vaddr.select signed = Vaddr.Kernel)
+
+let test_poison () =
+  let cfg = Vaddr.linux_kernel in
+  let va = 0xffff000000001000L in
+  let p = Vaddr.poison cfg va in
+  Alcotest.(check bool) "poisoned not canonical" false (Vaddr.is_canonical cfg p);
+  Alcotest.(check bool) "poison recognized" true (Vaddr.is_poisoned cfg p);
+  Alcotest.(check bool) "clean not recognized" false (Vaddr.is_poisoned cfg va)
+
+let gen_addr48 =
+  QCheck2.Gen.(map (fun x -> Int64.logand (Int64.of_int x) 0xffffffffffffL) int)
+
+let prop_canonical_idempotent =
+  QCheck2.Test.make ~name:"canonical is idempotent" ~count:300 gen_addr48 (fun low ->
+      let cfg = Vaddr.linux_kernel in
+      let va = Int64.logor low 0xffff000000000000L in
+      Vaddr.canonical cfg (Vaddr.canonical cfg va) = Vaddr.canonical cfg va)
+
+let prop_pac_roundtrip =
+  QCheck2.Test.make ~name:"insert_pac then extract_pac is identity on pac"
+    ~count:300
+    QCheck2.Gen.(pair gen_addr48 (map Int64.of_int int))
+    (fun (low, pac) ->
+      let cfg = Vaddr.linux_kernel in
+      let va = Int64.logor low 0xffff000000000000L in
+      let pac = Int64.logand pac (Camo_util.Val64.mask (Vaddr.pac_bits cfg)) in
+      Vaddr.extract_pac cfg (Vaddr.insert_pac cfg ~pac va) = pac)
+
+let suite =
+  [
+    Alcotest.test_case "table 1: range select" `Quick test_select;
+    Alcotest.test_case "kernel canonical form" `Quick test_canonical_kernel;
+    Alcotest.test_case "user canonical form under TBI" `Quick test_canonical_user_tbi;
+    Alcotest.test_case "PAC widths per configuration" `Quick test_pac_widths;
+    Alcotest.test_case "PAC insert/extract/strip" `Quick test_insert_extract_pac;
+    Alcotest.test_case "poisoned pointers" `Quick test_poison;
+    QCheck_alcotest.to_alcotest prop_canonical_idempotent;
+    QCheck_alcotest.to_alcotest prop_pac_roundtrip;
+  ]

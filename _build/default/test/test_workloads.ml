@@ -1,0 +1,78 @@
+(* Workload-driver tests: the benchmark harness itself must measure what
+   it claims — ordering properties of Figure 2/3/4 hold structurally. *)
+
+module C = Camouflage
+module W = Workloads
+
+let test_call_overhead_ordering () =
+  let results = W.Calls.measure ~calls:500 () in
+  match results with
+  | [ baseline; sp_only; parts; camouflage ] ->
+      Alcotest.(check bool) "baseline cheapest" true
+        (baseline.W.Calls.cycles_per_call < sp_only.W.Calls.cycles_per_call);
+      Alcotest.(check bool) "sp-only < camouflage" true
+        (sp_only.W.Calls.cycles_per_call < camouflage.W.Calls.cycles_per_call);
+      Alcotest.(check bool) "camouflage < parts (Figure 2)" true
+        (camouflage.W.Calls.cycles_per_call < parts.W.Calls.cycles_per_call);
+      Alcotest.(check (float 1e-9)) "baseline overhead 0" 0.0
+        baseline.W.Calls.overhead_cycles
+  | _ -> Alcotest.fail "expected 4 schemes"
+
+let test_call_overhead_scales_linearly () =
+  (* doubling the call count doubles total cycles (no fixed-cost bleed) *)
+  let c1 = W.Calls.measure_one C.Config.full ~calls:200 in
+  let c2 = W.Calls.measure_one C.Config.full ~calls:400 in
+  let per1 = Int64.to_float c1 /. 200.0 and per2 = Int64.to_float c2 /. 400.0 in
+  Alcotest.(check (float 0.5)) "per-call cost stable" per1 per2
+
+let test_lmbench_probe_sanity () =
+  let results = W.Lmbench.run ~seed:2L () in
+  Alcotest.(check int) "all probes measured" (List.length W.Lmbench.probes)
+    (List.length results);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (r.W.Lmbench.name ^ " baseline nonzero")
+        true
+        (r.W.Lmbench.cycles.(2) > 0.0);
+      Alcotest.(check (float 1e-9)) (r.W.Lmbench.name ^ " baseline rel = 1") 1.0
+        r.W.Lmbench.relative.(2);
+      Alcotest.(check bool)
+        (r.W.Lmbench.name ^ " protection never speeds up")
+        true
+        (r.W.Lmbench.relative.(0) >= 1.0 && r.W.Lmbench.relative.(1) >= 1.0);
+      Alcotest.(check bool)
+        (r.W.Lmbench.name ^ " full >= backward-only")
+        true
+        (r.W.Lmbench.relative.(0) >= r.W.Lmbench.relative.(1) -. 1e-9))
+    results;
+  let geo = W.Lmbench.geometric_mean_overhead results ~config_index:0 in
+  Alcotest.(check bool) "double-digit syscall overhead (paper claim)" true (geo >= 1.10)
+
+let test_userspace_shape () =
+  let results = W.Userspace.run ~seed:3L () in
+  (match results with
+  | [ jpeg; deb; net ] ->
+      Alcotest.(check bool) "jpeg cheapest (user-heavy)" true
+        (jpeg.W.Userspace.relative.(0) < deb.W.Userspace.relative.(0));
+      Alcotest.(check bool) "net worst (kernel-heavy)" true
+        (deb.W.Userspace.relative.(0) < net.W.Userspace.relative.(0))
+  | _ -> Alcotest.fail "expected 3 workloads");
+  let geo = W.Userspace.geometric_mean_overhead results ~config_index:0 in
+  Alcotest.(check bool) "geomean below 4% (paper headline)" true (geo < 1.04);
+  Alcotest.(check bool) "geomean above 0" true (geo > 1.0)
+
+let test_determinism () =
+  (* same seed, same cycles: the simulator is reproducible *)
+  let a = W.Calls.measure_one C.Config.full ~calls:100 in
+  let b = W.Calls.measure_one C.Config.full ~calls:100 in
+  Alcotest.(check int64) "deterministic" a b
+
+let suite =
+  [
+    Alcotest.test_case "Figure 2 ordering" `Slow test_call_overhead_ordering;
+    Alcotest.test_case "call cost scales linearly" `Slow test_call_overhead_scales_linearly;
+    Alcotest.test_case "Figure 3 probe sanity" `Slow test_lmbench_probe_sanity;
+    Alcotest.test_case "Figure 4 shape + <4% claim" `Slow test_userspace_shape;
+    Alcotest.test_case "simulator determinism" `Quick test_determinism;
+  ]
