@@ -28,10 +28,32 @@ let seed_arg =
   let doc = "PRNG seed driving key generation and synthetic inputs." in
   Arg.(value & opt int64 42L & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
 
+let cpus_arg =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 && n <= 16 -> Ok n
+    | Some n -> Error (`Msg (Printf.sprintf "cpu count %d out of range (1-16)" n))
+    | None -> Error (`Msg (Printf.sprintf "invalid cpu count %S" s))
+  in
+  let cpus_conv = Arg.conv (parse, Format.pp_print_int) in
+  let doc = "Number of simulated cores to boot (1-16)." in
+  Arg.(value & opt cpus_conv 1 & info [ "cpus" ] ~docv:"N" ~doc)
+
 let boot_cmd =
-  let run config seed =
-    let sys = K.System.boot ~config ~seed () in
+  let run config seed cpus =
+    let sys = K.System.boot ~config ~seed ~cpus () in
     Printf.printf "configuration : %s\n" (C.Config.name config);
+    Printf.printf "cores         : %d\n" (K.System.cpus sys);
+    (match K.System.unkeyed_cpus sys with
+    | [] ->
+        if K.System.kernel_uses_pauth sys then
+          Printf.printf "key audit     : all cores hold the kernel keys\n"
+    | bad ->
+        List.iter
+          (fun (cid, keys) ->
+            Printf.printf "key audit     : cpu%d missing %d keys!\n" cid
+              (List.length keys))
+          bad);
     Printf.printf "kernel PAC    : %d bits (48-bit VA, no tags)\n"
       (Vaddr.pac_bits (Cpu.kernel_cfg (K.System.cpu sys)));
     Printf.printf "keys in use   : %s\n"
@@ -52,7 +74,7 @@ let boot_cmd =
     List.iter (fun l -> Printf.printf "  %s\n" l) (K.System.log sys)
   in
   let doc = "Boot the protected kernel and print a system report." in
-  Cmd.v (Cmd.info "boot" ~doc) Term.(const run $ config_arg $ seed_arg)
+  Cmd.v (Cmd.info "boot" ~doc) Term.(const run $ config_arg $ seed_arg $ cpus_arg)
 
 let attack_names = [ "rop"; "fops"; "replay"; "temporal"; "bruteforce"; "cred"; "cred-replay" ]
 
@@ -61,9 +83,9 @@ let attack_cmd =
     let doc = Printf.sprintf "Attack to run: %s." (String.concat ", " attack_names) in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK" ~doc)
   in
-  let run config seed name =
-    let sys = K.System.boot ~config ~seed () in
-    Printf.printf "kernel build: %s\n" (C.Config.name config);
+  let run config seed cpus name =
+    let sys = K.System.boot ~config ~seed ~cpus () in
+    Printf.printf "kernel build: %s (%d cores)\n" (C.Config.name config) cpus;
     (match name with
     | "rop" -> Printf.printf "%s\n" (Attacks.Rop.outcome_to_string (Attacks.Rop.run sys))
     | "fops" ->
@@ -93,7 +115,8 @@ let attack_cmd =
     List.iter (fun l -> Printf.printf "  %s\n" l) (K.System.log sys)
   in
   let doc = "Run an attack scenario against the booted kernel." in
-  Cmd.v (Cmd.info "attack" ~doc) Term.(const run $ config_arg $ seed_arg $ attack_arg)
+  Cmd.v (Cmd.info "attack" ~doc)
+    Term.(const run $ config_arg $ seed_arg $ cpus_arg $ attack_arg)
 
 let census_cmd =
   let run seed =

@@ -39,6 +39,7 @@ type t = {
   (* ring buffer of recently retired (pc, insn), newest last *)
   trace : (int64 * Insn.t) option array;
   mutable trace_pos : int;
+  id : int;
 }
 
 (* A canonical kernel address that is never mapped: it survives PAC/AUT
@@ -47,7 +48,9 @@ type t = {
 let sentinel = 0xffff_ffff_dead_0000L
 
 let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linux_user)
-    ?(kernel_cfg = Vaddr.linux_kernel) ?(cipher = Qarma.Block.create ()) () =
+    ?(kernel_cfg = Vaddr.linux_kernel) ?(cipher = Qarma.Block.create ()) ?mem ?mmu
+    ?(trace_depth = 32) ?(id = 0) () =
+  if trace_depth <= 0 then invalid_arg "Cpu.create: trace_depth";
   {
     regs = Array.make 31 0L;
     sp_el0 = 0L;
@@ -57,8 +60,8 @@ let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linu
     el = El.El1;
     flags = { n = false; z = false; v = false; c = false };
     sysregs = Hashtbl.create 32;
-    mem = Mem.create ();
-    mmu = Mmu.create ();
+    mem = (match mem with Some m -> m | None -> Mem.create ());
+    mmu = (match mmu with Some m -> m | None -> Mmu.create ());
     cipher;
     cost;
     cycles = 0L;
@@ -67,12 +70,14 @@ let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linu
     user_cfg;
     kernel_cfg;
     sysreg_locked = (fun _ -> false);
-    trace = Array.make 32 None;
+    trace = Array.make trace_depth None;
     trace_pos = 0;
+    id;
   }
 
 let mem t = t.mem
 let mmu t = t.mmu
+let id t = t.id
 let cipher t = t.cipher
 let cost_profile t = t.cost
 let has_pauth t = t.has_pauth

@@ -28,18 +28,34 @@ type t
 (** [create ()] builds a machine with fresh memory and translation
     tables. [has_pauth] selects an ARMv8.3 core; with [false] the
     PAC/AUT 1716 hint forms execute as NOP and all other PAuth
-    instructions are undefined, modeling an ARMv8.0 part. *)
+    instructions are undefined, modeling an ARMv8.0 part.
+
+    [mem]/[mmu] substitute shared storage and translation tables: an
+    SMP {!Machine} passes the same pair to every core so that all cores
+    observe one physical memory while keeping private register files,
+    EL state, banked SPs, key registers and cycle counters.
+
+    [trace_depth] sizes the retired-instruction ring buffer behind
+    {!recent_trace} (default 32); deep call chains in oops dumps may
+    want more. [id] is the core number reported by {!id} (default 0). *)
 val create :
   ?cost:Cost.profile ->
   ?has_pauth:bool ->
   ?user_cfg:Vaddr.config ->
   ?kernel_cfg:Vaddr.config ->
   ?cipher:Qarma.Block.t ->
+  ?mem:Mem.t ->
+  ?mmu:Mmu.t ->
+  ?trace_depth:int ->
+  ?id:int ->
   unit ->
   t
 
 val mem : t -> Mem.t
 val mmu : t -> Mmu.t
+
+(** [id t] — the core number given at {!create} (0 on a uniprocessor). *)
+val id : t -> int
 val cipher : t -> Qarma.Block.t
 val cost_profile : t -> Cost.profile
 val has_pauth : t -> bool
@@ -99,8 +115,8 @@ val pac_key : t -> Sysreg.pauth_key -> Pac.key
 val pauth_enabled : t -> Sysreg.pauth_key -> bool
 
 (** [recent_trace ?limit t] — the most recently retired (pc, insn)
-    pairs, oldest first (up to 32 are retained). Powers the kernel's
-    oops dumps. *)
+    pairs, oldest first (up to [trace_depth] are retained). Powers the
+    kernel's oops dumps. *)
 val recent_trace : ?limit:int -> t -> (int64 * Insn.t) list
 
 val stop_to_string : stop -> string

@@ -1,0 +1,94 @@
+type ipi = Reschedule | Stop | Call_function
+
+let ipi_bit = function Reschedule -> 0 | Stop -> 1 | Call_function -> 2
+let all_ipis = [ Reschedule; Stop; Call_function ]
+
+let ipi_name = function
+  | Reschedule -> "IPI_RESCHEDULE"
+  | Stop -> "IPI_STOP"
+  | Call_function -> "IPI_CALL_FUNC"
+
+(* GIC-lite software-generated-interrupt state: one pending bitmask per
+   core plus, per interrupt id, the set of requesting cores — enough to
+   model the doorbell (who rang) without the distributor's full
+   priority/affinity machinery. *)
+type gic = {
+  pending : int array;  (** per-core pending IPI bitmask *)
+  senders : int array array;  (** senders.(dst).(bit) = requester bitmask *)
+  mutable ipis_sent : int;
+}
+
+type t = {
+  cores : Cpu.t array;
+  mem : Mem.t;
+  mmu : Mmu.t;
+  cipher : Qarma.Block.t;
+  gic : gic;
+}
+
+let create ?cost ?has_pauth ?user_cfg ?kernel_cfg ?cipher ?trace_depth ~cpus () =
+  if cpus < 1 then invalid_arg "Machine.create: cpus";
+  let cipher = match cipher with Some c -> c | None -> Qarma.Block.create () in
+  let mem = Mem.create () in
+  let mmu = Mmu.create () in
+  let cores =
+    Array.init cpus (fun id ->
+        Cpu.create ?cost ?has_pauth ?user_cfg ?kernel_cfg ~cipher ~mem ~mmu
+          ?trace_depth ~id ())
+  in
+  {
+    cores;
+    mem;
+    mmu;
+    cipher;
+    gic =
+      {
+        pending = Array.make cpus 0;
+        senders = Array.init cpus (fun _ -> Array.make 3 0);
+        ipis_sent = 0;
+      };
+  }
+
+let cpus t = Array.length t.cores
+
+let core t i =
+  if i < 0 || i >= Array.length t.cores then invalid_arg "Machine.core";
+  t.cores.(i)
+
+let cores t = Array.to_list t.cores
+let boot_core t = t.cores.(0)
+let mem t = t.mem
+let mmu t = t.mmu
+let cipher t = t.cipher
+
+let send_ipi t ~src ~dst ipi =
+  if dst < 0 || dst >= cpus t then invalid_arg "Machine.send_ipi: dst";
+  if src < 0 || src >= cpus t then invalid_arg "Machine.send_ipi: src";
+  let bit = ipi_bit ipi in
+  t.gic.pending.(dst) <- t.gic.pending.(dst) lor (1 lsl bit);
+  t.gic.senders.(dst).(bit) <- t.gic.senders.(dst).(bit) lor (1 lsl src);
+  t.gic.ipis_sent <- t.gic.ipis_sent + 1
+
+let pending t ~cpu =
+  List.filter (fun i -> t.gic.pending.(cpu) land (1 lsl ipi_bit i) <> 0) all_ipis
+
+(* Acknowledge one interrupt id: returns the requesting cores (lowest
+   core number first — the deterministic service order) and clears both
+   the pending bit and the requester set. *)
+let ack t ~cpu ipi =
+  let bit = ipi_bit ipi in
+  let requesters = t.gic.senders.(cpu).(bit) in
+  t.gic.pending.(cpu) <- t.gic.pending.(cpu) land lnot (1 lsl bit);
+  t.gic.senders.(cpu).(bit) <- 0;
+  List.filter (fun src -> requesters land (1 lsl src) <> 0)
+    (List.init (cpus t) Fun.id)
+
+let ipis_sent t = t.gic.ipis_sent
+
+(* Simulated-time makespan of the machine: every core runs in parallel,
+   so the wall time of a parallel phase is the busiest core's clock. *)
+let max_cycles t =
+  Array.fold_left (fun acc c -> max acc (Cpu.cycles c)) 0L t.cores
+
+let total_cycles t =
+  Array.fold_left (fun acc c -> Int64.add acc (Cpu.cycles c)) 0L t.cores

@@ -1,0 +1,65 @@
+(** A multi-core machine: N {!Cpu} cores over one shared physical
+    memory, one shared two-stage MMU and one PAC cipher, plus a GIC-lite
+    software-generated-interrupt (IPI) doorbell.
+
+    Each core keeps a private register file, EL state, banked stack
+    pointers, PAuth {e key registers} and cycle counter — the paper's
+    key-management design (Section 4.1) relies on the key registers
+    being per-CPU: every core must execute the XOM setter itself on
+    kernel entry. Sharing [Mem.t]/[Mmu.t] means stage-2 protections
+    (XOM, W^X) installed once bind every core, exactly as a single
+    hypervisor-owned stage 2 does on real hardware.
+
+    The interpreter remains single-threaded and deterministic: callers
+    interleave [Cpu.run] slices across cores; parallel simulated time is
+    the busiest core's cycle counter ({!max_cycles}). *)
+
+(** Inter-processor interrupt ids (the kernel's classic trio). *)
+type ipi = Reschedule | Stop | Call_function
+
+val ipi_name : ipi -> string
+
+type t
+
+(** [create ~cpus ()] — [cpus] cores sharing fresh memory/MMU/cipher.
+    Cores are numbered 0..cpus-1; core 0 is the boot core. *)
+val create :
+  ?cost:Cost.profile ->
+  ?has_pauth:bool ->
+  ?user_cfg:Vaddr.config ->
+  ?kernel_cfg:Vaddr.config ->
+  ?cipher:Qarma.Block.t ->
+  ?trace_depth:int ->
+  cpus:int ->
+  unit ->
+  t
+
+val cpus : t -> int
+val core : t -> int -> Cpu.t
+val cores : t -> Cpu.t list
+val boot_core : t -> Cpu.t
+val mem : t -> Mem.t
+val mmu : t -> Mmu.t
+val cipher : t -> Qarma.Block.t
+
+(** [send_ipi t ~src ~dst ipi] — ring core [dst]'s doorbell: sets the
+    pending bit for [ipi] and records [src] in the requester set. *)
+val send_ipi : t -> src:int -> dst:int -> ipi -> unit
+
+(** [pending t ~cpu] — the interrupt ids currently pending on [cpu],
+    without acknowledging them. *)
+val pending : t -> cpu:int -> ipi list
+
+(** [ack t ~cpu ipi] — acknowledge [ipi] on [cpu]: clears the pending
+    bit and returns the requesting cores, lowest core number first. *)
+val ack : t -> cpu:int -> ipi -> int list
+
+(** Total IPIs sent since creation. *)
+val ipis_sent : t -> int
+
+(** [max_cycles t] — the busiest core's clock: the simulated wall time
+    of a phase in which all cores ran in parallel. *)
+val max_cycles : t -> int64
+
+(** [total_cycles t] — summed cycles across cores (aggregate work). *)
+val total_cycles : t -> int64

@@ -1,18 +1,31 @@
 type verdict = Kill_process | Panic
 
-type event = { pid : int; faulting_va : int64; at_failure : int }
+type event = { pid : int; cpu : int; faulting_va : int64; at_failure : int }
 
-type t = { threshold : int; mutable count : int; mutable events : event list }
+type t = {
+  threshold : int;
+  mutable count : int;
+  mutable events : event list;
+  per_cpu : (int, int) Hashtbl.t;
+}
 
 let create ~threshold =
   if threshold <= 0 then invalid_arg "Bruteforce.create: threshold";
-  { threshold; count = 0; events = [] }
+  { threshold; count = 0; events = []; per_cpu = Hashtbl.create 8 }
 
-let record_failure t ~pid ~faulting_va =
+(* The counter and the threshold are system-wide on purpose: an SMP
+   attacker spreading forgery attempts over the cores must not multiply
+   the budget (Section 5.4). The per-CPU tally is for reporting only. *)
+let record_failure ?(cpu = 0) t ~pid ~faulting_va =
   t.count <- t.count + 1;
-  t.events <- { pid; faulting_va; at_failure = t.count } :: t.events;
+  t.events <- { pid; cpu; faulting_va; at_failure = t.count } :: t.events;
+  Hashtbl.replace t.per_cpu cpu
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_cpu cpu));
   if t.count >= t.threshold then Panic else Kill_process
 
 let failures t = t.count
+
+let failures_on t ~cpu = Option.value ~default:0 (Hashtbl.find_opt t.per_cpu cpu)
+
 let log t = List.rev t.events
 let threshold t = t.threshold

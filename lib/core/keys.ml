@@ -19,3 +19,15 @@ let keys_in_use = function
   | Compat -> [ Sysreg.IB ]
 
 let role_name = function Backward -> "backward" | Forward -> "forward" | Data -> "data"
+
+(* SMP key-install verification: the keys live in per-CPU registers, so
+   every core must have executed the XOM setter itself. [read] is the
+   probed core's key-register accessor; the result lists the keys whose
+   registers do not hold the expected material (empty = fully
+   installed). *)
+let missing_keys ~expected ~read =
+  List.filter_map
+    (fun (key, (v : Pac.key)) ->
+      let got : Pac.key = read key in
+      if got.Pac.hi = v.Pac.hi && got.Pac.lo = v.Pac.lo then None else Some key)
+    expected

@@ -24,3 +24,14 @@ val key_for : mode -> role -> Sysreg.pauth_key
 val keys_in_use : mode -> Sysreg.pauth_key list
 
 val role_name : role -> string
+
+(** [missing_keys ~expected ~read] — per-CPU install check: probe one
+    core's key registers through [read] and report the keys whose
+    registers do not hold the [expected] material. An SMP kernel runs
+    this per core after bring-up; a non-empty result means the core
+    skipped the XOM setter and its first authenticated return will
+    fault. *)
+val missing_keys :
+  expected:(Sysreg.pauth_key * Pac.key) list ->
+  read:(Sysreg.pauth_key -> Pac.key) ->
+  Sysreg.pauth_key list

@@ -17,8 +17,19 @@ let module_area_base = 0xffff000002000000L
 
 let task_stack_bytes = 16 * 1024
 
+(* Stack slots mapped at boot: enough for init, one idle task per core
+   of the largest supported machine, and a generous task population. *)
+let max_task_slots = 64
+
 let task_stack_top ~slot =
   Int64.add stack_area_base (Int64.of_int ((slot + 1) * task_stack_bytes))
+
+(* Per-CPU data areas (one page per core, Linux's percpu segment in
+   miniature), between the stack area and the module area. *)
+let percpu_base = 0xffff000001c00000L
+let percpu_stride = 4096
+
+let percpu_area ~cpu = Int64.add percpu_base (Int64.of_int (cpu * percpu_stride))
 
 let user_text_base = 0x0000000000400000L
 let user_stack_top = 0x00007ffffff00000L

@@ -36,6 +36,17 @@ val module_area_base : int64
 (** 16 KiB, as in the paper. *)
 val task_stack_bytes : int
 
+(** Stack slots mapped at boot (bounds tasks + per-CPU idle tasks). *)
+val max_task_slots : int
+
+(** Per-CPU data segment: one page per core. *)
+val percpu_base : int64
+
+val percpu_stride : int
+
+(** [percpu_area ~cpu] — base of core [cpu]'s per-CPU page. *)
+val percpu_area : cpu:int -> int64
+
 (** [task_stack_top ~slot] — top of the kernel stack of task slot [slot]
     (stacks grow down). *)
 val task_stack_top : slot:int -> int64

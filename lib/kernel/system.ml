@@ -11,8 +11,16 @@ type user_exit =
   | User_panicked of string
   | Ran_out of string
 
+(* Per-core scheduler state mirrored by the in-memory per-CPU area:
+   [cur] is the core's current task while the core is not the active
+   (host-driven) one. *)
+type cpu_state = { pc : Percpu.t; mutable cur : task; mutable idle : task option }
+
 type t = {
-  cpu : Cpu.t;
+  machine : Machine.t;
+  mutable cpu : Cpu.t;  (** the active core — all helpers run on it *)
+  mutable active : int;
+  mutable percpu : cpu_state array;
   config : C.Config.t;
   registry : C.Pointer_integrity.registry;
   hyp : Hypervisor.t;
@@ -49,6 +57,8 @@ let fork_vm_copy_cycles = 1200
 let sched_pick_cycles = 150
 
 let cpu t = t.cpu
+let machine t = t.machine
+let cpus t = Machine.cpus t.machine
 let config t = t.config
 let registry t = t.registry
 let xom t = t.xom
@@ -60,6 +70,38 @@ let bruteforce t = t.bruteforce
 
 let logf t fmt = Printf.ksprintf (fun s -> t.log <- s :: t.log) fmt
 
+(* [with_core t cid f] — run [f] with core [cid] as the active core:
+   [t.cpu]/[t.current] become that core's view, so every helper (key
+   install, syscall dispatch, fault policy) executes on it. The per-CPU
+   state is written back afterwards. *)
+let with_core t cid f =
+  if cid = t.active then f ()
+  else begin
+    let prev_active = t.active in
+    t.percpu.(prev_active).cur <- t.current;
+    t.cpu <- Machine.core t.machine cid;
+    t.active <- cid;
+    t.current <- t.percpu.(cid).cur;
+    let restore () =
+      t.percpu.(cid).cur <- t.current;
+      t.cpu <- Machine.core t.machine prev_active;
+      t.active <- prev_active;
+      t.current <- t.percpu.(prev_active).cur
+    in
+    match f () with
+    | v ->
+        restore ();
+        v
+    | exception e ->
+        restore ();
+        raise e
+  end
+
+(* Log with a cpu tag on multi-core machines; single-core logs keep
+   their historical shape. *)
+let logcpu t fmt =
+  if Machine.cpus t.machine > 1 then logf t ("cpu%d: " ^^ fmt) t.active else logf t fmt
+
 let kernel_symbol t name = Kelf.Loader.symbol t.kernel name
 
 let kernel_uses_pauth t =
@@ -67,9 +109,30 @@ let kernel_uses_pauth t =
   && (t.config.C.Config.scheme <> C.Modifier.No_cfi || t.config.C.Config.protect_pointers)
 
 let install_kernel_keys t =
-  match Cpu.call t.cpu t.xom.Xom.setter_addr with
+  (match Cpu.call t.cpu t.xom.Xom.setter_addr with
   | Cpu.Sentinel_return -> ()
-  | other -> failwith ("key setter did not return: " ^ Cpu.stop_to_string other)
+  | other -> failwith ("key setter did not return: " ^ Cpu.stop_to_string other));
+  (* per-CPU accounting; the array is empty only during early boot of
+     the boot core, before the per-CPU areas exist *)
+  if t.active < Array.length t.percpu then
+    Percpu.count_key_install t.cpu t.percpu.(t.active).pc
+
+(* Per-CPU key-install verification: probe every core's key registers
+   against the boot keys. A core is reported when any key register does
+   not hold the setter's material — e.g. it skipped the setter. *)
+let unkeyed_cpus t =
+  List.filter_map
+    (fun core ->
+      match
+        C.Keys.missing_keys ~expected:t.xom.Xom.kernel_keys ~read:(Cpu.pac_key core)
+      with
+      | [] -> None
+      | missing -> Some (Cpu.id core, missing))
+    (Machine.cores t.machine)
+
+let key_installs_on t ~cpu:cid =
+  let core = Machine.core t.machine cid in
+  Percpu.key_installs core t.percpu.(cid).pc
 
 let restore_user_keys t =
   Cpu.set_reg t.cpu (Insn.R 0) t.current.va;
@@ -201,10 +264,11 @@ let handle_kernel_stop t stop =
         || Vaddr.is_poisoned (Cpu.user_cfg t.cpu) f.Mmu.va
       in
       if poisoned then begin
-        logf t "PAC authentication failure: pid %d at pc=0x%Lx va=0x%Lx" t.current.pid pc
-          f.Mmu.va;
+        logcpu t "PAC authentication failure: pid %d at pc=0x%Lx va=0x%Lx" t.current.pid
+          pc f.Mmu.va;
         match
-          C.Bruteforce.record_failure t.bruteforce ~pid:t.current.pid ~faulting_va:f.Mmu.va
+          C.Bruteforce.record_failure t.bruteforce ~cpu:t.active ~pid:t.current.pid
+            ~faulting_va:f.Mmu.va
         with
         | C.Bruteforce.Kill_process ->
             mark_dead t t.current;
@@ -684,10 +748,198 @@ let run_scheduled ?(quantum = 2000) ?(max_slices = 10_000) ?(context_integrity =
   drive ();
   { exits = List.rev !exits; preemptions = !preemptions; slices = !slices }
 
+(* SMP scheduling: per-CPU round-robin run queues driven by a
+   cycle-interleaved host loop. Each scheduling round visits the cores
+   in order and runs one quantum on each, so simulated time advances in
+   lockstep while every core's kernel entries (key installs included)
+   execute on that core's own register file. Every [balance_interval]
+   rounds an imbalanced core rings the idlest core's doorbell with a
+   Reschedule IPI; the receiver acknowledges it and pulls a task.
+   Everything is driven by deterministic state, so a given seed and cpu
+   count always produce the same exit order and cycle totals. *)
+
+type smp_stats = {
+  smp_exits : (int * int * user_exit) list;  (** cpu, pid, exit status *)
+  smp_slices : int;
+  smp_preemptions : int;
+  smp_migrations : int;  (** tasks pulled across cores by IPIs *)
+  smp_ipis : int;  (** doorbell rings during the run *)
+  per_cpu_cycles : int64 array;  (** each core's clock at the end *)
+  makespan : int64;  (** busiest core's clock: parallel simulated time *)
+}
+
+let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8) t
+    ~tasks:scheduled =
+  let n = Machine.cpus t.machine in
+  let queues = Array.init n (fun _ -> Queue.create ()) in
+  List.iteri (fun idx task -> Queue.add task queues.(idx mod n)) scheduled;
+  let exits = ref [] in
+  let slices = ref 0 in
+  let preemptions = ref 0 in
+  let migrations = ref 0 in
+  let ipis_before = Machine.ipis_sent t.machine in
+  let update_rq cid =
+    let core = Machine.core t.machine cid in
+    Percpu.set_rq_len core t.percpu.(cid).pc (Queue.length queues.(cid))
+  in
+  Array.iteri (fun cid _ -> update_rq cid) queues;
+  let finish cid task status = exits := (cid, task.pid, status) :: !exits in
+  (* One quantum of task [task] on core [cid]. *)
+  let run_one_slice cid task =
+    with_core t cid (fun () ->
+        (* slice prologue is a kernel entry on this core *)
+        Cpu.set_el t.cpu El.El1;
+        enter_kernel_context t;
+        if t.current.pid <> task.pid then begin
+          match switch_to t task with
+          | Ok _ -> Percpu.set_current t.cpu t.percpu.(cid).pc task.va
+          | Killed m | Panicked m -> failwith ("smp scheduler switch: " ^ m)
+        end;
+        restore_user_context t task;
+        if Cpu.has_pauth t.cpu then begin
+          Cpu.set_reg t.cpu (Insn.R 0) task.va;
+          (match Cpu.call t.cpu t.xom.Xom.restore_addr with
+          | Cpu.Sentinel_return -> ()
+          | other -> failwith ("key restore: " ^ Cpu.stop_to_string other));
+          restore_user_context t task
+        end;
+        Cpu.set_el t.cpu El.El0;
+        let preempt () =
+          (* timer IRQ: save the user context, re-enter the kernel (the
+             entry installs this core's keys like any other) *)
+          Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.exception_entry;
+          Cpu.charge t.cpu entry_overhead_cycles;
+          save_user_context t task;
+          Cpu.set_el t.cpu El.El1;
+          enter_kernel_context t;
+          `Preempted
+        in
+        let rec exec budget =
+          if budget <= 0 then preempt ()
+          else begin
+            let insns_before = Cpu.insns_retired t.cpu in
+            let used () =
+              Int64.to_int (Int64.sub (Cpu.insns_retired t.cpu) insns_before)
+            in
+            match Cpu.run ~max_insns:budget t.cpu with
+            | Cpu.Insn_limit -> preempt ()
+            | Cpu.Svc nr when nr = Kbuild.sys_exit ->
+                `Done (Exited (Cpu.reg t.cpu (Insn.R 0)))
+            | Cpu.Svc nr ->
+                let user_pc = Cpu.pc t.cpu in
+                let saved = save_user_gprs t in
+                let args =
+                  [
+                    Cpu.reg t.cpu (Insn.R 0);
+                    Cpu.reg t.cpu (Insn.R 1);
+                    Cpu.reg t.cpu (Insn.R 2);
+                  ]
+                in
+                let spent = used () in
+                (match syscall_gen ~trap_charged:true t ~nr ~args with
+                | Ok result ->
+                    restore_user_gprs t saved;
+                    Cpu.set_reg t.cpu (Insn.R 0) result;
+                    Cpu.set_el t.cpu El.El0;
+                    Cpu.set_pc t.cpu user_pc;
+                    exec (budget - spent)
+                | Killed m -> `Done (User_killed m)
+                | Panicked m -> `Panic m)
+            | Cpu.Sentinel_return -> `Done (Exited (Cpu.reg t.cpu (Insn.R 0)))
+            | Cpu.Hlt code ->
+                `Done (User_killed (Printf.sprintf "hlt #%d in user mode" code))
+            | Cpu.Brk code -> `Done (User_killed (Printf.sprintf "brk #%d" code))
+            | Cpu.Fault { fault; pc } ->
+                logcpu t "segfault: pid %d %s at pc=0x%Lx" task.pid
+                  (match fault with
+                  | Cpu.Mmu_fault f -> Mmu.fault_to_string f
+                  | Cpu.Undefined_instruction w ->
+                      Printf.sprintf "undefined insn 0x%08lx" w
+                  | Cpu.Hyp_denied sr | Cpu.El_denied sr ->
+                      "denied access to " ^ Sysreg.name sr)
+                  pc;
+                mark_dead t task;
+                `Done (User_killed "SIGSEGV")
+            | Cpu.Eret_done -> exec budget
+          end
+        in
+        exec quantum)
+  in
+  (* Reschedule-IPI receive path: acknowledge the doorbell and pull one
+     task from each requester that is still busier than we are. *)
+  let drain_ipis cid =
+    List.iter
+      (fun ipi ->
+        let requesters = Machine.ack t.machine ~cpu:cid ipi in
+        let core = Machine.core t.machine cid in
+        Percpu.count_ipi core t.percpu.(cid).pc;
+        Cpu.charge core (Cpu.cost_profile core).Cost.exception_entry;
+        match ipi with
+        | Machine.Reschedule ->
+            Percpu.count_resched core t.percpu.(cid).pc;
+            List.iter
+              (fun src ->
+                if Queue.length queues.(src) > Queue.length queues.(cid) + 1 then
+                  match Queue.take_opt queues.(src) with
+                  | Some pulled ->
+                      Queue.add pulled queues.(cid);
+                      incr migrations;
+                      update_rq src;
+                      update_rq cid;
+                      logcpu t "pulled pid %d from cpu%d" pulled.pid src
+                  | None -> ())
+              requesters
+        | Machine.Stop | Machine.Call_function -> ())
+      (Machine.pending t.machine ~cpu:cid)
+  in
+  (* Periodic load balancing: the busiest core rings the idlest. *)
+  let balance () =
+    let busiest = ref 0 and idlest = ref 0 in
+    Array.iteri
+      (fun cid q ->
+        if Queue.length q > Queue.length queues.(!busiest) then busiest := cid;
+        if Queue.length q < Queue.length queues.(!idlest) then idlest := cid)
+      queues;
+    if Queue.length queues.(!busiest) - Queue.length queues.(!idlest) >= 2 then
+      Machine.send_ipi t.machine ~src:!busiest ~dst:!idlest Machine.Reschedule
+  in
+  let any_runnable () = Array.exists (fun q -> not (Queue.is_empty q)) queues in
+  let round = ref 0 in
+  while (not t.panicked) && any_runnable () && !slices < max_slices do
+    for cid = 0 to n - 1 do
+      if (not t.panicked) && !slices < max_slices then begin
+        drain_ipis cid;
+        match Queue.take_opt queues.(cid) with
+        | None -> ()
+        | Some task ->
+            incr slices;
+            (match run_one_slice cid task with
+            | `Done status -> finish cid task status
+            | `Preempted ->
+                incr preemptions;
+                Queue.add task queues.(cid)
+            | `Panic m -> finish cid task (User_panicked m));
+            update_rq cid
+      end
+    done;
+    incr round;
+    if !round mod balance_interval = 0 then balance ()
+  done;
+  {
+    smp_exits = List.rev !exits;
+    smp_slices = !slices;
+    smp_preemptions = !preemptions;
+    smp_migrations = !migrations;
+    smp_ipis = Machine.ipis_sent t.machine - ipis_before;
+    per_cpu_cycles =
+      Array.init n (fun cid -> Cpu.cycles (Machine.core t.machine cid));
+    makespan = Machine.max_cycles t.machine;
+  }
+
 (* Boot. *)
 
 let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
-    ?(cost = Cost.cortex_a53) () =
+    ?(cost = Cost.cortex_a53) ?(cpus = 1) () =
   (match config.C.Config.scheme with
   | C.Modifier.Chained ->
       failwith
@@ -696,14 +948,17 @@ let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
   | C.Modifier.No_cfi | C.Modifier.Sp_only | C.Modifier.Parts _ | C.Modifier.Camouflage
     ->
       ());
+  if cpus < 1 || cpus > 16 then invalid_arg "System.boot: cpus must be in 1..16";
   let cipher = Qarma.Block.create () in
-  let cpu = Cpu.create ~cost ~has_pauth ~cipher () in
-  (* Bootloader: map the kernel's working memory. *)
+  let machine = Machine.create ~cost ~has_pauth ~cipher ~cpus () in
+  let cpu = Machine.boot_core machine in
+  (* Bootloader: map the kernel's working memory (shared by all cores). *)
   Kmem.map_kernel_region cpu ~base:Layout.heap_base ~bytes:Layout.heap_bytes Mmu.rw;
   Kmem.map_kernel_region cpu ~base:Layout.stack_area_base
-    ~bytes:(16 * Layout.task_stack_bytes)
+    ~bytes:(Layout.max_task_slots * Layout.task_stack_bytes)
     Mmu.rw;
-  (* The bootloader configures SCTLR before lockdown. *)
+  (* The bootloader configures every core's SCTLR before lockdown (key
+     enable bits are per-core state, like the key registers). *)
   if has_pauth then begin
     let sctlr =
       List.fold_left
@@ -711,16 +966,27 @@ let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
         0L
         Sysreg.[ IA; IB; DA; DB ]
     in
-    Cpu.set_sysreg cpu Sysreg.SCTLR_EL1 sctlr
+    List.iter
+      (fun core -> Cpu.set_sysreg core Sysreg.SCTLR_EL1 sctlr)
+      (Machine.cores machine)
   end;
   let hyp = Hypervisor.install cpu in
+  (* The hypervisor locks the MMU-control registers of every core; the
+     stage-2 tables are already shared through the common Mmu.t. *)
+  List.iter
+    (fun core ->
+      if Cpu.id core <> 0 then Cpu.set_sysreg_lock core (Hypervisor.is_locked_register hyp))
+    (Machine.cores machine);
   let rng = Camo_util.Rng.create seed in
   let xom = Xom.install cpu hyp ~rng ~mode:config.C.Config.mode in
   let registry = C.Pointer_integrity.create_registry () in
   Kobject.register_protected_members registry;
   let t =
     {
+      machine;
       cpu;
+      active = 0;
+      percpu = [||];
       config;
       registry;
       hyp;
@@ -785,4 +1051,28 @@ let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
   logf t "camouflage kernel booted (%s)" (C.Config.name config);
   let init = create_task t in
   t.current <- init;
+  (* SMP bring-up: a per-CPU data area for every core, then secondary
+     cores come online one by one. Each secondary executes the XOM key
+     setter itself — the key registers are per-core, so the boot core's
+     install does nothing for its siblings — and parks on a private idle
+     task. With [cpus = 1] nothing here changes observable state, so
+     single-core pid numbering is untouched. *)
+  t.percpu <-
+    Array.init cpus (fun cid ->
+        let core = Machine.core machine cid in
+        let pc = Percpu.init core ~cid in
+        Percpu.set_current core pc init.va;
+        { pc; cur = init; idle = None });
+  for cid = 1 to cpus - 1 do
+    with_core t cid (fun () ->
+        Cpu.set_el t.cpu El.El1;
+        if kernel_uses_pauth t then install_kernel_keys t;
+        let idle = create_task t in
+        t.percpu.(cid).idle <- Some idle;
+        t.current <- idle;
+        Percpu.set_current t.cpu t.percpu.(cid).pc idle.va;
+        Percpu.set_idle t.cpu t.percpu.(cid).pc idle.va;
+        Cpu.set_sp_of t.cpu El.El1 (task_stack_top idle);
+        logf t "cpu%d online (idle pid %d)" cid idle.pid)
+  done;
   t

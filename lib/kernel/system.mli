@@ -31,16 +31,29 @@ type t
     generation into XOM, kernel image load (with static verification and
     static-pointer signing), and creation of the init task. [seed]
     drives every PRNG (kernel keys, user keys). Raises [Failure] if the
-    kernel image fails verification. *)
+    kernel image fails verification.
+
+    [cpus] (default 1, max 16) boots an SMP machine: all cores share
+    memory, the two-stage MMU and the cipher, but keep private register
+    files — including the PAuth key registers, so every secondary core
+    executes the XOM key setter itself during bring-up and on each of
+    its own kernel entries. Secondaries get a per-CPU data area
+    (published via their TPIDR_EL1) and an idle task; with [cpus = 1]
+    nothing observable changes. *)
 val boot :
   ?config:Camouflage.Config.t ->
   ?seed:int64 ->
   ?has_pauth:bool ->
   ?cost:Cost.profile ->
+  ?cpus:int ->
   unit ->
   t
 
 val cpu : t -> Cpu.t
+(** The active core (core 0 outside {!run_smp}). *)
+
+val machine : t -> Machine.t
+val cpus : t -> int
 val config : t -> Camouflage.Config.t
 val registry : t -> Camouflage.Pointer_integrity.registry
 val xom : t -> Xom.t
@@ -121,6 +134,44 @@ val run_scheduled :
   t ->
   tasks:task list ->
   sched_stats
+
+type smp_stats = {
+  smp_exits : (int * int * user_exit) list;
+      (** cpu, pid, exit status, in completion order *)
+  smp_slices : int;
+  smp_preemptions : int;
+  smp_migrations : int;  (** tasks pulled across cores by IPIs *)
+  smp_ipis : int;  (** doorbell rings during the run *)
+  per_cpu_cycles : int64 array;  (** each core's clock at the end *)
+  makespan : int64;  (** busiest core's clock: parallel simulated time *)
+}
+
+(** [run_smp t ~tasks] — preemptive round-robin over per-CPU run queues,
+    cycle-interleaved across the machine's cores: every scheduling round
+    visits the cores in order and runs one [quantum] on each, so each
+    core's kernel entries (with their per-CPU key installs) execute on
+    that core's own register file. Tasks are distributed round-robin at
+    submission; every [balance_interval] rounds, a core with at least
+    two more queued tasks than the idlest core sends it a Reschedule IPI
+    and the receiver pulls work over. Fully deterministic: the same seed
+    and cpu count give the same exit order and cycle totals. *)
+val run_smp :
+  ?quantum:int ->
+  ?max_slices:int ->
+  ?balance_interval:int ->
+  t ->
+  tasks:task list ->
+  smp_stats
+
+(** [unkeyed_cpus t] — per-CPU key-install audit: every core whose key
+    registers do not hold the XOM setter's material, with the missing
+    keys. A healthy SMP boot returns [[]]; a core that skipped the
+    setter shows up here and faults on its first authenticated return. *)
+val unkeyed_cpus : t -> (int * Sysreg.pauth_key list) list
+
+(** [key_installs_on t ~cpu] — how many times core [cpu] has executed
+    the XOM key setter since bring-up (its per-CPU counter). *)
+val key_installs_on : t -> cpu:int -> int
 
 (** [install_kernel_keys t] — execute the XOM key setter; exposed for
     the key-switch benchmark (E1). *)

@@ -10,6 +10,8 @@ let () =
       ("cpu", Test_cpu.suite);
       ("camouflage", Test_camouflage.suite);
       ("kernel", Test_kernel.suite);
+      ("sched", Test_sched.suite);
+      ("smp", Test_smp.suite);
       ("xom", Test_xom.suite);
       ("loader", Test_loader.suite);
       ("attacks", Test_attacks.suite);
