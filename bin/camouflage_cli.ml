@@ -180,9 +180,35 @@ let trace_cmd =
   let doc = "Provoke a PAC failure and dump the CPU trace ring around it." in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ config_arg $ seed_arg)
 
+let lint_cmd =
+  let json_arg =
+    let doc = "Emit diagnostics as a JSON array instead of human-readable lines." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run config json =
+    let diags = K.Kbuild.lint config in
+    let errors = List.filter Paclint.Diag.is_error diags in
+    if json then print_string (Paclint.Diag.list_to_json diags)
+    else begin
+      List.iter
+        (fun d -> Printf.printf "%s\n" (Paclint.Diag.to_string d))
+        diags;
+      Printf.printf "%s kernel image: %d diagnostics (%d errors, %d warnings)\n"
+        (C.Config.name config) (List.length diags) (List.length errors)
+        (List.length diags - List.length errors)
+    end;
+    if errors <> [] then exit 1
+  in
+  let doc =
+    "Statically lint the kernel image with the PAC-state analyzer \
+     (CFG reconstruction + abstract interpretation); exit non-zero on \
+     error-severity findings."
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ config_arg $ json_arg)
+
 let main =
   let doc = "Camouflage: hardware-assisted CFI for an ARM-like kernel (DAC'20 reproduction)" in
   Cmd.group (Cmd.info "camouflage" ~version:"1.0.0" ~doc)
-    [ boot_cmd; attack_cmd; census_cmd; disasm_cmd; integrity_cmd; trace_cmd ]
+    [ boot_cmd; attack_cmd; census_cmd; disasm_cmd; integrity_cmd; trace_cmd; lint_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,157 @@
+(* A rogues' gallery for the PAC-state lint: one deliberately vulnerable
+   function per diagnostic class, each a miniature of a real attack
+   pattern from the literature ("PAC it up" signing oracles, PACTight
+   time-of-check/time-of-use spills, Camouflage Section 4.1 key
+   hygiene). The example asserts that paclint flags every one — it is
+   both a demonstration and a regression fixture; CI runs it and it
+   exits non-zero if any oracle goes undetected.
+
+   Run with: dune exec examples/oracles.exe *)
+
+open Aarch64
+module L = Paclint.Lint
+module D = Paclint.Diag
+
+(* The strictest policy: everything the full Camouflage configuration
+   promises, with no audited key-setter range. *)
+let policy =
+  {
+    L.protect_return = true;
+    protect_pointers = true;
+    sp_modifier = true;
+    allowed_key_writer = (fun _ -> false);
+  }
+
+let base = 0xffff000000200000L
+
+let at i = Int64.add base (Int64.of_int (4 * i))
+
+let listing insns = List.mapi (fun i insn -> (at i, insn)) insns
+
+let failures = ref 0
+
+let check name insns want =
+  let diags = L.lint_insns ~policy (listing insns) in
+  let hit = List.exists (fun d -> want d.D.kind) diags in
+  Printf.printf "%-28s %s\n" name (if hit then "FLAGGED" else "** MISSED **");
+  List.iter (fun d -> Printf.printf "    %s\n" (D.to_string d)) diags;
+  if not hit then incr failures
+
+let x n = Insn.R n
+
+(* 1. Signing oracle ("PAC it up" Section 5.2): signing a value the
+   attacker controls — here, loaded straight from the writable stack —
+   mints valid PACs on demand. *)
+let signing_oracle () =
+  check "signing-oracle"
+    [
+      Insn.Ldr (x 0, Insn.Off (Insn.SP, 0));
+      Insn.Pac (Sysreg.IB, x 0, x 9);
+      Insn.Ret;
+    ]
+    (function D.Signing_oracle r -> r = x 0 | _ -> false)
+
+(* 2. Unauthenticated indirect branch: the function pointer comes from
+   writable memory and is branched to without an AUT. *)
+let unauth_branch () =
+  check "unauthenticated-branch"
+    [ Insn.Ldr (x 8, Insn.Off (x 0, 0)); Insn.Br (x 8) ]
+    (function D.Unauthenticated_branch r -> r = x 8 | _ -> false)
+
+(* 2b. The XPAC variant: stripping a PAC and branching sidesteps the
+   check just as surely as never authenticating. *)
+let stripped_branch () =
+  check "stripped-branch"
+    [ Insn.Ldr (x 8, Insn.Off (Insn.SP, 0)); Insn.Xpac (x 8); Insn.Blr (x 8); Insn.Ret ]
+    (function D.Unauthenticated_branch r -> r = x 8 | _ -> false)
+
+(* 3. TOCTOU spill (PACTight Section 3): authenticate, then spill the
+   now-PAC-less pointer back to memory where it can be swapped before
+   use. *)
+let toctou_spill () =
+  check "toctou-spill"
+    [
+      Insn.Aut (Sysreg.DA, x 0, x 9);
+      Insn.Str (x 0, Insn.Off (Insn.SP, 8));
+      Insn.Ret;
+    ]
+    (function D.Toctou_spill r -> r = x 0 | _ -> false)
+
+(* 4. Unprotected return: a classic frame pop reloads LR from the
+   (attacker-writable) stack and returns without authenticating it. *)
+let unprotected_return () =
+  check "unprotected-return"
+    [
+      Insn.Stp (Insn.fp, Insn.lr, Insn.Pre (Insn.SP, -16));
+      Insn.Ldp (Insn.fp, Insn.lr, Insn.Post (Insn.SP, 16));
+      Insn.Ret;
+    ]
+    (function D.Unprotected_return -> true | _ -> false)
+
+(* 5. Modifier SP mismatch (Camouflage Section 4.2): signing at one
+   stack depth and authenticating at another means the PAC check is
+   performed against the wrong modifier — a frame-shift gadget. *)
+let sp_mismatch () =
+  check "modifier-sp-mismatch"
+    [
+      Insn.Mov (x 9, Insn.SP);
+      Insn.Pac (Sysreg.IB, Insn.lr, x 9);
+      Insn.Sub_imm (Insn.SP, Insn.SP, 32);
+      Insn.Mov (x 9, Insn.SP);
+      Insn.Aut (Sysreg.IB, Insn.lr, x 9);
+      Insn.Ret;
+    ]
+    (function D.Modifier_sp_mismatch d -> d = -32 | _ -> false)
+
+(* 6. Key-register read (Camouflage Section 4.1): nothing outside the
+   boot path may observe key material. *)
+let key_read () =
+  check "key-register-read"
+    [ Insn.Mrs (x 0, Sysreg.APIBKeyHi_EL1); Insn.Ret ]
+    (function D.Key_register_read _ -> true | _ -> false)
+
+(* 7. Key-register write outside the audited setter. *)
+let key_write () =
+  check "key-register-write"
+    [ Insn.Msr (Sysreg.APIBKeyLo_EL1, x 0); Insn.Ret ]
+    (function D.Key_register_write _ -> true | _ -> false)
+
+(* 8. SCTLR write: flipping the EnIA/EnIB enable bits turns PAuth off
+   wholesale. *)
+let sctlr_write () =
+  check "sctlr-write"
+    [ Insn.Msr (Sysreg.SCTLR_EL1, x 0); Insn.Ret ]
+    (function D.Sctlr_write -> true | _ -> false)
+
+(* 9. Reserved-register clobber: a raw body that writes x15 would fight
+   the instrumentation over its scratch register. This one goes through
+   [check_body] — the rule applies to pre-wrap bodies, not placed
+   text. *)
+let reserved_clobber () =
+  let body = [ Asm.ins (Insn.Movz (x 15, 0xdead, 0)); Asm.ins Insn.Ret ] in
+  let diags = L.check_body body in
+  let hit =
+    List.exists
+      (fun d -> match d.D.kind with D.Reserved_clobber r -> r = x 15 | _ -> false)
+      diags
+  in
+  Printf.printf "%-28s %s\n" "reserved-clobber" (if hit then "FLAGGED" else "** MISSED **");
+  List.iter (fun d -> Printf.printf "    %s\n" (D.to_string d)) diags;
+  if not hit then incr failures
+
+let () =
+  Printf.printf "paclint oracle fixtures (one per diagnostic class):\n\n";
+  signing_oracle ();
+  unauth_branch ();
+  stripped_branch ();
+  toctou_spill ();
+  unprotected_return ();
+  sp_mismatch ();
+  key_read ();
+  key_write ();
+  sctlr_write ();
+  reserved_clobber ();
+  Printf.printf "\n%s\n"
+    (if !failures = 0 then "all oracles detected"
+     else Printf.sprintf "%d oracle(s) went undetected" !failures);
+  exit (if !failures = 0 then 0 else 1)

@@ -15,6 +15,11 @@ let mov_addr r l =
   with_label l (fun a -> Insn.Movz (r, chunk a 0, 0))
   :: List.map (fun i -> with_label l (fun a -> Insn.Movk (r, chunk a i, 16 * i))) [ 1; 2; 3 ]
 
+let item_insn = function
+  | Ins i -> Some i
+  | Fixup (_, f) -> Some (f 0L)
+  | Label _ -> None
+
 let instruction_count items =
   List.fold_left
     (fun acc item -> match item with Ins _ | Fixup _ -> acc + 1 | Label _ -> acc)

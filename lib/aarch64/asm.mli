@@ -35,6 +35,12 @@ val with_label : string -> (int64 -> Insn.t) -> item
     {!adr_of} this has unlimited range. *)
 val mov_addr : Insn.reg -> string -> item list
 
+(** [item_insn item] — the instruction an item carries, with any label
+    fixup applied to a placeholder address of 0; [None] for labels.
+    For shape-level inspection (opcode, registers) of unassembled
+    listings — the branch target is not meaningful. *)
+val item_insn : item -> Insn.t option
+
 (** [instruction_count items] — instructions among [items] (labels are
     zero-size). *)
 val instruction_count : item list -> int

@@ -154,3 +154,47 @@ let is_pauth = function
 let reads_sysreg = function Mrs (_, sr) -> Some sr | _ -> None
 
 let writes_sysreg = function Msr (sr, _) -> Some sr | _ -> None
+
+let amode_base = function Off (r, _) | Pre (r, _) | Post (r, _) -> r
+
+let amode_writeback = function Off _ -> [] | Pre (r, _) | Post (r, _) -> [ r ]
+
+let defs_uses = function
+  | Movz (rd, _, _) -> ([ rd ], [])
+  | Movk (rd, _, _) -> ([ rd ], [ rd ])
+  | Mov (rd, rn) -> ([ rd ], [ rn ])
+  | Add_imm (rd, rn, _)
+  | Sub_imm (rd, rn, _)
+  | Subs_imm (rd, rn, _)
+  | Lsl_imm (rd, rn, _)
+  | Lsr_imm (rd, rn, _)
+  | Ubfx (rd, rn, _, _) ->
+      ([ rd ], [ rn ])
+  | Add_reg (rd, rn, rm)
+  | Sub_reg (rd, rn, rm)
+  | Subs_reg (rd, rn, rm)
+  | And_reg (rd, rn, rm)
+  | Orr_reg (rd, rn, rm)
+  | Eor_reg (rd, rn, rm) ->
+      ([ rd ], [ rn; rm ])
+  | Bfi (rd, rn, _, _) -> ([ rd ], [ rd; rn ])
+  | Adr (rd, _) -> ([ rd ], [])
+  | Ldr (rd, m) | Ldrb (rd, m) -> (rd :: amode_writeback m, [ amode_base m ])
+  | Str (rs, m) | Strb (rs, m) -> (amode_writeback m, [ rs; amode_base m ])
+  | Ldp (r1, r2, m) -> (r1 :: r2 :: amode_writeback m, [ amode_base m ])
+  | Stp (r1, r2, m) -> (amode_writeback m, [ r1; r2; amode_base m ])
+  | B _ | Bcond (_, _) | Svc _ | Eret | Isb | Nop | Brk _ | Hlt _ -> ([], [])
+  | Bl _ -> ([ lr ], [])
+  | Br rn -> ([], [ rn ])
+  | Blr rn -> ([ lr ], [ rn ])
+  | Ret -> ([], [ lr ])
+  | Cbz (rn, _) | Cbnz (rn, _) -> ([], [ rn ])
+  | Pac (_, rd, rm) | Aut (_, rd, rm) -> ([ rd ], [ rd; rm ])
+  | Pac1716 _ | Aut1716 _ -> ([ ip1 ], [ ip1; ip0 ])
+  | Xpac rd -> ([ rd ], [ rd ])
+  | Pacga (rd, rn, rm) -> ([ rd ], [ rn; rm ])
+  | Blra (_, rn, rm) -> ([ lr ], [ rn; rm ])
+  | Bra (_, rn, rm) -> ([], [ rn; rm ])
+  | Reta _ -> ([], [ lr; SP ])
+  | Mrs (rd, _) -> ([ rd ], [])
+  | Msr (_, rn) -> ([], [ rn ])

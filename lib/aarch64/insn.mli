@@ -89,6 +89,9 @@ val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string
 
+(** [reg_name r] — assembly spelling ([x7], [fp], [lr], [sp], [xzr]). *)
+val reg_name : reg -> string
+
 (** [is_pauth i] — true for the PAC*/AUT*/XPAC/PACGA family and the
     authenticated branches. *)
 val is_pauth : t -> bool
@@ -98,3 +101,13 @@ val reads_sysreg : t -> Sysreg.t option
 
 (** [writes_sysreg i] is [Some r] when [i] writes system register [r]. *)
 val writes_sysreg : t -> Sysreg.t option
+
+(** [defs_uses i] — the general-purpose registers [i] writes and reads,
+    in operand order. [XZR] appears literally when an operand names it;
+    consumers decide whether to discard it. Pre/post-indexed addressing
+    makes the base register both a use and a def; [Pac]/[Aut] read and
+    rewrite the pointer register; the 1716 hint forms touch X16/X17;
+    [Bl]/[Blr]/[Blra] define LR; [Reta] reads LR and SP (its implicit
+    modifier). This is the register-access metadata the paclint
+    dataflow runs on — a register missing here is invisible to it. *)
+val defs_uses : t -> reg list * reg list

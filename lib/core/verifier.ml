@@ -7,35 +7,38 @@ type reason =
 
 type violation = { va : int64; insn : Insn.t; reason : reason }
 
+let policy ?(allowed = fun _ -> false) (config : Config.t) =
+  {
+    Paclint.Lint.protect_return = config.scheme <> Modifier.No_cfi;
+    protect_pointers = config.protect_pointers;
+    sp_modifier =
+      (match config.scheme with
+      | Modifier.Sp_only | Modifier.Parts _ | Modifier.Camouflage -> true
+      | Modifier.No_cfi | Modifier.Chained -> false);
+    allowed_key_writer = allowed;
+  }
+
+let of_diag (d : Paclint.Diag.t) =
+  match d.kind with
+  | Paclint.Diag.Key_register_read sr ->
+      Some { va = d.va; insn = d.insn; reason = Reads_key_register sr }
+  | Paclint.Diag.Key_register_write sr ->
+      Some { va = d.va; insn = d.insn; reason = Writes_key_register sr }
+  | Paclint.Diag.Sctlr_write -> Some { va = d.va; insn = d.insn; reason = Writes_sctlr }
+  | _ -> None
+
 let check ~allowed va insn =
-  match Insn.reads_sysreg insn with
-  | Some sr when Sysreg.is_pauth_key sr ->
-      Some { va; insn; reason = Reads_key_register sr }
-  | Some _ | None -> (
-      match Insn.writes_sysreg insn with
-      | Some sr when Sysreg.is_pauth_key sr && not (allowed va) ->
-          Some { va; insn; reason = Writes_key_register sr }
-      | Some Sysreg.SCTLR_EL1 when not (allowed va) ->
-          Some { va; insn; reason = Writes_sctlr }
-      | Some _ | None -> None)
+  match Paclint.Lint.key_access ~allowed va insn with
+  | Some d -> of_diag d
+  | None -> None
 
 let scan_insns ~base:_ insns ~allowed =
   List.filter_map (fun (va, insn) -> check ~allowed va insn) insns
 
 let scan ~read32 ~base ~size ~allowed =
-  let rec go acc off =
-    if off >= size then List.rev acc
-    else begin
-      let va = Int64.add base (Int64.of_int off) in
-      let acc =
-        match Encode.decode ~pc:va (read32 va) with
-        | None -> acc
-        | Some insn -> ( match check ~allowed va insn with Some v -> v :: acc | None -> acc)
-      in
-      go acc (off + 4)
-    end
-  in
-  go [] 0
+  Paclint.Lint.decode_region ~read32 ~base ~size
+  |> Array.to_list
+  |> List.filter_map (fun (va, insn) -> check ~allowed va insn)
 
 let reason_to_string = function
   | Reads_key_register sr -> Printf.sprintf "reads key register %s" (Sysreg.name sr)

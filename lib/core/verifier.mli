@@ -1,11 +1,12 @@
 (** Static code verification (Sections 4.1 and 6.2.2).
 
     The kernel never needs to read its PAuth keys, only to set them from
-    one audited function. Because MRS/MSR immediately encode the
-    register they touch, a linear scan over the words of a code region
-    finds every key access and every write to the SCTLR PAuth flags.
-    The scan runs over the kernel image at build/boot time and over each
-    loadable module before it is accepted. *)
+    one audited function. The key-access rule itself now lives in
+    {!Paclint.Lint.key_access}, of which [check]/[scan]/[scan_insns] are
+    thin compatibility wrappers keeping the historical [violation]
+    surface; [policy] derives the full lint policy from a {!Config.t} so
+    the loader and kernel build can run every paclint rule, not just
+    this one. *)
 
 open Aarch64
 
@@ -15,6 +16,14 @@ type reason =
   | Writes_sctlr  (** could clear the PAuth enable flags *)
 
 type violation = { va : int64; insn : Insn.t; reason : reason }
+
+(** [policy ?allowed config] — the {!Paclint.Lint.policy} a code region
+    built under [config] must satisfy: return protection for any scheme
+    but [No_cfi], pointer rules iff [config.protect_pointers], SP
+    modifier pairing for the SP-embedding schemes ([Sp_only], [Parts],
+    [Camouflage]). [allowed] marks the audited key setter (default:
+    nothing is allowed). *)
+val policy : ?allowed:(int64 -> bool) -> Config.t -> Paclint.Lint.policy
 
 (** [scan ~read32 ~base ~size ~allowed] decodes every word of
     [base, base+size) and reports violations. [allowed va] marks

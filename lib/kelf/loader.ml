@@ -24,10 +24,11 @@ type placed = {
   rodata_bytes : int;
   data_base : int64;
   data_bytes : int;
+  lint_warnings : Paclint.Diag.t list;
 }
 
 type error =
-  | Verification_failed of C.Verifier.violation list
+  | Verification_failed of Paclint.Diag.t list
   | Unknown_symbol of string
   | Unknown_member of string * string
 
@@ -73,12 +74,18 @@ let load ~cpu ~config ~registry ~env (obj : Object_file.t) =
       Asm.assemble prog ~base:text_base ~extra_symbols:(blob_symbols @ env.extra_symbols)
     in
     Asm.encode_into layout ~write32:env.write32;
-    (* Static verification before the code becomes reachable. *)
-    let violations =
-      C.Verifier.scan ~read32:env.read32 ~base:text_base ~size:layout.Asm.size
-        ~allowed:env.allowed_key_writer
+    (* Static verification before the code becomes reachable: the full
+       PAC-state lint under the policy this configuration promises, with
+       the audited key setter as the only legitimate key writer. Errors
+       reject the object; warnings ride along on [placed]. *)
+    let policy = C.Verifier.policy ~allowed:env.allowed_key_writer config in
+    let diags =
+      Paclint.Lint.lint_region ~policy ~read32:env.read32 ~base:text_base
+        ~size:layout.Asm.size
+        ~entries:(List.map snd layout.Asm.symbols)
     in
-    if violations <> [] then Error (Verification_failed violations)
+    let errors, lint_warnings = List.partition Paclint.Diag.is_error diags in
+    if errors <> [] then Error (Verification_failed errors)
     else begin
       let all_symbols = layout.Asm.symbols @ blob_symbols @ env.extra_symbols in
       (* Relocate and write data words. *)
@@ -128,6 +135,7 @@ let load ~cpu ~config ~registry ~env (obj : Object_file.t) =
           rodata_bytes;
           data_base;
           data_bytes;
+          lint_warnings;
         }
     end
   with Load_error e -> Error e
@@ -141,8 +149,8 @@ let symbol placed name =
       | None -> raise Not_found)
 
 let error_to_string = function
-  | Verification_failed vs ->
+  | Verification_failed ds ->
       Printf.sprintf "verification failed: %s"
-        (String.concat "; " (List.map C.Verifier.violation_to_string vs))
+        (String.concat "; " (List.map Paclint.Diag.to_string ds))
   | Unknown_symbol s -> Printf.sprintf "unknown symbol %s" s
   | Unknown_member (t, m) -> Printf.sprintf "unknown protected member %s.%s" t m

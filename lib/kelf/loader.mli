@@ -4,10 +4,14 @@
     performs the paper's module-acceptance pipeline:
 
     + place and relocate text, rodata and data;
-    + {e statically verify} the encoded text: no reads of PAuth key
-      registers, no key writes or SCTLR writes outside the audited key
-      setter (Section 4.1) — a violating object is rejected before any
-      of its code becomes executable;
+    + {e statically verify} the encoded text with the PAC-state lint
+      ({!Paclint.Lint}): no reads of PAuth key registers, no key writes
+      or SCTLR writes outside the audited key setter (Section 4.1), no
+      unprotected returns, unauthenticated indirect branches, signing
+      oracles or modifier mismatches under the booted configuration's
+      policy — an object with any error-severity diagnostic is rejected
+      before any of its code becomes executable; warning-severity
+      findings are reported on the accepted [placed];
     + walk the [.pauth_static] section and sign every listed pointer in
       place (Section 4.6);
     + map text executable (and read-only), rodata read-only, data
@@ -43,10 +47,13 @@ type placed = {
   rodata_bytes : int;
   data_base : int64;
   data_bytes : int;
+  lint_warnings : Paclint.Diag.t list;
+      (** warning-severity lint findings on the accepted text *)
 }
 
 type error =
-  | Verification_failed of Camouflage.Verifier.violation list
+  | Verification_failed of Paclint.Diag.t list
+      (** error-severity lint diagnostics on the object's text *)
   | Unknown_symbol of string
   | Unknown_member of string * string
 

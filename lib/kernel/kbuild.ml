@@ -599,56 +599,61 @@ let work_counter_body = bump_cell_body "work_counter_cell" ~delta:1 ~ret_cell:tr
 
 let zeros n = List.init n (fun _ -> O.Lit 0L)
 
+(* Every kernel text function as a raw body plus its instrumentation
+   style. One list serves [build] (which wraps) and [lint] (which also
+   checks the raw bodies against the reserved-register convention). *)
+let kernel_bodies config registry =
+  [
+    (`Leaf, "fd_to_file", fd_to_file_body);
+    (`Leaf, "memcpy_bytes", memcpy_bytes_body);
+    (`Leaf, "sys_vuln_read", vuln_read_body);
+    (`Leaf, "sys_vuln_write", vuln_write_body);
+    (`Wrap, "sys_getpid", getpid_body);
+    (`Wrap, "fops_noop", fops_noop_body);
+    (`Wrap, "ramfs_read", ramfs_read_body);
+    (`Wrap, "ramfs_write", ramfs_write_body);
+    (`Wrap, "alloc_fd_file", alloc_fd_file_body);
+    (`Wrap, "sys_read", sys_read_body config registry);
+    (`Wrap, "sys_write", sys_write_body config registry);
+    (`Wrap, "sys_open", sys_open_body config registry);
+    (`Wrap, "sys_close", sys_close_body);
+    (`Wrap, "sys_stat", sys_stat_body);
+    (`Wrap, "sys_fstat", sys_fstat_body);
+    (`Wrap, "sys_notifier_register", sys_notifier_register_body config registry);
+    (`Wrap, "sys_notifier_call", sys_notifier_call_body config registry);
+    (`Wrap, "notifier_noop", notifier_noop_body);
+    (`Wrap, "notifier_count", notifier_count_body);
+    (`Wrap, "sys_pipe_write", pipe_copy ~write:true);
+    (`Wrap, "sys_pipe_read", pipe_copy ~write:false);
+    (`Wrap, "sys_fork", sys_fork_body);
+    (`Wrap, "sys_getuid", sys_getuid_body config registry);
+    (`Wrap, "sys_socketpair", sys_socketpair_body config registry);
+    (`Wrap, "sock_read_op", sock_read_body);
+    (`Wrap, "sock_write_op", sock_write_body);
+    (`Wrap, "console_write_op", console_write_body);
+    (`Wrap, "console_read_op", console_read_body);
+    (`Wrap, "sys_poll", sys_poll_body config registry);
+    (`Wrap, "sys_timer_set", sys_timer_set_body config registry);
+    (`Wrap, "run_timers", run_timers_body config registry);
+    (`Wrap, "table_mac", table_mac_body);
+    (`Wrap, "sys_read_secure", sys_read_secure_body);
+    (`Wrap, "cpu_switch_to", cpu_switch_to_body config registry);
+    (`Wrap, "run_work", run_work_body config registry);
+    (`Wrap, "work_noop", work_noop_body);
+    (`Wrap, "work_counter", work_counter_body);
+  ]
+
 let build config registry =
-  let wrap name body =
-    let f = C.Instrument.wrap config ~name body in
-    (name, f.C.Instrument.items)
+  let instrument (style, name, body) =
+    match style with
+    | `Wrap ->
+        let f = C.Instrument.wrap config ~name body in
+        (name, f.C.Instrument.items)
+    | `Leaf ->
+        let f = C.Instrument.wrap_leaf ~name body in
+        (name, f.C.Instrument.items)
   in
-  let leaf name body =
-    let f = C.Instrument.wrap_leaf ~name body in
-    (name, f.C.Instrument.items)
-  in
-  let functions =
-    [
-      leaf "fd_to_file" fd_to_file_body;
-      leaf "memcpy_bytes" memcpy_bytes_body;
-      leaf "sys_vuln_read" vuln_read_body;
-      leaf "sys_vuln_write" vuln_write_body;
-      wrap "sys_getpid" getpid_body;
-      wrap "fops_noop" fops_noop_body;
-      wrap "ramfs_read" ramfs_read_body;
-      wrap "ramfs_write" ramfs_write_body;
-      wrap "alloc_fd_file" alloc_fd_file_body;
-      wrap "sys_read" (sys_read_body config registry);
-      wrap "sys_write" (sys_write_body config registry);
-      wrap "sys_open" (sys_open_body config registry);
-      wrap "sys_close" sys_close_body;
-      wrap "sys_stat" sys_stat_body;
-      wrap "sys_fstat" sys_fstat_body;
-      wrap "sys_notifier_register" (sys_notifier_register_body config registry);
-      wrap "sys_notifier_call" (sys_notifier_call_body config registry);
-      wrap "notifier_noop" notifier_noop_body;
-      wrap "notifier_count" notifier_count_body;
-      wrap "sys_pipe_write" (pipe_copy ~write:true);
-      wrap "sys_pipe_read" (pipe_copy ~write:false);
-      wrap "sys_fork" sys_fork_body;
-      wrap "sys_getuid" (sys_getuid_body config registry);
-      wrap "sys_socketpair" (sys_socketpair_body config registry);
-      wrap "sock_read_op" sock_read_body;
-      wrap "sock_write_op" sock_write_body;
-      wrap "console_write_op" console_write_body;
-      wrap "console_read_op" console_read_body;
-      wrap "sys_poll" (sys_poll_body config registry);
-      wrap "sys_timer_set" (sys_timer_set_body config registry);
-      wrap "run_timers" (run_timers_body config registry);
-      wrap "table_mac" table_mac_body;
-      wrap "sys_read_secure" sys_read_secure_body;
-      wrap "cpu_switch_to" (cpu_switch_to_body config registry);
-      wrap "run_work" (run_work_body config registry);
-      wrap "work_noop" work_noop_body;
-      wrap "work_counter" work_counter_body;
-    ]
-  in
+  let functions = List.map instrument (kernel_bodies config registry) in
   let table_entry = function
     | 0 -> O.Lit 0L (* exit: handled by the dispatcher *)
     | 1 -> O.Sym "sys_getpid"
@@ -750,3 +755,52 @@ let exported_symbols =
     "user_cred";
     "table_mac";
   ]
+
+let lint config =
+  let registry = C.Pointer_integrity.create_registry () in
+  Kobject.register_protected_members registry;
+  let obj = build config registry in
+  (* Mirror the boot-time placement: blobs sequential from the rodata
+     and data bases, the audited bootloader routines linked like
+     firmware calls from the XOM page. *)
+  let place base blobs =
+    let addr = ref base in
+    List.map
+      (fun b ->
+        let this = !addr in
+        addr := Int64.add !addr (Int64.of_int (8 * List.length b.O.words));
+        (b.O.blob_name, this))
+      blobs
+  in
+  let blob_symbols =
+    place Layout.rodata_base obj.O.rodata @ place Layout.data_base obj.O.data
+  in
+  let xom_symbols =
+    [
+      ("kernel_key_setter", Layout.xom_base);
+      ("user_key_restore", Int64.add Layout.xom_base 0x100L);
+      ("uaccess_authda", Int64.add Layout.xom_base 0x200L);
+    ]
+  in
+  let prog = Asm.create () in
+  List.iter (fun (name, items) -> Asm.add_function prog ~name items) obj.O.functions;
+  let layout =
+    Asm.assemble prog ~base:Layout.text_base ~extra_symbols:(blob_symbols @ xom_symbols)
+  in
+  let image = Paclint.Lint.lint_layout ~policy:(C.Verifier.policy config) layout in
+  (* Reserved-register convention over the raw bodies (the instrumented
+     stream legitimately uses the scratch registers). Body diagnostics
+     are re-based onto the function's image address, shifted by the
+     prologue the body itself cannot see. *)
+  let bodies =
+    List.concat_map
+      (fun (_, name, body) ->
+        let rebase =
+          match List.assoc_opt name layout.Asm.symbols with
+          | Some addr -> fun d -> { d with Paclint.Diag.va = Int64.add addr d.Paclint.Diag.va }
+          | None -> fun d -> d
+        in
+        List.map rebase (Paclint.Lint.check_body body))
+      (kernel_bodies config registry)
+  in
+  image @ bodies

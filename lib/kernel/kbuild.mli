@@ -46,3 +46,11 @@ val build : Camouflage.Config.t -> Camouflage.Pointer_integrity.registry -> Kelf
 
 (** Kernel symbols exported to loadable modules. *)
 val exported_symbols : string list
+
+(** [lint config] — build the kernel image, assemble it at its boot
+    addresses, and run the full PAC-state lint ({!Paclint.Lint}) under
+    the policy [config] promises ({!Camouflage.Verifier.policy}), plus
+    the reserved-register check over every raw function body. This is
+    the same gate {!Kelf.Loader} applies when {!System.boot} loads the
+    image; the CLI's [lint] subcommand and CI run it without booting. *)
+val lint : Camouflage.Config.t -> Paclint.Diag.t list

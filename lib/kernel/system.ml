@@ -1004,6 +1004,7 @@ let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
           rodata_bytes = 0;
           data_base = Layout.data_base;
           data_bytes = 0;
+          lint_warnings = [];
         };
       rng;
       current = { va = 0L; slot = 0; pid = 0 };
@@ -1045,6 +1046,9 @@ let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
     | Result.Error e -> failwith ("kernel image rejected: " ^ Kelf.Loader.error_to_string e)
   in
   t.kernel <- kernel;
+  List.iter
+    (fun d -> logf t "paclint: %s" (Paclint.Diag.to_string d))
+    kernel.Kelf.Loader.lint_warnings;
   let chi, clo = Camo_util.Rng.key128 rng in
   t.context_key <- Pac.{ hi = chi; lo = clo };
   if has_pauth then record_table_mac t;

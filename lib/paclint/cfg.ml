@@ -1,0 +1,94 @@
+open Aarch64
+
+type block = {
+  start : int64;
+  insns : (int64 * Insn.t) array;
+  succs : int list;
+}
+
+type t = { blocks : block array; entries : int list }
+
+let is_terminator = function
+  | Insn.B _ | Insn.Bl _ | Insn.Br _ | Insn.Blr _ | Insn.Ret | Insn.Cbz _ | Insn.Cbnz _
+  | Insn.Bcond _ | Insn.Blra _ | Insn.Bra _ | Insn.Reta _ | Insn.Svc _ | Insn.Eret
+  | Insn.Brk _ | Insn.Hlt _ ->
+      true
+  | _ -> false
+
+(* Explicit edge targets and whether control can also fall through. BL's
+   target is an entry, not an edge (see mli). *)
+let flow = function
+  | Insn.B a -> ([ a ], false)
+  | Insn.Cbz (_, a) | Insn.Cbnz (_, a) | Insn.Bcond (_, a) -> ([ a ], true)
+  | Insn.Bl _ | Insn.Blr _ | Insn.Blra _ | Insn.Svc _ -> ([], true)
+  | Insn.Br _ | Insn.Bra _ | Insn.Ret | Insn.Reta _ | Insn.Eret | Insn.Brk _ | Insn.Hlt _
+    ->
+      ([], false)
+  | _ -> ([], true)
+
+let build ?(entries = []) code =
+  let n = Array.length code in
+  let idx = Hashtbl.create (max 16 (2 * n)) in
+  Array.iteri (fun i (va, _) -> Hashtbl.replace idx va i) code;
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  let entry_vas = ref [] in
+  let add_entry va =
+    if Hashtbl.mem idx va && not (List.mem va !entry_vas) then
+      entry_vas := va :: !entry_vas
+  in
+  List.iter add_entry entries;
+  Array.iteri
+    (fun i (va, insn) ->
+      (if i + 1 < n then
+         let next_va, _ = code.(i + 1) in
+         if is_terminator insn || Int64.add va 4L <> next_va then leader.(i + 1) <- true);
+      let targets, _ = flow insn in
+      List.iter
+        (fun t ->
+          match Hashtbl.find_opt idx t with Some j -> leader.(j) <- true | None -> ())
+        targets;
+      match insn with Insn.Bl t -> add_entry t | _ -> ())
+    code;
+  List.iter (fun va -> leader.(Hashtbl.find idx va) <- true) !entry_vas;
+  let starts = ref [] in
+  for i = n - 1 downto 0 do
+    if leader.(i) then starts := i :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nb = Array.length starts in
+  let block_of_va = Hashtbl.create (max 16 (2 * nb)) in
+  Array.iteri (fun b s -> Hashtbl.replace block_of_va (fst code.(s)) b) starts;
+  let blocks =
+    Array.init nb (fun b ->
+        let s = starts.(b) in
+        let e = if b + 1 < nb then starts.(b + 1) else n in
+        let insns = Array.sub code s (e - s) in
+        let last_va, last = insns.(Array.length insns - 1) in
+        let targets, fall = flow last in
+        let falls = if is_terminator last then fall else true in
+        let succ_vas =
+          let ft = Int64.add last_va 4L in
+          (if falls && Hashtbl.mem idx ft then [ ft ] else [])
+          @ List.filter (Hashtbl.mem idx) targets
+        in
+        let succs =
+          List.sort_uniq compare (List.filter_map (Hashtbl.find_opt block_of_va) succ_vas)
+        in
+        { start = fst code.(s); insns; succs })
+  in
+  let entry_blocks =
+    List.sort_uniq compare (List.filter_map (Hashtbl.find_opt block_of_va) !entry_vas)
+  in
+  { blocks; entries = entry_blocks }
+
+let reachable t b =
+  let seen = Array.make (Array.length t.blocks) false in
+  let rec go i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter go t.blocks.(i).succs
+    end
+  in
+  if Array.length seen > 0 then go b;
+  seen

@@ -1,0 +1,31 @@
+(** Control-flow graph reconstruction over decoded code.
+
+    Blocks are maximal straight-line runs split at every control-flow
+    instruction (B/BL/BR/BLR/RET/RETA*/BRA*/BLRA*/CBZ/CBNZ/B.cond/SVC/
+    ERET/BRK/HLT), at every in-range branch target, and at address gaps
+    (words that did not decode). Calls (BL/BLR/BLRA) fall through — the
+    analysis assumes callees return — and an in-range BL target is
+    recorded as a function entry rather than an edge, so each function
+    is analyzed from its own entry state. *)
+
+open Aarch64
+
+type block = {
+  start : int64;  (** address of the first instruction *)
+  insns : (int64 * Insn.t) array;
+  succs : int list;  (** indices of successor blocks *)
+}
+
+type t = {
+  blocks : block array;  (** in ascending address order *)
+  entries : int list;  (** analysis entry blocks: given entries + BL targets *)
+}
+
+(** [build ~entries code] — [code] must be sorted by ascending address
+    with no duplicates; gaps are allowed. Entry addresses outside [code]
+    and branch targets outside [code] are ignored. *)
+val build : ?entries:int64 list -> (int64 * Insn.t) array -> t
+
+(** [reachable t b] — per-block reachability from block [b] along CFG
+    edges (calls excluded, as in {!build}). *)
+val reachable : t -> int -> bool array

@@ -1,0 +1,112 @@
+open Aarch64
+
+type severity = Warning | Error
+
+type kind =
+  | Key_register_read of Sysreg.t
+  | Key_register_write of Sysreg.t
+  | Sctlr_write
+  | Unprotected_return
+  | Unauthenticated_branch of Insn.reg
+  | Signing_oracle of Insn.reg
+  | Toctou_spill of Insn.reg
+  | Modifier_sp_mismatch of int
+  | Reserved_clobber of Insn.reg
+
+type t = { va : int64; insn : Insn.t; kind : kind }
+
+let severity d =
+  match d.kind with
+  | Toctou_spill _ | Reserved_clobber _ -> Warning
+  | Key_register_read _ | Key_register_write _ | Sctlr_write | Unprotected_return
+  | Unauthenticated_branch _ | Signing_oracle _ | Modifier_sp_mismatch _ ->
+      Error
+
+let is_error d = severity d = Error
+
+let severity_name = function Warning -> "warning" | Error -> "error"
+
+let kind_name = function
+  | Key_register_read _ -> "key-register-read"
+  | Key_register_write _ -> "key-register-write"
+  | Sctlr_write -> "sctlr-write"
+  | Unprotected_return -> "unprotected-return"
+  | Unauthenticated_branch _ -> "unauthenticated-branch"
+  | Signing_oracle _ -> "signing-oracle"
+  | Toctou_spill _ -> "toctou-spill"
+  | Modifier_sp_mismatch _ -> "modifier-sp-mismatch"
+  | Reserved_clobber _ -> "reserved-clobber"
+
+let message d =
+  match d.kind with
+  | Key_register_read sr -> Printf.sprintf "reads PAuth key register %s" (Sysreg.name sr)
+  | Key_register_write sr ->
+      Printf.sprintf "writes PAuth key register %s outside the audited setter"
+        (Sysreg.name sr)
+  | Sctlr_write -> "writes SCTLR_EL1 outside the audited setter"
+  | Unprotected_return -> "returns through a link register that was never authenticated"
+  | Unauthenticated_branch r ->
+      Printf.sprintf "indirect branch through %s, which holds an unauthenticated value"
+        (Insn.reg_name r)
+  | Signing_oracle r ->
+      Printf.sprintf "signs %s, whose value was loaded from memory without authentication"
+        (Insn.reg_name r)
+  | Toctou_spill r ->
+      Printf.sprintf "spills authenticated pointer %s back to memory" (Insn.reg_name r)
+  | Modifier_sp_mismatch delta ->
+      Printf.sprintf "authenticates at SP delta %d, which matches no signing site" delta
+  | Reserved_clobber r ->
+      Printf.sprintf "function body writes reserved scratch register %s" (Insn.reg_name r)
+
+let hint d =
+  match d.kind with
+  | Key_register_read _ ->
+      "key material must never be read back; generate keys inside the audited setter"
+  | Key_register_write _ | Sctlr_write ->
+      "route key and SCTLR programming through the audited key setter in XOM"
+  | Unprotected_return ->
+      "sign the link register in the prologue and authenticate it in the epilogue \
+       (Instrument.wrap)"
+  | Unauthenticated_branch _ ->
+      "authenticate the pointer (AUT) or load it through a protected getter before \
+       branching"
+  | Signing_oracle _ ->
+      "authenticate the value before re-signing; a PAC over attacker data is a forgery \
+       gadget"
+  | Toctou_spill _ ->
+      "keep authenticated pointers in registers; re-authenticate after any reload"
+  | Modifier_sp_mismatch _ ->
+      "restore SP to its value at the signing site before authenticating"
+  | Reserved_clobber _ ->
+      "x15-x17 are reserved for instrumentation scratch; use another register"
+
+let to_string d =
+  Printf.sprintf "0x%Lx: %s: %s (%s); hint: %s" d.va
+    (severity_name (severity d))
+    (message d) (Insn.to_string d.insn) (hint d)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    {|{"va":"0x%Lx","severity":"%s","kind":"%s","insn":"%s","message":"%s","hint":"%s"}|}
+    d.va
+    (severity_name (severity d))
+    (kind_name d.kind)
+    (json_escape (Insn.to_string d.insn))
+    (json_escape (message d))
+    (json_escape (hint d))
+
+let list_to_json ds = "[" ^ String.concat "," (List.map to_json ds) ^ "]"

@@ -1,0 +1,66 @@
+(** Typed diagnostics for the PAC-state lint.
+
+    Each finding carries the virtual address, the offending instruction,
+    a kind with its evidence, and a one-line fix hint. Severity is
+    derived from the kind: anything that lets an attacker forge, strip
+    or replay a PAC — or touch the key registers — is an [Error];
+    defence-in-depth findings (TOCTOU spills, reserved-register
+    clobbers) are [Warning]s. The loader rejects on errors only. *)
+
+open Aarch64
+
+type severity = Warning | Error
+
+type kind =
+  | Key_register_read of Sysreg.t
+      (** MRS of an AP*Key* register anywhere (§4.1: the kernel never
+          reads its keys). *)
+  | Key_register_write of Sysreg.t
+      (** MSR to an AP*Key* register outside the audited setter
+          (§6.2.2). *)
+  | Sctlr_write
+      (** MSR to SCTLR_EL1 outside the audited setter — could clear the
+          PAuth enable bits. *)
+  | Unprotected_return
+      (** RET reachable with a link register that is raw, stripped, or
+          still signed, under a return-protecting scheme. *)
+  | Unauthenticated_branch of Insn.reg
+      (** BR/BLR through a register whose value came from memory and was
+          never authenticated ("PAC it up" forward-edge bypass). *)
+  | Signing_oracle of Insn.reg
+      (** PAC over a value loaded from memory with no intervening AUT —
+          reusable by an attacker to forge pointers ("PAC it up" §5.2). *)
+  | Toctou_spill of Insn.reg
+      (** An authenticated pointer written back to memory before its
+          consuming use — re-load is a time-of-check-to-time-of-use
+          window ("PACTight"). *)
+  | Modifier_sp_mismatch of int
+      (** AUT whose SP-derived modifier offset matches no signing site
+          in the same function; payload is the authenticate-site SP
+          delta. *)
+  | Reserved_clobber of Insn.reg
+      (** A function body writes x15/x16/x17, which the instrumentation
+          reserves as scratch. *)
+
+type t = { va : int64; insn : Insn.t; kind : kind }
+
+val severity : t -> severity
+val is_error : t -> bool
+
+(** Stable kebab-case identifier for the kind (used in JSON output). *)
+val kind_name : kind -> string
+
+(** One-sentence statement of the finding. *)
+val message : t -> string
+
+(** One-line fix hint. *)
+val hint : t -> string
+
+(** ["0x<va>: <severity>: <message> (<insn>); hint: <hint>"]. *)
+val to_string : t -> string
+
+(** One finding as a JSON object (hand-rolled, no dependencies). *)
+val to_json : t -> string
+
+(** A findings list as a JSON array. *)
+val list_to_json : t list -> string

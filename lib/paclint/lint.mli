@@ -1,0 +1,86 @@
+(** Forward abstract interpretation of PAC state over a CFG.
+
+    Each general-purpose register is tracked through a small lattice of
+    pointer provenances; the stack pointer is tracked as a byte delta
+    from its value at function entry. The fixpoint is a may-analysis:
+    joins keep the most dangerous provenance, so a value that is
+    attacker-derived on any path stays attacker-derived. Diagnostics are
+    reported in a deterministic second pass over the fixed point.
+
+    Checks and the paper claims they machine-check:
+    - key-register / SCTLR accesses outside the audited setter
+      (Camouflage §4.1, §6.2.2) — flow-insensitive, applied even to
+      unreachable blocks;
+    - unprotected returns and SP-modifier mismatches (Camouflage §4.2);
+    - signing oracles, unauthenticated indirect branches, and
+      authenticated-pointer spills ("PAC it up" §5, "PACTight" §3). *)
+
+open Aarch64
+
+(** What the code under analysis promised. Derived from [Config.t] by
+    [Core.Verifier.policy]; kept structural here so paclint sits below
+    core in the dependency order. *)
+type policy = {
+  protect_return : bool;
+      (** scheme signs return addresses: RET needs an authenticated LR *)
+  protect_pointers : bool;
+      (** function pointers are signed at rest: BR/BLR need an
+          authenticated or code-generated target *)
+  sp_modifier : bool;
+      (** the modifier embeds SP ([Sp_only]/[Parts]/[Camouflage]):
+          sign/authenticate SP deltas must pair up *)
+  allowed_key_writer : int64 -> bool;
+      (** addresses of the audited key setter, where MSRs to key
+          registers and SCTLR are legitimate *)
+}
+
+(** All checks off, no audited setter. Key accesses still diagnose
+    (reads are never legitimate; writes only inside the setter). *)
+val policy_none : policy
+
+(** Registers the instrumentation reserves as scratch and a raw function
+    body must not write: x15 ([Core.Instrument.scratch]), x16, x17. *)
+val reserved_registers : Insn.reg list
+
+(** [key_access ~allowed va insn] — the flow-insensitive key-register
+    rule on one instruction; exactly [Core.Verifier]'s historical
+    contract (key reads always flagged; key/SCTLR writes flagged outside
+    [allowed]). *)
+val key_access : allowed:(int64 -> bool) -> int64 -> Insn.t -> Diag.t option
+
+(** [decode_region ~read32 ~base ~size] — decode every word of
+    [base, base+size); words that do not decode are skipped (data cannot
+    execute). *)
+val decode_region :
+  read32:(int64 -> int32) -> base:int64 -> size:int -> (int64 * Insn.t) array
+
+(** [lint_insns ~policy ?entries insns] — analyze an instruction
+    listing. [entries] are function-entry addresses (default: the lowest
+    address); in-range BL targets are added automatically. Diagnostics
+    come back in ascending address order. *)
+val lint_insns :
+  policy:policy -> ?entries:int64 list -> (int64 * Insn.t) list -> Diag.t list
+
+(** [lint_region ~policy ~read32 ~base ~size ~entries] — decode then
+    analyze a memory region (the loader's and kernel's gate). *)
+val lint_region :
+  policy:policy ->
+  read32:(int64 -> int32) ->
+  base:int64 ->
+  size:int ->
+  entries:int64 list ->
+  Diag.t list
+
+(** [lint_layout ~policy layout] — analyze an assembled layout, using
+    its global symbols as entries. *)
+val lint_layout : policy:policy -> Asm.layout -> Diag.t list
+
+(** [check_body items] — the reserved-register rule over a raw,
+    pre-instrumentation function body: warn on any write to
+    {!reserved_registers}. Writes to x16/x17 that feed a 1716-form or
+    combined-branch PAuth instruction within the next few instructions
+    are the architectural idiom and exempt. Diagnostic [va]s are byte
+    offsets into the body (it has no address yet). Instrumented streams
+    legitimately use the scratch registers, so this check runs on bodies
+    only. *)
+val check_body : Asm.item list -> Diag.t list

@@ -1,0 +1,152 @@
+(* Per-constructor coverage of the Insn metadata that paclint leans on:
+   [defs_uses] over every one of the 48 instruction forms, and the
+   [is_pauth] / [reads_sysreg] / [writes_sysreg] partitions. A new
+   constructor that forgets its metadata shows up here as a count
+   mismatch before it silently mis-analyzes. *)
+
+open Aarch64
+
+let x n = Insn.R n
+
+let reg_list =
+  Alcotest.testable
+    (fun fmt rs ->
+      Format.pp_print_string fmt
+        (String.concat " " (List.map Insn.reg_name rs)))
+    ( = )
+
+let sort = List.sort compare
+
+(* One representative per constructor, with the expected (defs, uses).
+   Addressing modes use Pre/Post where it matters so writeback registers
+   are exercised. *)
+let table =
+  let open Insn in
+  [
+    (Movz (x 1, 7, 0), [ x 1 ], []);
+    (Movk (x 1, 7, 16), [ x 1 ], [ x 1 ]);
+    (Mov (x 1, x 2), [ x 1 ], [ x 2 ]);
+    (Add_imm (x 1, x 2, 8), [ x 1 ], [ x 2 ]);
+    (Sub_imm (x 1, x 2, 8), [ x 1 ], [ x 2 ]);
+    (Add_reg (x 1, x 2, x 3), [ x 1 ], [ x 2; x 3 ]);
+    (Sub_reg (x 1, x 2, x 3), [ x 1 ], [ x 2; x 3 ]);
+    (Subs_reg (x 1, x 2, x 3), [ x 1 ], [ x 2; x 3 ]);
+    (Subs_imm (x 1, x 2, 8), [ x 1 ], [ x 2 ]);
+    (And_reg (x 1, x 2, x 3), [ x 1 ], [ x 2; x 3 ]);
+    (Orr_reg (x 1, x 2, x 3), [ x 1 ], [ x 2; x 3 ]);
+    (Eor_reg (x 1, x 2, x 3), [ x 1 ], [ x 2; x 3 ]);
+    (Lsl_imm (x 1, x 2, 3), [ x 1 ], [ x 2 ]);
+    (Lsr_imm (x 1, x 2, 3), [ x 1 ], [ x 2 ]);
+    (Bfi (x 1, x 2, 0, 16), [ x 1 ], [ x 1; x 2 ]);
+    (Ubfx (x 1, x 2, 0, 16), [ x 1 ], [ x 2 ]);
+    (Adr (x 1, 0x1000L), [ x 1 ], []);
+    (Ldr (x 1, Off (x 2, 8)), [ x 1 ], [ x 2 ]);
+    (Str (x 1, Pre (x 2, -8)), [ x 2 ], [ x 1; x 2 ]);
+    (Ldrb (x 1, Post (x 2, 1)), [ x 1; x 2 ], [ x 2 ]);
+    (Strb (x 1, Off (x 2, 0)), [], [ x 1; x 2 ]);
+    (Ldp (x 1, x 2, Post (Insn.SP, 16)), [ x 1; x 2; Insn.SP ], [ Insn.SP ]);
+    (Stp (x 1, x 2, Pre (Insn.SP, -16)), [ Insn.SP ], [ x 1; x 2; Insn.SP ]);
+    (B 0x1000L, [], []);
+    (Bl 0x1000L, [ Insn.lr ], []);
+    (Br (x 1), [], [ x 1 ]);
+    (Blr (x 1), [ Insn.lr ], [ x 1 ]);
+    (Ret, [], [ Insn.lr ]);
+    (Cbz (x 1, 0x1000L), [], [ x 1 ]);
+    (Cbnz (x 1, 0x1000L), [], [ x 1 ]);
+    (Bcond (Eq, 0x1000L), [], []);
+    (Pac (Sysreg.IB, x 1, x 2), [ x 1 ], [ x 1; x 2 ]);
+    (Aut (Sysreg.IB, x 1, x 2), [ x 1 ], [ x 1; x 2 ]);
+    (Pac1716 Sysreg.IB, [ Insn.ip1 ], [ Insn.ip1; Insn.ip0 ]);
+    (Aut1716 Sysreg.IB, [ Insn.ip1 ], [ Insn.ip1; Insn.ip0 ]);
+    (Xpac (x 1), [ x 1 ], [ x 1 ]);
+    (Pacga (x 1, x 2, x 3), [ x 1 ], [ x 2; x 3 ]);
+    (Blra (Sysreg.IA, x 1, x 2), [ Insn.lr ], [ x 1; x 2 ]);
+    (Bra (Sysreg.IA, x 1, x 2), [], [ x 1; x 2 ]);
+    (Reta Sysreg.IB, [], [ Insn.lr; Insn.SP ]);
+    (Mrs (x 1, Sysreg.TTBR0_EL1), [ x 1 ], []);
+    (Msr (Sysreg.TTBR0_EL1, x 1), [], [ x 1 ]);
+    (Svc 0, [], []);
+    (Eret, [], []);
+    (Isb, [], []);
+    (Nop, [], []);
+    (Brk 1, [], []);
+    (Hlt 1, [], []);
+  ]
+
+let test_defs_uses_table () =
+  Alcotest.(check int) "one representative per constructor" 48 (List.length table);
+  List.iter
+    (fun (insn, want_defs, want_uses) ->
+      let defs, uses = Insn.defs_uses insn in
+      let label what = Printf.sprintf "%s of %s" what (Insn.to_string insn) in
+      Alcotest.check reg_list (label "defs") (sort want_defs) (sort defs);
+      Alcotest.check reg_list (label "uses") (sort want_uses) (sort uses))
+    table
+
+let test_is_pauth_partition () =
+  let expected insn =
+    match insn with
+    | Insn.Pac _ | Insn.Aut _ | Insn.Pac1716 _ | Insn.Aut1716 _ | Insn.Xpac _
+    | Insn.Pacga _ | Insn.Blra _ | Insn.Bra _ | Insn.Reta _ ->
+        true
+    | _ -> false
+  in
+  let pauth_count = ref 0 in
+  List.iter
+    (fun (insn, _, _) ->
+      if expected insn then incr pauth_count;
+      Alcotest.(check bool)
+        (Printf.sprintf "is_pauth %s" (Insn.to_string insn))
+        (expected insn) (Insn.is_pauth insn))
+    table;
+  Alcotest.(check int) "nine PAuth forms" 9 !pauth_count
+
+let test_sysreg_accessors () =
+  List.iter
+    (fun (insn, _, _) ->
+      match insn with
+      | Insn.Mrs (_, sr) ->
+          Alcotest.(check bool) "mrs reads its sysreg" true
+            (Insn.reads_sysreg insn = Some sr);
+          Alcotest.(check bool) "mrs writes none" true (Insn.writes_sysreg insn = None)
+      | Insn.Msr (sr, _) ->
+          Alcotest.(check bool) "msr writes its sysreg" true
+            (Insn.writes_sysreg insn = Some sr);
+          Alcotest.(check bool) "msr reads none" true (Insn.reads_sysreg insn = None)
+      | _ ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s reads no sysreg" (Insn.to_string insn))
+            true
+            (Insn.reads_sysreg insn = None);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s writes no sysreg" (Insn.to_string insn))
+            true
+            (Insn.writes_sysreg insn = None))
+    table;
+  (* every system register round-trips through both accessors *)
+  List.iter
+    (fun sr ->
+      Alcotest.(check bool) (Sysreg.name sr ^ " mrs") true
+        (Insn.reads_sysreg (Insn.Mrs (x 0, sr)) = Some sr);
+      Alcotest.(check bool) (Sysreg.name sr ^ " msr") true
+        (Insn.writes_sysreg (Insn.Msr (sr, x 0)) = Some sr))
+    Sysreg.all
+
+let test_defs_never_use_only () =
+  (* sanity over the whole table: defs and uses never contain XZR writes
+     that matter, and every register mentioned is well-formed *)
+  List.iter
+    (fun (insn, _, _) ->
+      let defs, uses = Insn.defs_uses insn in
+      List.iter
+        (fun r -> ignore (Insn.reg_name r))
+        (defs @ uses))
+    table
+
+let suite =
+  [
+    Alcotest.test_case "defs_uses per constructor" `Quick test_defs_uses_table;
+    Alcotest.test_case "is_pauth partition" `Quick test_is_pauth_partition;
+    Alcotest.test_case "sysreg accessors" `Quick test_sysreg_accessors;
+    Alcotest.test_case "reg_name total" `Quick test_defs_never_use_only;
+  ]

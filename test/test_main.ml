@@ -7,6 +7,8 @@ let () =
       ("asm", Test_asm.suite);
       ("vaddr", Test_vaddr.suite);
       ("encode", Test_encode.suite);
+      ("insn", Test_insn.suite);
+      ("paclint", Test_paclint.suite);
       ("cpu", Test_cpu.suite);
       ("camouflage", Test_camouflage.suite);
       ("kernel", Test_kernel.suite);

@@ -1,0 +1,282 @@
+(* The PAC-state static analyzer:
+   - instrumented output is diagnostic-free under every (mode x scheme);
+   - each oracle class is detected;
+   - the built kernel image lints clean under every shipped config;
+   - the loader gate rejects on error diagnostics and surfaces warnings;
+   - Core.Verifier's wrapper is observationally the old linear scan. *)
+
+open Aarch64
+module C = Camouflage
+module K = Kernel
+module L = Paclint.Lint
+module D = Paclint.Diag
+
+let x n = Insn.R n
+let base = 0xffff000000300000L
+
+let strict_policy =
+  {
+    L.protect_return = true;
+    protect_pointers = true;
+    sp_modifier = true;
+    allowed_key_writer = (fun _ -> false);
+  }
+
+(* ----- instrumented functions lint clean, all modes x schemes ----- *)
+
+let schemes =
+  [
+    ("no-cfi", C.Modifier.No_cfi);
+    ("sp-only", C.Modifier.Sp_only);
+    ("parts", C.Modifier.Parts 0x7357L);
+    ("camouflage", C.Modifier.Camouflage);
+    ("chained", C.Modifier.Chained);
+  ]
+
+let modes = [ ("v8.3", C.Keys.Armv83); ("compat", C.Keys.Compat) ]
+
+let body =
+  [
+    Asm.ins (Insn.Movz (x 0, 40, 0));
+    Asm.ins (Insn.Add_imm (x 0, x 0, 2));
+    Asm.ins (Insn.Sub_imm (Insn.SP, Insn.SP, 16));
+    Asm.ins (Insn.Str (x 0, Insn.Off (Insn.SP, 0)));
+    Asm.ins (Insn.Ldr (x 1, Insn.Off (Insn.SP, 0)));
+    Asm.ins (Insn.Add_imm (Insn.SP, Insn.SP, 16));
+  ]
+
+let test_wrapped_clean () =
+  List.iter
+    (fun (mname, mode) ->
+      List.iter
+        (fun (sname, scheme) ->
+          let config = { C.Config.full with scheme; mode } in
+          match C.Instrument.wrap config ~name:"f" body with
+          | exception _ -> () (* unsupported combination (e.g. compat+chained) *)
+          | f ->
+              let prog = Asm.create () in
+              Asm.add_function prog ~name:"f" f.C.Instrument.items;
+              let layout = Asm.assemble prog ~base in
+              let diags = L.lint_layout ~policy:(C.Verifier.policy config) layout in
+              Alcotest.(check int)
+                (Printf.sprintf "%s/%s wrapped function is clean" mname sname)
+                0 (List.length diags))
+        schemes)
+    modes
+
+(* ----- one assertion per diagnostic class ----- *)
+
+let listing insns = List.mapi (fun i insn -> (Int64.add base (Int64.of_int (4 * i)), insn)) insns
+
+let kinds insns =
+  List.map (fun d -> D.kind_name d.D.kind) (L.lint_insns ~policy:strict_policy (listing insns))
+
+let has insns k = List.mem k (kinds insns)
+
+let test_oracle_classes () =
+  Alcotest.(check bool) "signing oracle" true
+    (has
+       [ Insn.Ldr (x 0, Insn.Off (Insn.SP, 0)); Insn.Pac (Sysreg.IB, x 0, x 9); Insn.Ret ]
+       "signing-oracle");
+  Alcotest.(check bool) "unauthenticated branch" true
+    (has [ Insn.Ldr (x 8, Insn.Off (x 0, 0)); Insn.Br (x 8) ] "unauthenticated-branch");
+  Alcotest.(check bool) "stripped branch" true
+    (has
+       [ Insn.Ldr (x 8, Insn.Off (x 0, 0)); Insn.Xpac (x 8); Insn.Blr (x 8); Insn.Ret ]
+       "unauthenticated-branch");
+  Alcotest.(check bool) "toctou spill" true
+    (has
+       [ Insn.Aut (Sysreg.DA, x 0, x 9); Insn.Str (x 0, Insn.Off (Insn.SP, 8)); Insn.Ret ]
+       "toctou-spill");
+  Alcotest.(check bool) "unprotected return" true
+    (has
+       [
+         Insn.Stp (Insn.fp, Insn.lr, Insn.Pre (Insn.SP, -16));
+         Insn.Ldp (Insn.fp, Insn.lr, Insn.Post (Insn.SP, 16));
+         Insn.Ret;
+       ]
+       "unprotected-return");
+  Alcotest.(check bool) "modifier mismatch" true
+    (has
+       [
+         Insn.Mov (x 9, Insn.SP);
+         Insn.Pac (Sysreg.IB, Insn.lr, x 9);
+         Insn.Sub_imm (Insn.SP, Insn.SP, 32);
+         Insn.Mov (x 9, Insn.SP);
+         Insn.Aut (Sysreg.IB, Insn.lr, x 9);
+         Insn.Ret;
+       ]
+       "modifier-sp-mismatch");
+  Alcotest.(check bool) "key read" true
+    (has [ Insn.Mrs (x 0, Sysreg.APIBKeyHi_EL1); Insn.Ret ] "key-register-read");
+  Alcotest.(check bool) "key write" true
+    (has [ Insn.Msr (Sysreg.APIBKeyLo_EL1, x 0); Insn.Ret ] "key-register-write");
+  Alcotest.(check bool) "sctlr write" true
+    (has [ Insn.Msr (Sysreg.SCTLR_EL1, x 0); Insn.Ret ] "sctlr-write");
+  let clobber =
+    L.check_body [ Asm.ins (Insn.Movz (x 15, 1, 0)); Asm.ins Insn.Ret ]
+  in
+  Alcotest.(check bool) "reserved clobber" true
+    (List.exists (fun d -> D.kind_name d.D.kind = "reserved-clobber") clobber);
+  (* ...but the canonical mov-into-x16/x17 feeding a 1716 form is not a
+     clobber: it is the architectural operand interface. *)
+  let idiom =
+    L.check_body
+      [
+        Asm.ins (Insn.Mov (Insn.ip1, x 0));
+        Asm.ins (Insn.Mov (Insn.ip0, x 1));
+        Asm.ins (Insn.Aut1716 Sysreg.IB);
+        Asm.ins (Insn.Mov (x 0, Insn.ip1));
+      ]
+  in
+  Alcotest.(check int) "1716 idiom exempt" 0 (List.length idiom)
+
+(* ----- no false positives on clean code shapes ----- *)
+
+let test_clean_shapes () =
+  (* a leaf returning through an untouched LR is fine everywhere *)
+  Alcotest.(check int) "bare ret" 0 (List.length (kinds [ Insn.Ret ]));
+  (* authenticate-then-branch is the sanctioned forward-edge pattern *)
+  Alcotest.(check int) "aut then br" 0
+    (List.length
+       (kinds
+          [
+            Insn.Ldr (x 8, Insn.Off (x 0, 0));
+            Insn.Aut (Sysreg.IA, x 8, x 9);
+            Insn.Br (x 8);
+          ]));
+  (* balanced sign/auth at the same SP depth *)
+  Alcotest.(check int) "balanced modifier" 0
+    (List.length
+       (kinds
+          [
+            Insn.Mov (x 9, Insn.SP);
+            Insn.Pac (Sysreg.IB, Insn.lr, x 9);
+            Insn.Sub_imm (Insn.SP, Insn.SP, 32);
+            Insn.Add_imm (Insn.SP, Insn.SP, 32);
+            Insn.Mov (x 9, Insn.SP);
+            Insn.Aut (Sysreg.IB, Insn.lr, x 9);
+            Insn.Ret;
+          ]))
+
+(* ----- the built kernel image is clean under every config ----- *)
+
+let test_kernel_image_clean () =
+  List.iter
+    (fun (name, config) ->
+      let diags = K.Kbuild.lint config in
+      Alcotest.(check int)
+        (Printf.sprintf "%s kernel image lints clean" name)
+        0 (List.length diags))
+    [
+      ("full", C.Config.full);
+      ("backward", C.Config.backward_only);
+      ("compat", C.Config.compat);
+      ("none", C.Config.none);
+      ("sp-only", { C.Config.backward_only with scheme = C.Modifier.Sp_only });
+      ("parts", { C.Config.backward_only with scheme = C.Modifier.Parts 0x7357L });
+      ("chained", { C.Config.backward_only with scheme = C.Modifier.Chained });
+    ]
+
+(* ----- the loader gate ----- *)
+
+let boot () = K.System.boot ~config:C.Config.full ~seed:7L ()
+
+let test_loader_rejects_with_diag () =
+  let sys = boot () in
+  let rogue =
+    Kelf.Object_file.add_function
+      (Kelf.Object_file.empty "rogue")
+      ~name:"rogue_entry"
+      [ Asm.ins (Insn.Msr (Sysreg.APIBKeyLo_EL1, x 0)); Asm.ins Insn.Ret ]
+  in
+  match K.System.load_module sys rogue with
+  | Result.Ok _ -> Alcotest.fail "rogue module accepted"
+  | Result.Error (Kelf.Loader.Verification_failed vs) ->
+      Alcotest.(check bool) "carries a key-register-write diagnostic" true
+        (List.exists
+           (fun d -> match d.D.kind with D.Key_register_write _ -> true | _ -> false)
+           vs)
+  | Result.Error e ->
+      Alcotest.failf "unexpected error: %s" (Kelf.Loader.error_to_string e)
+
+let test_loader_surfaces_warnings () =
+  let sys = boot () in
+  let config = K.System.config sys in
+  (* authenticated-pointer spill: warning severity, so the module loads,
+     but the finding rides on the placed object *)
+  let f =
+    C.Instrument.wrap config ~name:"leaky_entry"
+      [
+        Asm.ins (Insn.Aut (Sysreg.DA, x 0, x 9));
+        Asm.ins (Insn.Str (x 0, Insn.Off (x 1, 0)));
+      ]
+  in
+  let leaky =
+    Kelf.Object_file.add_function
+      (Kelf.Object_file.empty "leaky")
+      ~name:"leaky_entry" f.C.Instrument.items
+  in
+  match K.System.load_module sys leaky with
+  | Result.Error e ->
+      Alcotest.failf "warning-only module rejected: %s" (Kelf.Loader.error_to_string e)
+  | Result.Ok placed ->
+      Alcotest.(check bool) "lint_warnings is non-empty" true
+        (placed.Kelf.Loader.lint_warnings <> []);
+      Alcotest.(check bool) "and they are toctou spills" true
+        (List.for_all
+           (fun d -> match d.D.kind with D.Toctou_spill _ -> true | _ -> false)
+           placed.Kelf.Loader.lint_warnings)
+
+(* ----- Verifier wrapper == the old linear scan ----- *)
+
+(* The seed's Core.Verifier.check, verbatim: the oracle the wrapper must
+   reproduce observationally. *)
+let reference_check ~allowed va insn =
+  match Insn.reads_sysreg insn with
+  | Some sr when Sysreg.is_pauth_key sr ->
+      Some { C.Verifier.va; insn; reason = C.Verifier.Reads_key_register sr }
+  | Some _ | None -> (
+      match Insn.writes_sysreg insn with
+      | Some sr when Sysreg.is_pauth_key sr && not (allowed va) ->
+          Some { C.Verifier.va; insn; reason = C.Verifier.Writes_key_register sr }
+      | Some Sysreg.SCTLR_EL1 when not (allowed va) ->
+          Some { C.Verifier.va; insn; reason = C.Verifier.Writes_sctlr }
+      | Some _ | None -> None)
+
+let gen_scan_insn =
+  QCheck2.Gen.(
+    let reg = map (fun n -> Insn.R n) (int_range 0 30) in
+    let sysreg = oneofl Sysreg.all in
+    frequency
+      [
+        (3, map2 (fun r sr -> Insn.Mrs (r, sr)) reg sysreg);
+        (3, map2 (fun r sr -> Insn.Msr (sr, r)) reg sysreg);
+        (1, return Insn.Nop);
+        (1, return Insn.Ret);
+        (1, map (fun r -> Insn.Movz (r, 1, 0)) reg);
+        (1, map2 (fun k r -> Insn.Pac (k, r, r)) (oneofl Sysreg.[ IA; IB; DA; DB; GA ]) reg);
+      ])
+
+let prop_scan_matches_reference =
+  QCheck2.Test.make ~count:500 ~name:"Verifier.scan_insns == old linear scan"
+    QCheck2.Gen.(pair (list_size (int_range 0 40) gen_scan_insn) (int_range 1 4))
+    (fun (insns, m) ->
+      let stream = listing insns in
+      let allowed va =
+        Int64.rem (Int64.div (Int64.sub va base) 4L) (Int64.of_int m) = 0L
+      in
+      let got = C.Verifier.scan_insns ~base stream ~allowed in
+      let want = List.filter_map (fun (va, i) -> reference_check ~allowed va i) stream in
+      got = want)
+
+let suite =
+  [
+    Alcotest.test_case "wrapped functions clean (mode x scheme)" `Quick test_wrapped_clean;
+    Alcotest.test_case "oracle classes detected" `Quick test_oracle_classes;
+    Alcotest.test_case "clean shapes stay clean" `Quick test_clean_shapes;
+    Alcotest.test_case "kernel image clean per config" `Quick test_kernel_image_clean;
+    Alcotest.test_case "loader rejects with diagnostics" `Quick test_loader_rejects_with_diag;
+    Alcotest.test_case "loader surfaces warnings" `Quick test_loader_surfaces_warnings;
+    QCheck_alcotest.to_alcotest prop_scan_matches_reference;
+  ]
