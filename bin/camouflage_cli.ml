@@ -206,9 +206,55 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ config_arg $ json_arg)
 
+let faults_cmd =
+  let trials_arg =
+    let doc = "Number of fault-injection trials to run." in
+    Arg.(value & opt int 100 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the campaign report as deterministic JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let quarantine_arg =
+    let doc =
+      "Offline a core after it accumulates $(docv) PAC authentication failures."
+    in
+    Arg.(value & opt (some int) None & info [ "quarantine" ] ~docv:"N" ~doc)
+  in
+  let demo_arg =
+    let doc =
+      "Run the per-CPU quarantine demonstration (stuck key-register fault on one \
+       core) instead of a random campaign."
+    in
+    Arg.(value & flag & info [ "demo" ] ~doc)
+  in
+  let run config seed cpus trials json quarantine demo =
+    if demo then print_string (Faultinj.Campaign.demo_to_string (Faultinj.Campaign.quarantine_demo ~seed ()))
+    else begin
+      let report =
+        Faultinj.Campaign.run ~config ~config_name:(C.Config.name config)
+          ~cpus:(max cpus 2) ?quarantine_after:quarantine ~seed ~trials ()
+      in
+      if json then print_string (Faultinj.Campaign.report_to_json report)
+      else print_string (Faultinj.Campaign.report_to_string report)
+    end
+  in
+  let doc =
+    "Run a seeded fault-injection campaign (bit flips in memory, registers, PAC \
+     fields and key registers; instruction skips) and report how faults were \
+     detected or survived. Fully deterministic per seed."
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ config_arg $ seed_arg $ cpus_arg $ trials_arg $ json_arg
+      $ quarantine_arg $ demo_arg)
+
 let main =
   let doc = "Camouflage: hardware-assisted CFI for an ARM-like kernel (DAC'20 reproduction)" in
   Cmd.group (Cmd.info "camouflage" ~version:"1.0.0" ~doc)
-    [ boot_cmd; attack_cmd; census_cmd; disasm_cmd; integrity_cmd; trace_cmd; lint_cmd ]
+    [
+      boot_cmd; attack_cmd; census_cmd; disasm_cmd; integrity_cmd; trace_cmd;
+      lint_cmd; faults_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

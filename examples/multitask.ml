@@ -64,7 +64,7 @@ let () =
         | K.System.Exited v -> Printf.sprintf "exited with 0x%Lx" v
         | K.System.User_killed m -> "killed: " ^ m
         | K.System.User_panicked m -> "panic: " ^ m
-        | K.System.Ran_out m -> m))
+        | K.System.Watchdog_expired _ as e -> K.System.user_exit_to_string e))
     stats.K.System.exits;
   Printf.printf "\nEvery preemption ran the instrumented cpu_switch_to: the stored\n";
   Printf.printf "stack pointers of scheduled-out tasks carry PACs bound to their\n";

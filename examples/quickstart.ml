@@ -37,7 +37,8 @@ let () =
   | K.System.Exited v -> Printf.printf "user program exited with %Ld\n" v
   | K.System.User_killed m -> Printf.printf "user program killed: %s\n" m
   | K.System.User_panicked m -> Printf.printf "panic: %s\n" m
-  | K.System.Ran_out m -> Printf.printf "ran out: %s\n" m);
+  | K.System.Watchdog_expired _ as e ->
+      Printf.printf "%s\n" (K.System.user_exit_to_string e));
   Printf.printf "console: %s" (K.System.console_output sys);
 
   (* 3. The kernel has a planted memory-corruption bug (the paper's

@@ -49,7 +49,8 @@ let scenario label ~sign_pointer =
   | K.System.Exited v -> Printf.printf "read_secure returned %Ld\n" v
   | K.System.User_killed m -> Printf.printf "process killed: %s\n" m
   | K.System.User_panicked m -> Printf.printf "panic: %s\n" m
-  | K.System.Ran_out m -> Printf.printf "%s\n" m);
+  | K.System.Watchdog_expired _ as e ->
+      Printf.printf "%s\n" (K.System.user_exit_to_string e));
   List.iter (fun l -> Printf.printf "  log: %s\n" l) (K.System.log sys)
 
 let () =

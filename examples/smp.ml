@@ -39,7 +39,7 @@ let () =
         | K.System.Exited v -> Printf.sprintf "exit 0x%Lx" v
         | K.System.User_killed m -> "killed: " ^ m
         | K.System.User_panicked m -> "panic: " ^ m
-        | K.System.Ran_out m -> m))
+        | K.System.Watchdog_expired _ as e -> K.System.user_exit_to_string e))
     stats.K.System.smp_exits;
   Printf.printf "\nEach core installed the kernel keys on its own entries — the key\n";
   Printf.printf "registers are per-CPU state, and the XOM setter is the only code\n";

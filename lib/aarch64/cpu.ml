@@ -17,6 +17,8 @@ type stop =
 
 type flags = { mutable n : bool; mutable z : bool; mutable v : bool; mutable c : bool }
 
+type hook_action = Exec | Skip
+
 type t = {
   regs : int64 array;
   mutable sp_el0 : int64;
@@ -40,6 +42,8 @@ type t = {
   trace : (int64 * Insn.t) option array;
   mutable trace_pos : int;
   id : int;
+  (* pre-execute observation point; see set_step_hook *)
+  mutable step_hook : (t -> pc:int64 -> Insn.t -> hook_action) option;
 }
 
 (* A canonical kernel address that is never mapped: it survives PAC/AUT
@@ -73,6 +77,7 @@ let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linu
     trace = Array.make trace_depth None;
     trace_pos = 0;
     id;
+    step_hook = None;
   }
 
 let mem t = t.mem
@@ -126,6 +131,7 @@ let cycles t = t.cycles
 let insns_retired t = t.insns_retired
 let charge t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
 let set_sysreg_lock t f = t.sysreg_locked <- f
+let set_step_hook t h = t.step_hook <- h
 
 let pac_key t k =
   let hi_reg, lo_reg = Sysreg.key_halves k in
@@ -400,15 +406,27 @@ let step t =
         match Encode.decode ~pc:t.pc word with
         | None -> Some (Fault { fault = Undefined_instruction word; pc = t.pc })
         | Some insn -> (
+            let action =
+              match t.step_hook with
+              | None -> Exec
+              | Some h -> h t ~pc:t.pc insn
+            in
             charge t (cost_of t insn);
             t.insns_retired <- Int64.add t.insns_retired 1L;
             t.trace.(t.trace_pos) <- Some (t.pc, insn);
             t.trace_pos <- (t.trace_pos + 1) mod Array.length t.trace;
             let next = Int64.add t.pc 4L in
-            try
-              execute t insn ~next;
-              None
-            with Stop s -> Some s))
+            match action with
+            | Skip ->
+                (* the instruction issues (is fetched, charged and traced)
+                   but its effects are suppressed: the PC just advances *)
+                t.pc <- next;
+                None
+            | Exec -> (
+                try
+                  execute t insn ~next;
+                  None
+                with Stop s -> Some s)))
   end
 
 let run ?(max_insns = 10_000_000) t =
@@ -442,6 +460,37 @@ let fault_to_string = function
   | Undefined_instruction w -> Printf.sprintf "undefined instruction 0x%08lx" w
   | Hyp_denied sr -> Printf.sprintf "hypervisor denied write to %s" (Sysreg.name sr)
   | El_denied sr -> Printf.sprintf "EL0 access to %s denied" (Sysreg.name sr)
+
+let dump_state ?(trace_limit = 8) t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "cpu%d: pc=0x%Lx el=%s cycles=%Ld insns=%Ld\n" t.id t.pc
+       (match t.el with El.El0 -> "EL0" | El.El1 -> "EL1" | El.El2 -> "EL2")
+       t.cycles t.insns_retired);
+  for row = 0 to 7 do
+    Buffer.add_string b " ";
+    for col = 0 to 3 do
+      let n = (row * 4) + col in
+      if n < 31 then
+        Buffer.add_string b (Printf.sprintf " x%-2d=%016Lx" n t.regs.(n))
+    done;
+    Buffer.add_char b '\n'
+  done;
+  Buffer.add_string b
+    (Printf.sprintf "  sp_el0=%016Lx sp_el1=%016Lx\n" t.sp_el0 t.sp_el1);
+  Buffer.add_string b
+    (Printf.sprintf "  flags: n=%b z=%b c=%b v=%b\n" t.flags.n t.flags.z
+       t.flags.c t.flags.v);
+  (match recent_trace ~limit:trace_limit t with
+  | [] -> Buffer.add_string b "  trace: (empty)\n"
+  | entries ->
+      Buffer.add_string b "  trace (oldest first):\n";
+      List.iter
+        (fun (pc, insn) ->
+          Buffer.add_string b
+            (Printf.sprintf "    %Lx: %s\n" pc (Insn.to_string insn)))
+        entries);
+  Buffer.contents b
 
 let stop_to_string = function
   | Svc imm -> Printf.sprintf "svc #%d" imm

@@ -25,6 +25,12 @@ type stop =
 
 type t
 
+(** Verdict returned by a step hook: execute the decoded instruction
+    normally, or suppress its effects (the instruction still fetches,
+    charges its cycles and appears in the trace ring, but only the PC
+    advances — the instruction-skip fault model). *)
+type hook_action = Exec | Skip
+
 (** [create ()] builds a machine with fresh memory and translation
     tables. [has_pauth] selects an ARMv8.3 core; with [false] the
     PAC/AUT 1716 hint forms execute as NOP and all other PAuth
@@ -92,6 +98,15 @@ val charge : t -> int -> unit
     [Hyp_denied]. *)
 val set_sysreg_lock : t -> (Sysreg.t -> bool) -> unit
 
+(** [set_step_hook t h] installs (or with [None] removes) a pre-execute
+    observation point: [h] runs after fetch + decode and before the
+    instruction executes, receiving the core, the current PC and the
+    decoded instruction. The hook may mutate machine state (registers,
+    key registers, memory) — this is the fault-injection attachment
+    point — and its verdict decides whether the instruction executes or
+    is skipped. The hook must not call {!step} reentrantly. *)
+val set_step_hook : t -> (t -> pc:int64 -> Insn.t -> hook_action) option -> unit
+
 (** The host-return address: jumping here stops execution with
     [Sentinel_return]. It is canonical (so it survives PAC/AUT round
     trips in instrumented prologues) but never mapped. *)
@@ -119,4 +134,12 @@ val pauth_enabled : t -> Sysreg.pauth_key -> bool
     kernel's oops dumps. *)
 val recent_trace : ?limit:int -> t -> (int64 * Insn.t) list
 
+(** [dump_state t] — multi-line pretty-printed machine state: core id,
+    PC, EL, cycle and retirement counters, the general registers, banked
+    stack pointers, flags, and the last [trace_limit] retired
+    instructions disassembled (default 8). Used by the kernel's oops and
+    panic paths. *)
+val dump_state : ?trace_limit:int -> t -> string
+
+val fault_to_string : fault -> string
 val stop_to_string : stop -> string

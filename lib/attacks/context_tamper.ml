@@ -55,7 +55,7 @@ let run sys ~protect =
             Failed (Printf.sprintf "victim exited normally (%Ld)" code)
         | Some (K.System.User_killed m) -> Failed ("killed: " ^ m)
         | Some (K.System.User_panicked m) -> Failed ("panic: " ^ m)
-        | Some (K.System.Ran_out m) -> Failed m
+        | Some (K.System.Watchdog_expired _ as e) -> Failed (K.System.user_exit_to_string e)
         | None -> Failed "victim never finished")
   end
 

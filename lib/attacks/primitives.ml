@@ -40,6 +40,36 @@ let spray sys ~bytes =
   if Int64.to_int written <> String.length bytes then Result.Error "short pipe write"
   else Result.Ok dest
 
+(* Every signed pointer the kernel currently holds for the task
+   population: the PAC-protected members of each task struct plus the
+   f_ops pointer of each task's console file. The same addresses an
+   attack would target are exactly where an injected bit flip in a PAC
+   field is interesting. *)
+let signed_pointer_sites sys =
+  let cpu = K.System.cpu sys in
+  List.concat_map
+    (fun (task : K.System.task) ->
+      let field name off =
+        ( Printf.sprintf "task%d.%s" task.K.System.pid name,
+          Int64.add task.K.System.va (Int64.of_int off) )
+      in
+      let console_file =
+        K.Kmem.read64 cpu
+          (Int64.add task.K.System.va (Int64.of_int (K.Kobject.Task.off_fd_table + 8)))
+      in
+      let file_sites =
+        if console_file = 0L then []
+        else
+          [
+            ( Printf.sprintf "task%d.file.f_ops" task.K.System.pid,
+              Int64.add console_file (Int64.of_int K.Kobject.File.off_f_ops) );
+          ]
+      in
+      field "kernel_sp" K.Kobject.Task.off_kernel_sp
+      :: field "cred" K.Kobject.Task.off_cred
+      :: file_sites)
+    (K.System.tasks sys)
+
 let spray_words sys ~words =
   let b = Buffer.create (8 * List.length words) in
   List.iter

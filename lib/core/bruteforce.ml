@@ -29,3 +29,18 @@ let failures_on t ~cpu = Option.value ~default:0 (Hashtbl.find_opt t.per_cpu cpu
 
 let log t = List.rev t.events
 let threshold t = t.threshold
+
+(* SMP invariant: every failure is accounted exactly once, whichever
+   core observed it. The global counter, the event log and the per-CPU
+   tallies are all bumped in the single [record_failure] above, so they
+   can only disagree if a caller bypasses it. *)
+let audit t =
+  let per_cpu_sum = Hashtbl.fold (fun _ n acc -> acc + n) t.per_cpu 0 in
+  (* events are prepended, so ordinals must descend count..1 *)
+  let rec descending expected = function
+    | [] -> expected = 0
+    | e :: rest -> e.at_failure = expected && descending (expected - 1) rest
+  in
+  t.count = per_cpu_sum
+  && t.count = List.length t.events
+  && descending t.count t.events

@@ -32,3 +32,10 @@ val failures_on : t -> cpu:int -> int
 
 val log : t -> event list
 val threshold : t -> int
+
+(** [audit t] checks the SMP accounting invariant: the global counter
+    equals the sum of the per-CPU tallies, equals the event-log length,
+    and the event ordinals are the contiguous sequence 1..count — i.e.
+    every failure was aggregated into the global counter exactly once,
+    whichever core recorded it. *)
+val audit : t -> bool

@@ -1,0 +1,135 @@
+(** Seeded fault-injection campaigns over the SMP kernel.
+
+    A campaign boots a fresh system per trial, runs a fixed multi-task
+    console workload once uninjected (the {e golden} run), then replays
+    it [trials] times, each time with one randomly drawn fault spec
+    armed ({!Injector}). Trial outcomes are classified against the
+    golden run:
+
+    - [Detected_by_pac]: a task was killed on a PAC authentication
+      failure (the poisoned-address path),
+    - [Detected_by_mmu]: a task was killed on an ordinary translation
+      fault or kernel oops,
+    - [Panicked]: the system halted (brute-force threshold or explicit
+      panic) — fail-stop, counted as detected,
+    - [Task_killed]: a task died for another policed reason (watchdog,
+      context-integrity, plain SIGKILL),
+    - [Silent_corruption]: everything "succeeded" but the exits or
+      console output differ from the golden run (or work was lost),
+    - [Benign]: indistinguishable from the golden run.
+
+    Everything derives from the single campaign seed: trial [i] uses a
+    splitmix64 stream seeded with [seed ⊕ mix(i)], so the same seed and
+    parameters give a byte-identical report. *)
+
+type outcome =
+  | Detected_by_pac
+  | Detected_by_mmu
+  | Panicked
+  | Task_killed
+  | Silent_corruption
+  | Benign
+
+val outcome_name : outcome -> string
+
+type trial = {
+  index : int;
+  spec : Injector.spec;
+  spec_desc : string;
+  fired : bool;
+  outcome : outcome;
+  detail : string;  (** kill message / deviation note, [""] when benign *)
+  makespan : int64;
+  offlined : int list;
+}
+
+type report = {
+  seed : int64;
+  trials : int;
+  config_name : string;
+  cpus : int;
+  tasks : int;
+  rounds : int;
+  quantum : int;
+  quarantine_after : int option;
+  golden_makespan : int64;
+  fired_count : int;
+  n_detected_by_pac : int;
+  n_detected_by_mmu : int;
+  n_panicked : int;
+  n_task_killed : int;
+  n_silent : int;
+  n_benign : int;
+  detection_rate : float;
+      (** detected / (detected + silent), over trials whose fault had any
+          effect; [1.0] when no trial had an effect *)
+  mean_makespan : float;
+  trial_list : trial list;
+}
+
+(** The workload every trial runs per task: [rounds] iterations of
+    {e write(1, "xx", 2); getpid}, exiting with the completed round
+    count — console output and exit codes make silent corruption
+    observable. *)
+val workload_program : rounds:int -> Aarch64.Asm.program
+
+(** [run_trial ~seed ~spec ()] — boot, arm [spec] (given the booted
+    system, the mapped workload layout and the spawned tasks — so tests
+    can compute concrete addresses), run, classify. [index] only labels
+    the returned record. *)
+val run_trial :
+  ?config:Camouflage.Config.t ->
+  ?cpus:int ->
+  ?tasks:int ->
+  ?rounds:int ->
+  ?quantum:int ->
+  ?quarantine_after:int ->
+  ?index:int ->
+  seed:int64 ->
+  spec:
+    (Kernel.System.t -> Aarch64.Asm.layout -> Kernel.System.task list -> Injector.spec) ->
+  unit ->
+  trial
+
+(** [run ~seed ~trials ()] — the full campaign: golden run plus
+    [trials] randomly-drawn faults. *)
+val run :
+  ?config:Camouflage.Config.t ->
+  ?config_name:string ->
+  ?cpus:int ->
+  ?tasks:int ->
+  ?rounds:int ->
+  ?quantum:int ->
+  ?quarantine_after:int ->
+  seed:int64 ->
+  trials:int ->
+  unit ->
+  report
+
+(** Deterministic JSON rendering: fixed field order, fixed float
+    formatting — the same report always serializes to the same bytes.
+    [trial_detail] (default [true]) includes the per-trial array. *)
+val report_to_json : ?trial_detail:bool -> report -> string
+
+val report_to_string : report -> string
+
+(** Per-CPU quarantine demonstration: two cores, a stuck-at bit flip in
+    core 1's data-key register (armed on core 1 only), brute-force
+    threshold 3. The baseline run panics when core 1's repeated PAC
+    failures cross the threshold; with [quarantine_after 2] the kernel
+    offlines core 1 after two failures, migrates its queue to core 0 and
+    every surviving task completes. *)
+type demo = {
+  demo_spec : string;
+  baseline_panicked : bool;
+  baseline_completed : int;  (** clean exits without quarantine *)
+  baseline_failures : int;
+  quarantine_panicked : bool;
+  quarantine_completed : int;
+  quarantine_killed : int;
+  quarantine_offlined : int list;
+}
+
+val quarantine_demo : ?seed:int64 -> unit -> demo
+
+val demo_to_string : demo -> string

@@ -9,7 +9,24 @@ type user_exit =
   | Exited of int64
   | User_killed of string
   | User_panicked of string
-  | Ran_out of string
+  | Watchdog_expired of { budget : int; retries : int }
+
+let user_exit_to_string = function
+  | Exited v -> Printf.sprintf "exited %Ld" v
+  | User_killed m -> Printf.sprintf "killed (%s)" m
+  | User_panicked m -> Printf.sprintf "panicked (%s)" m
+  | Watchdog_expired { budget; retries } ->
+      Printf.sprintf "watchdog expired (budget %d after %d retries)" budget retries
+
+(* Structured oops record: everything the kernel knew about a fault at
+   the moment it decided to kill rather than panic. *)
+type oops = {
+  oops_cpu : int;
+  oops_pid : int;
+  oops_cause : string;
+  oops_pc : int64;
+  oops_dump : string;  (** [Cpu.dump_state] at the stop *)
+}
 
 (* Per-core scheduler state mirrored by the in-memory per-CPU area:
    [cur] is the core's current task while the core is not the active
@@ -35,6 +52,7 @@ type t = {
   mutable module_alloc : int64;
   mutable log : string list;
   mutable panicked : bool;
+  mutable oopses : oops list;  (* newest first *)
   mutable table_mac_golden : int64;
   (* X7: saved-context attestation MACs, pid -> MAC (host-held, like the
      table MAC: state the attacker cannot reach) *)
@@ -67,6 +85,7 @@ let tasks t = t.tasks
 let panicked t = t.panicked
 let log t = List.rev t.log
 let bruteforce t = t.bruteforce
+let oopses t = List.rev t.oopses
 
 let logf t fmt = Printf.ksprintf (fun s -> t.log <- s :: t.log) fmt
 
@@ -254,6 +273,27 @@ let create_task t =
 let mark_dead t task =
   Kmem.write64 t.cpu (Int64.add task.va (Int64.of_int Kobject.Task.off_state)) 1L
 
+(* Capture a structured oops record (cause, registers, recent-trace
+   disassembly) for the current task on the active core; returns the
+   state dump so callers can also log it. *)
+let record_oops t ~cause ~pc =
+  let dump = Cpu.dump_state ~trace_limit:8 t.cpu in
+  t.oopses <-
+    {
+      oops_cpu = t.active;
+      oops_pid = t.current.pid;
+      oops_cause = cause;
+      oops_pc = pc;
+      oops_dump = dump;
+    }
+    :: t.oopses;
+  dump
+
+let log_dump t dump =
+  List.iter
+    (fun line -> if line <> "" then logf t "  %s" line)
+    (String.split_on_char '\n' dump)
+
 (* Classify a machine stop on the kernel path. *)
 let handle_kernel_stop t stop =
   match stop with
@@ -266,6 +306,9 @@ let handle_kernel_stop t stop =
       if poisoned then begin
         logcpu t "PAC authentication failure: pid %d at pc=0x%Lx va=0x%Lx" t.current.pid
           pc f.Mmu.va;
+        ignore
+          (record_oops t ~pc
+             ~cause:(Printf.sprintf "PAC authentication failure (va=0x%Lx)" f.Mmu.va));
         match
           C.Bruteforce.record_failure t.bruteforce ~cpu:t.active ~pid:t.current.pid
             ~faulting_va:f.Mmu.va
@@ -281,9 +324,7 @@ let handle_kernel_stop t stop =
       end
       else begin
         logf t "kernel oops: pid %d %s at pc=0x%Lx" t.current.pid (Mmu.fault_to_string f) pc;
-        List.iter
-          (fun (ipc, insn) -> logf t "  trace: %Lx: %s" ipc (Insn.to_string insn))
-          (Cpu.recent_trace ~limit:4 t.cpu);
+        log_dump t (record_oops t ~pc ~cause:(Mmu.fault_to_string f));
         mark_dead t t.current;
         Killed "kernel oops: SIGKILL"
       end
@@ -291,14 +332,21 @@ let handle_kernel_stop t stop =
       logf t "kernel oops: pid %d %s at pc=0x%Lx" t.current.pid
         (Cpu.stop_to_string (Cpu.Fault { fault; pc }))
         pc;
+      log_dump t (record_oops t ~pc ~cause:(Cpu.fault_to_string fault));
       mark_dead t t.current;
       Killed "kernel oops: SIGKILL"
   | Cpu.Hlt code ->
       t.panicked <- true;
       logf t "kernel halted (hlt #%d)" code;
+      log_dump t
+        (record_oops t ~pc:(Cpu.pc t.cpu)
+           ~cause:(Printf.sprintf "kernel halted (hlt #%d)" code));
       Panicked (Printf.sprintf "hlt #%d" code)
   | Cpu.Svc _ | Cpu.Brk _ | Cpu.Eret_done | Cpu.Insn_limit ->
       logf t "kernel oops: unexpected stop %s" (Cpu.stop_to_string stop);
+      log_dump t
+        (record_oops t ~pc:(Cpu.pc t.cpu)
+           ~cause:("unexpected stop: " ^ Cpu.stop_to_string stop));
       mark_dead t t.current;
       Killed "kernel oops: SIGKILL"
 
@@ -479,15 +527,21 @@ let save_user_gprs t = Array.init 31 (fun idx -> Cpu.reg t.cpu (Insn.R idx))
 
 let restore_user_gprs t saved = Array.iteri (fun idx v -> Cpu.set_reg t.cpu (Insn.R idx) v) saved
 
-let run_user ?(max_insns = 10_000_000) t ~entry =
+(* Cost of one watchdog intervention: timer interrupt, inspection of the
+   stuck task, reprogramming the budget. *)
+let watchdog_backoff_cycles = 400
+
+let run_user ?(max_insns = 10_000_000) ?(watchdog_retries = 2) t ~entry =
   (* entering EL0: the task's own keys must be live (R5) *)
   if Cpu.has_pauth t.cpu then restore_user_keys t;
   Cpu.set_el t.cpu El.El0;
   Cpu.set_sp_of t.cpu El.El0 Layout.user_stack_top;
   Cpu.set_reg t.cpu Insn.lr Cpu.sentinel;
   Cpu.set_pc t.cpu entry;
+  let budget = ref max_insns in
+  let retries_used = ref 0 in
   let rec loop () =
-    match Cpu.run ~max_insns t.cpu with
+    match Cpu.run ~max_insns:!budget t.cpu with
     | Cpu.Svc nr when nr = Kbuild.sys_exit -> Exited (Cpu.reg t.cpu (Insn.R 0))
     | Cpu.Svc nr ->
         let user_pc = Cpu.pc t.cpu in
@@ -519,7 +573,26 @@ let run_user ?(max_insns = 10_000_000) t ~entry =
         mark_dead t t.current;
         User_killed "SIGSEGV"
     | Cpu.Eret_done -> loop ()
-    | Cpu.Insn_limit -> Ran_out "instruction limit"
+    | Cpu.Insn_limit ->
+        (* Watchdog: treat a blown instruction budget as a possibly
+           transient stall — retry with a doubled budget and a charged
+           backoff, a bounded number of times, before escalating. *)
+        if !retries_used < watchdog_retries then begin
+          incr retries_used;
+          budget := !budget * 2;
+          Cpu.charge t.cpu (watchdog_backoff_cycles * !retries_used);
+          logcpu t "watchdog: pid %d blew its instruction budget; retry %d/%d (budget %d)"
+            t.current.pid !retries_used watchdog_retries !budget;
+          loop ()
+        end
+        else begin
+          logcpu t "watchdog: pid %d unresponsive after %d retries; escalating to SIGKILL"
+            t.current.pid !retries_used;
+          log_dump t
+            (record_oops t ~pc:(Cpu.pc t.cpu) ~cause:"watchdog: instruction budget exhausted");
+          mark_dead t t.current;
+          Watchdog_expired { budget = !budget; retries = !retries_used }
+        end
   in
   loop ()
 
@@ -635,11 +708,18 @@ let run_scheduled ?(quantum = 2000) ?(max_slices = 10_000) ?(context_integrity =
     save_user_context t task;
     if context_integrity && Cpu.has_pauth t.cpu then
       Hashtbl.replace t.context_macs task.pid (context_mac t task);
-    (match switch_to t next with
-    | Ok _ -> ()
-    | Killed m | Panicked m -> failwith ("scheduler switch: " ^ m));
-    Cpu.charge t.cpu exit_overhead_cycles;
-    Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.eret
+    match switch_to t next with
+    | Ok _ ->
+        Cpu.charge t.cpu exit_overhead_cycles;
+        Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.eret;
+        `Switched
+    | Killed m ->
+        (* the incoming task's switch frame failed authentication: kill
+           that task and keep the system running *)
+        logf t "scheduler: switch to pid %d failed (%s); killing it" next.pid m;
+        mark_dead t next;
+        `Victim_killed m
+    | Panicked m -> `Panic m
   in
   let rec drive () =
     if Queue.is_empty runnable || !slices >= max_slices then ()
@@ -648,11 +728,25 @@ let run_scheduled ?(quantum = 2000) ?(max_slices = 10_000) ?(context_integrity =
       let task = Queue.pop runnable in
       (* slice prologue runs in the kernel *)
       Cpu.set_el t.cpu El.El1;
-      if t.current.pid <> task.pid then begin
-        match switch_to t task with
-        | Ok _ -> ()
-        | Killed m | Panicked m -> failwith ("scheduler switch: " ^ m)
-      end;
+      let switched =
+        if t.current.pid = task.pid then `Switched
+        else
+          match switch_to t task with
+          | Ok _ -> `Switched
+          | Killed m ->
+              logf t "scheduler: switch to pid %d failed (%s); killing it" task.pid m;
+              mark_dead t task;
+              `Victim_killed m
+          | Panicked m -> `Panic m
+      in
+      match switched with
+      | `Victim_killed m ->
+          finish task (User_killed m);
+          drive ()
+      | `Panic m ->
+          finish task (User_panicked m);
+          Queue.clear runnable
+      | `Switched ->
       let context_ok =
         if context_integrity && Cpu.has_pauth t.cpu then begin
           match Hashtbl.find_opt t.context_macs task.pid with
@@ -687,9 +781,17 @@ let run_scheduled ?(quantum = 2000) ?(max_slices = 10_000) ?(context_integrity =
     if budget <= 0 then begin
       (* quantum expired: rotate *)
       (match Queue.peek_opt runnable with
-      | Some next ->
-          preempt_to task next;
-          Queue.add task runnable
+      | Some next -> (
+          match preempt_to task next with
+          | `Switched -> Queue.add task runnable
+          | `Victim_killed m ->
+              (* the victim is still at the queue head: retire it *)
+              ignore (Queue.pop runnable);
+              finish next (User_killed m);
+              Queue.add task runnable
+          | `Panic m ->
+              finish task (User_panicked m);
+              Queue.clear runnable)
       | None -> Queue.add task runnable);
       drive ()
     end
@@ -764,12 +866,13 @@ type smp_stats = {
   smp_preemptions : int;
   smp_migrations : int;  (** tasks pulled across cores by IPIs *)
   smp_ipis : int;  (** doorbell rings during the run *)
+  smp_offlined : int list;  (** cores quarantined during the run, in order *)
   per_cpu_cycles : int64 array;  (** each core's clock at the end *)
   makespan : int64;  (** busiest core's clock: parallel simulated time *)
 }
 
-let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8) t
-    ~tasks:scheduled =
+let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8)
+    ?quarantine_after t ~tasks:scheduled =
   let n = Machine.cpus t.machine in
   let queues = Array.init n (fun _ -> Queue.create ()) in
   List.iteri (fun idx task -> Queue.add task queues.(idx mod n)) scheduled;
@@ -790,11 +893,25 @@ let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8) t
         (* slice prologue is a kernel entry on this core *)
         Cpu.set_el t.cpu El.El1;
         enter_kernel_context t;
-        if t.current.pid <> task.pid then begin
-          match switch_to t task with
-          | Ok _ -> Percpu.set_current t.cpu t.percpu.(cid).pc task.va
-          | Killed m | Panicked m -> failwith ("smp scheduler switch: " ^ m)
-        end;
+        let switched =
+          if t.current.pid = task.pid then `Switched
+          else
+            match switch_to t task with
+            | Ok _ ->
+                Percpu.set_current t.cpu t.percpu.(cid).pc task.va;
+                `Switched
+            | Killed m ->
+                (* the incoming task's switch frame failed authentication:
+                   kill that task, keep the core running *)
+                logcpu t "scheduler: switch to pid %d failed (%s); killing it" task.pid m;
+                mark_dead t task;
+                `Victim_killed m
+            | Panicked m -> `Panic m
+        in
+        match switched with
+        | `Victim_killed m -> `Done (User_killed m)
+        | `Panic m -> `Panic m
+        | `Switched ->
         restore_user_context t task;
         if Cpu.has_pauth t.cpu then begin
           Cpu.set_reg t.cpu (Insn.R 0) task.va;
@@ -892,24 +1009,65 @@ let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8) t
         | Machine.Stop | Machine.Call_function -> ())
       (Machine.pending t.machine ~cpu:cid)
   in
-  (* Periodic load balancing: the busiest core rings the idlest. *)
+  (* Per-CPU quarantine: a core that has accumulated [quarantine_after]
+     PAC failures is taken offline — it stops scheduling, and its queue
+     migrates round-robin onto the remaining online cores. The last
+     online core is never quarantined. *)
+  let offline = Array.make n false in
+  let offlined = ref [] in
+  let online_count () =
+    Array.fold_left (fun acc o -> if o then acc else acc + 1) 0 offline
+  in
+  let quarantine_check cid =
+    match quarantine_after with
+    | Some limit
+      when (not offline.(cid))
+           && online_count () > 1
+           && C.Bruteforce.failures_on t.bruteforce ~cpu:cid >= limit ->
+        offline.(cid) <- true;
+        offlined := !offlined @ [ cid ];
+        logf t "cpu%d: quarantined after %d PAC failures; offlining" cid
+          (C.Bruteforce.failures_on t.bruteforce ~cpu:cid);
+        let targets =
+          List.filter (fun c -> not offline.(c)) (List.init n (fun c -> c))
+        in
+        let ti = ref 0 in
+        while not (Queue.is_empty queues.(cid)) do
+          let dst = List.nth targets (!ti mod List.length targets) in
+          incr ti;
+          let task = Queue.pop queues.(cid) in
+          Queue.add task queues.(dst);
+          incr migrations;
+          update_rq dst;
+          logf t "cpu%d: migrated pid %d to cpu%d" cid task.pid dst
+        done;
+        update_rq cid
+    | _ -> ()
+  in
+  (* Periodic load balancing: the busiest online core rings the idlest. *)
   let balance () =
-    let busiest = ref 0 and idlest = ref 0 in
+    let busiest = ref (-1) and idlest = ref (-1) in
     Array.iteri
       (fun cid q ->
-        if Queue.length q > Queue.length queues.(!busiest) then busiest := cid;
-        if Queue.length q < Queue.length queues.(!idlest) then idlest := cid)
+        if not offline.(cid) then begin
+          if !busiest < 0 || Queue.length q > Queue.length queues.(!busiest) then
+            busiest := cid;
+          if !idlest < 0 || Queue.length q < Queue.length queues.(!idlest) then
+            idlest := cid
+        end)
       queues;
-    if Queue.length queues.(!busiest) - Queue.length queues.(!idlest) >= 2 then
-      Machine.send_ipi t.machine ~src:!busiest ~dst:!idlest Machine.Reschedule
+    if
+      !busiest >= 0 && !idlest >= 0
+      && Queue.length queues.(!busiest) - Queue.length queues.(!idlest) >= 2
+    then Machine.send_ipi t.machine ~src:!busiest ~dst:!idlest Machine.Reschedule
   in
   let any_runnable () = Array.exists (fun q -> not (Queue.is_empty q)) queues in
   let round = ref 0 in
   while (not t.panicked) && any_runnable () && !slices < max_slices do
     for cid = 0 to n - 1 do
-      if (not t.panicked) && !slices < max_slices then begin
+      if (not t.panicked) && !slices < max_slices && not offline.(cid) then begin
         drain_ipis cid;
-        match Queue.take_opt queues.(cid) with
+        (match Queue.take_opt queues.(cid) with
         | None -> ()
         | Some task ->
             incr slices;
@@ -919,7 +1077,8 @@ let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8) t
                 incr preemptions;
                 Queue.add task queues.(cid)
             | `Panic m -> finish cid task (User_panicked m));
-            update_rq cid
+            update_rq cid);
+        quarantine_check cid
       end
     done;
     incr round;
@@ -931,6 +1090,7 @@ let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8) t
     smp_preemptions = !preemptions;
     smp_migrations = !migrations;
     smp_ipis = Machine.ipis_sent t.machine - ipis_before;
+    smp_offlined = !offlined;
     per_cpu_cycles =
       Array.init n (fun cid -> Cpu.cycles (Machine.core t.machine cid));
     makespan = Machine.max_cycles t.machine;
@@ -1014,6 +1174,7 @@ let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
       module_alloc = Layout.module_area_base;
       log = [];
       panicked = false;
+      oopses = [];
       table_mac_golden = 0L;
       context_macs = Hashtbl.create 16;
       context_key = Pac.{ hi = 0L; lo = 0L };

@@ -23,7 +23,24 @@ type user_exit =
   | Exited of int64
   | User_killed of string
   | User_panicked of string
-  | Ran_out of string
+  | Watchdog_expired of { budget : int; retries : int }
+      (** the task blew its instruction budget and every watchdog retry:
+          [budget] is the final (doubled) per-attempt budget, [retries]
+          how many grace periods it received before the SIGKILL *)
+
+val user_exit_to_string : user_exit -> string
+
+(** Structured oops record, captured whenever the kernel kills a task
+    (or halts) on a fault path: which core and pid, the classified
+    cause, the faulting PC, and a full {!Cpu.dump_state} snapshot
+    (registers + recent-trace disassembly) taken at the stop. *)
+type oops = {
+  oops_cpu : int;
+  oops_pid : int;
+  oops_cause : string;
+  oops_pc : int64;
+  oops_dump : string;
+}
 
 type t
 
@@ -63,6 +80,10 @@ val panicked : t -> bool
 val log : t -> string list
 val bruteforce : t -> Camouflage.Bruteforce.t
 
+(** [oopses t] — every structured oops recorded since boot, oldest
+    first. *)
+val oopses : t -> oops list
+
 (** [kernel_symbol t name] — address of a kernel text or data symbol.
     Raises [Not_found]. *)
 val kernel_symbol : t -> string -> int64
@@ -101,8 +122,14 @@ val load_module : t -> Kelf.Object_file.t -> (Kelf.Loader.placed, Kelf.Loader.er
 val map_user_program : t -> Asm.program -> Asm.layout
 
 (** [run_user t ~entry] — execute user code at EL0 until exit, kill or
-    panic, dispatching syscalls along the way. *)
-val run_user : ?max_insns:int -> t -> entry:int64 -> user_exit
+    panic, dispatching syscalls along the way.
+
+    A blown instruction budget ([max_insns]) is handled by the kernel
+    watchdog: the run is retried with a doubled budget (charging a
+    backoff) up to [watchdog_retries] times (default 2) before the task
+    is killed with {!Watchdog_expired} — a recoverable transient stall
+    gets a grace period, a genuine hang escalates. *)
+val run_user : ?max_insns:int -> ?watchdog_retries:int -> t -> entry:int64 -> user_exit
 
 (** [spawn_user_task t ~entry] — a new task with its own user stack and
     an initial user context starting at [entry]. *)
@@ -142,6 +169,7 @@ type smp_stats = {
   smp_preemptions : int;
   smp_migrations : int;  (** tasks pulled across cores by IPIs *)
   smp_ipis : int;  (** doorbell rings during the run *)
+  smp_offlined : int list;  (** cores quarantined during the run, in order *)
   per_cpu_cycles : int64 array;  (** each core's clock at the end *)
   makespan : int64;  (** busiest core's clock: parallel simulated time *)
 }
@@ -154,11 +182,18 @@ type smp_stats = {
     submission; every [balance_interval] rounds, a core with at least
     two more queued tasks than the idlest core sends it a Reschedule IPI
     and the receiver pulls work over. Fully deterministic: the same seed
-    and cpu count give the same exit order and cycle totals. *)
+    and cpu count give the same exit order and cycle totals.
+
+    [quarantine_after] arms per-CPU quarantine: a core that accumulates
+    that many PAC authentication failures is taken offline — it stops
+    scheduling and its run queue migrates to the remaining online cores
+    (the last online core is never quarantined). Offlined cores are
+    reported in [smp_offlined]. Disabled by default. *)
 val run_smp :
   ?quantum:int ->
   ?max_slices:int ->
   ?balance_interval:int ->
+  ?quarantine_after:int ->
   t ->
   tasks:task list ->
   smp_stats

@@ -206,7 +206,7 @@ let test_user_program_syscalls () =
   | K.System.Exited pid -> Alcotest.(check int64) "exit code = getpid = 1" 1L pid
   | K.System.User_killed m -> Alcotest.failf "killed: %s" m
   | K.System.User_panicked m -> Alcotest.failf "panicked: %s" m
-  | K.System.Ran_out m -> Alcotest.failf "ran out: %s" m
+  | K.System.Watchdog_expired _ as e -> Alcotest.failf "%s" (K.System.user_exit_to_string e)
 
 let test_user_cannot_touch_kernel () =
   let sys = boot () in
@@ -227,7 +227,7 @@ let test_user_cannot_touch_kernel () =
         | K.System.Exited v -> Printf.sprintf "exit %Ld" v
         | K.System.User_killed m -> m
         | K.System.User_panicked m -> "panic " ^ m
-        | K.System.Ran_out m -> m)
+        | K.System.Watchdog_expired _ as e -> K.System.user_exit_to_string e)
 
 let test_module_load_and_reject () =
   let sys = boot () in
@@ -403,7 +403,8 @@ let test_scheduler_runs_all_tasks () =
               Alcotest.(check int64) (Printf.sprintf "%s: pid %d counted" name pid) 40L v
           | K.System.User_killed m | K.System.User_panicked m ->
               Alcotest.failf "%s: pid %d died: %s" name pid m
-          | K.System.Ran_out m -> Alcotest.failf "%s: pid %d: %s" name pid m)
+          | K.System.Watchdog_expired _ as e ->
+              Alcotest.failf "%s: pid %d: %s" name pid (K.System.user_exit_to_string e))
         stats.K.System.exits;
       Alcotest.(check bool) (name ^ ": preempted at least once") true
         (stats.K.System.preemptions > 0))
@@ -500,7 +501,8 @@ let test_secure_read_signed () =
   | other ->
       Alcotest.failf "signed secure read: %s"
         (match other with
-        | K.System.User_killed m | K.System.User_panicked m | K.System.Ran_out m -> m
+        | K.System.User_killed m | K.System.User_panicked m -> m
+        | K.System.Watchdog_expired _ as e -> K.System.user_exit_to_string e
         | K.System.Exited _ -> assert false)
 
 let test_secure_read_unsigned_rejected () =
@@ -512,7 +514,7 @@ let test_secure_read_unsigned_rejected () =
   | K.System.User_killed _ -> ()
   | K.System.Exited v -> Alcotest.failf "unsigned pointer accepted (ret %Ld)" v
   | K.System.User_panicked m -> Alcotest.failf "panic: %s" m
-  | K.System.Ran_out m -> Alcotest.failf "ran out: %s" m
+  | K.System.Watchdog_expired _ as e -> Alcotest.failf "%s" (K.System.user_exit_to_string e)
 
 let test_plain_read_still_works () =
   (* the hardened ABI is additive: the legacy read path is unchanged *)
@@ -536,7 +538,8 @@ let test_plain_read_still_works () =
   | other ->
       Alcotest.failf "plain read: %s"
         (match other with
-        | K.System.User_killed m | K.System.User_panicked m | K.System.Ran_out m -> m
+        | K.System.User_killed m | K.System.User_panicked m -> m
+        | K.System.Watchdog_expired _ as e -> K.System.user_exit_to_string e
         | K.System.Exited _ -> assert false)
 
 let suite =
@@ -701,3 +704,88 @@ let test_console () =
 
 let suite =
   suite @ [ Alcotest.test_case "console device on fd 1/2" `Quick test_console ]
+
+(* Watchdog and structured oops records. *)
+
+let counting_loop ~iters ~exit_code =
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"main"
+    [
+      Asm.ins (Insn.Movz (Insn.R 20, iters, 0));
+      Asm.label "work";
+      Asm.ins (Insn.Sub_imm (Insn.R 20, Insn.R 20, 1));
+      Asm.cbnz_to (Insn.R 20) "work";
+      Asm.ins (Insn.Movz (Insn.R 0, exit_code, 0));
+      Asm.ins (Insn.Svc K.Kbuild.sys_exit);
+    ];
+  prog
+
+let test_watchdog_retries_transient_stall () =
+  let sys = boot () in
+  let layout = K.System.map_user_program sys (counting_loop ~iters:80 ~exit_code:99) in
+  (* ~163 instructions of work against a 100-instruction budget: the
+     first attempt blows the budget, the doubled retry completes *)
+  match K.System.run_user sys ~max_insns:100 ~watchdog_retries:2 ~entry:(Asm.symbol layout "main") with
+  | K.System.Exited v ->
+      Alcotest.(check int64) "completed on retry" 99L v;
+      Alcotest.(check bool) "watchdog logged the grace period" true
+        (List.exists
+           (fun line ->
+             let n = String.length line in
+             let rec go i = i + 8 <= n && (String.sub line i 8 = "watchdog" || go (i + 1)) in
+             go 0)
+           (K.System.log sys))
+  | other -> Alcotest.failf "expected recovery: %s" (K.System.user_exit_to_string other)
+
+let test_watchdog_escalates_genuine_hang () =
+  let sys = boot () in
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"main"
+    [ Asm.label "spin"; Asm.ins (Insn.Add_imm (Insn.R 9, Insn.R 9, 1)); Asm.b_to "spin" ];
+  let layout = K.System.map_user_program sys prog in
+  match K.System.run_user sys ~max_insns:50 ~watchdog_retries:2 ~entry:(Asm.symbol layout "main") with
+  | K.System.Watchdog_expired { budget; retries } ->
+      Alcotest.(check int) "two grace periods granted" 2 retries;
+      Alcotest.(check int) "budget doubled twice" 200 budget;
+      (* the escalation leaves a structured oops with a register dump *)
+      (match K.System.oopses sys with
+      | [] -> Alcotest.fail "no oops recorded"
+      | o :: _ ->
+          Alcotest.(check int) "oops on the boot cpu" 0 o.K.System.oops_cpu;
+          Alcotest.(check bool) "cause names the watchdog" true
+            (String.length o.K.System.oops_cause >= 8
+             && String.sub o.K.System.oops_cause 0 8 = "watchdog");
+          Alcotest.(check bool) "dump carries the trace ring" true
+            (String.length o.K.System.oops_dump > 0))
+  | other -> Alcotest.failf "expected escalation: %s" (K.System.user_exit_to_string other)
+
+let test_kernel_oops_records_cpu_dump () =
+  let sys = boot () in
+  (* arbitrary-write syscall against an unmapped kernel address: the
+     handler faults, the task is killed, and the oops captures state *)
+  (match Attacks.Primitives.kwrite sys 0xffff0000deadb000L 1L with
+  | Result.Error _ -> ()
+  | Result.Ok () -> Alcotest.fail "write to unmapped kernel memory succeeded");
+  match K.System.oopses sys with
+  | [] -> Alcotest.fail "no oops recorded"
+  | o :: _ ->
+      let dump = o.K.System.oops_dump in
+      let has sub =
+        let n = String.length sub and m = String.length dump in
+        let rec go i = i + n <= m && (String.sub dump i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "dump shows the register file" true (has "x0 ");
+      Alcotest.(check bool) "dump shows the trace ring" true (has "trace");
+      Alcotest.(check bool) "dump names the core" true (has "cpu0")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "watchdog retries a transient stall" `Quick
+        test_watchdog_retries_transient_stall;
+      Alcotest.test_case "watchdog escalates a genuine hang" `Quick
+        test_watchdog_escalates_genuine_hang;
+      Alcotest.test_case "kernel oops records a CPU dump" `Quick
+        test_kernel_oops_records_cpu_dump;
+    ]

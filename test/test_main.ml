@@ -21,5 +21,6 @@ let () =
       ("sempatch", Test_sempatch.suite);
       ("properties", Test_properties.suite);
       ("fuzz", Test_fuzz.suite);
+      ("faultinj", Test_faultinj.suite);
       ("misc", Test_misc.suite);
     ]

@@ -72,8 +72,9 @@ let test_run_smp_spreads_tasks () =
     (fun (_, pid, e) ->
       match e with
       | K.System.Exited _ -> ()
-      | K.System.User_killed m | K.System.User_panicked m | K.System.Ran_out m ->
-          Alcotest.failf "pid %d did not exit cleanly: %s" pid m)
+      | other ->
+          Alcotest.failf "pid %d did not exit cleanly: %s" pid
+            (K.System.user_exit_to_string other))
     stats.K.System.smp_exits;
   let cores_used =
     List.sort_uniq compare (List.map (fun (c, _, _) -> c) stats.K.System.smp_exits)
@@ -246,3 +247,102 @@ let suite =
     Alcotest.test_case "brute-force budget is machine-global." `Quick
       test_bruteforce_accounting_is_global;
   ]
+
+(* Brute-force accounting under SMP: the audit invariant (global count =
+   sum of per-CPU tallies = event count, thresholds descending) and a
+   regression pinning the panic threshold across run_smp — every PAC
+   failure must be charged exactly once, on the core that took it. *)
+
+let stuck_key_run ~threshold ~quarantine_after =
+  let config = { C.Config.full with C.Config.bruteforce_threshold = threshold } in
+  let sys = K.System.boot ~config ~seed:42L ~cpus:2 () in
+  let layout =
+    K.System.map_user_program sys (Workloads.Smp.throughput_program ~rounds:40)
+  in
+  let entry = Asm.symbol layout "throughput" in
+  let tasks = List.init 8 (fun _ -> K.System.spawn_user_task sys ~entry) in
+  let data_key = C.Keys.key_for config.C.Config.mode C.Keys.Data in
+  let inj =
+    Faultinj.Injector.create
+      {
+        Faultinj.Injector.trigger = Faultinj.Injector.Always;
+        model =
+          Faultinj.Injector.Key_flip { key = data_key; high_half = false; bit = 7 };
+        persistence = Faultinj.Injector.Stuck;
+      }
+  in
+  Faultinj.Injector.arm inj (Machine.core (K.System.machine sys) 1);
+  let stats = K.System.run_smp ~quantum:150 ?quarantine_after sys ~tasks in
+  (sys, stats)
+
+let test_bruteforce_audit_invariant () =
+  let bf = C.Bruteforce.create ~threshold:16 in
+  List.iter
+    (fun cpu -> ignore (C.Bruteforce.record_failure ~cpu bf ~pid:7 ~faulting_va:0x20000badL))
+    [ 0; 1; 0; 3 ];
+  Alcotest.(check bool) "audit holds after mixed-core failures" true
+    (C.Bruteforce.audit bf);
+  Alcotest.(check int) "global count" 4 (C.Bruteforce.failures bf);
+  Alcotest.(check int) "cpu0 tally" 2 (C.Bruteforce.failures_on bf ~cpu:0)
+
+let test_smp_panic_threshold_pinned () =
+  (* threshold 3: the third PAC failure on the faulty core halts the
+     machine, and not a single failure is double-counted *)
+  let sys, _stats = stuck_key_run ~threshold:3 ~quarantine_after:None in
+  Alcotest.(check bool) "panicked at the threshold" true (K.System.panicked sys);
+  Alcotest.(check int) "exactly threshold failures recorded" 3
+    (C.Bruteforce.failures (K.System.bruteforce sys));
+  Alcotest.(check int) "all charged to the faulty core" 3
+    (C.Bruteforce.failures_on (K.System.bruteforce sys) ~cpu:1);
+  Alcotest.(check int) "none charged to the healthy core" 0
+    (C.Bruteforce.failures_on (K.System.bruteforce sys) ~cpu:0);
+  Alcotest.(check bool) "audit invariant holds" true
+    (C.Bruteforce.audit (K.System.bruteforce sys))
+
+let test_smp_below_threshold_survives () =
+  (* a high threshold: the system survives, but without quarantine the
+     idle faulty core keeps pulling work over via the load balancer and
+     kills most of the population one failure at a time — each failure
+     still charged exactly once *)
+  let sys, stats = stuck_key_run ~threshold:20 ~quarantine_after:None in
+  Alcotest.(check bool) "no panic below threshold" false (K.System.panicked sys);
+  Alcotest.(check int) "one failure per victim task" 7
+    (C.Bruteforce.failures (K.System.bruteforce sys));
+  Alcotest.(check int) "all failures on the faulty core" 7
+    (C.Bruteforce.failures_on (K.System.bruteforce sys) ~cpu:1);
+  Alcotest.(check bool) "audit invariant holds" true
+    (C.Bruteforce.audit (K.System.bruteforce sys));
+  let clean =
+    List.length
+      (List.filter
+         (fun (_, _, e) -> match e with K.System.Exited _ -> true | _ -> false)
+         stats.K.System.smp_exits)
+  in
+  Alcotest.(check int) "only one task escapes the balancer" 1 clean
+
+let test_smp_quarantine_offlines_core () =
+  let sys, stats = stuck_key_run ~threshold:3 ~quarantine_after:(Some 2) in
+  Alcotest.(check bool) "quarantine forestalls the panic" false
+    (K.System.panicked sys);
+  Alcotest.(check (list int)) "core 1 offlined" [ 1 ] stats.K.System.smp_offlined;
+  Alcotest.(check bool) "its queue migrated" true (stats.K.System.smp_migrations >= 2);
+  let clean =
+    List.length
+      (List.filter
+         (fun (_, _, e) -> match e with K.System.Exited _ -> true | _ -> false)
+         stats.K.System.smp_exits)
+  in
+  Alcotest.(check int) "migrated tasks finish on the healthy core" 6 clean
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "brute-force audit invariant." `Quick
+        test_bruteforce_audit_invariant;
+      Alcotest.test_case "SMP panic threshold is pinned." `Quick
+        test_smp_panic_threshold_pinned;
+      Alcotest.test_case "below threshold the system survives." `Quick
+        test_smp_below_threshold_survives;
+      Alcotest.test_case "quarantine offlines the faulty core." `Quick
+        test_smp_quarantine_offlines_core;
+    ]
