@@ -8,7 +8,12 @@
      main.exe e2 e3      run selected experiments
      main.exe e9         SMP syscall-throughput scaling (simulated cores)
      main.exe parallel   Domain-parallel wall-clock scaling
-     main.exe bechamel   run the Bechamel wall-time suite *)
+     main.exe bechamel   run the Bechamel wall-time suite
+
+   Any invocation additionally accepts [--json FILE] (alias
+   [--metrics-json FILE]): every deterministic number the selected
+   experiments print is also written to FILE as an array of
+   {"experiment", "metric", "value", "unit"} rows. *)
 
 open Aarch64
 module C = Camouflage
@@ -18,6 +23,69 @@ let header title =
   Printf.printf "\n=== %s ===\n" title
 
 let row fmt = Printf.printf fmt
+
+(* --- machine-readable metrics (--json): every deterministic number a
+   table prints is also collected as an {experiment, metric, value,
+   unit} row, so CI can archive and diff runs. Wall-clock numbers are
+   deliberately excluded — only simulated, seeded quantities. *)
+
+let metrics : (string * string * float * string) list ref = ref []
+
+let metric ~experiment ~name ~value ~unit_ =
+  metrics := (experiment, name, value, unit_) :: !metrics
+
+(* "Camouflage (32b SP + 32b fn addr)" -> "camouflage-32b-sp-32b-fn-addr" *)
+let slug s =
+  let b = Buffer.create (String.length s) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as c ->
+          if !pending && Buffer.length b > 0 then Buffer.add_char b '-';
+          pending := false;
+          Buffer.add_char b c
+      | _ -> pending := true)
+    s;
+  Buffer.contents b
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let json_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.10g" v
+
+let write_metrics path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (experiment, name, value, unit_) ->
+      let b = Buffer.create 96 in
+      Buffer.add_string b "  {\"experiment\": \"";
+      json_escape b experiment;
+      Buffer.add_string b "\", \"metric\": \"";
+      json_escape b name;
+      Buffer.add_string b "\", \"value\": ";
+      Buffer.add_string b (json_number value);
+      Buffer.add_string b ", \"unit\": \"";
+      json_escape b unit_;
+      Buffer.add_string b "\"}";
+      if i > 0 then output_string oc ",\n";
+      output_string oc (Buffer.contents b))
+    (List.rev !metrics);
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d metric rows to %s\n" (List.length !metrics) path
 
 (* Horizontal bar for the figure renderings: one '#' per [unit]. *)
 let bar ?(width = 44) ~max_value value =
@@ -52,7 +120,12 @@ let e1 () =
   row "user key restore (from thread_struct): %.2f cycles/key (std %.3f, 5 keys)\n"
     (Camo_util.Stats.mean rsamples)
     (Camo_util.Stats.stddev rsamples);
-  row "paper reports 9 cycles/key (avg 8.88, variance .004) on the PA-analogue A53\n"
+  row "paper reports 9 cycles/key (avg 8.88, variance .004) on the PA-analogue A53\n";
+  metric ~experiment:"e1" ~name:"kernel-key-install" ~value:mean
+    ~unit_:"cycles/key";
+  metric ~experiment:"e1" ~name:"user-key-restore"
+    ~value:(Camo_util.Stats.mean rsamples)
+    ~unit_:"cycles/key"
 
 (* E2: Figure 2 — function call overhead. *)
 let e2 () =
@@ -68,9 +141,46 @@ let e2 () =
       row "%-36s %14.2f %12.2f %14.2f  %s\n" m.Workloads.Calls.scheme_label
         m.Workloads.Calls.cycles_per_call m.Workloads.Calls.ns_per_call
         (m.Workloads.Calls.overhead_cycles /. clock *. 1e9)
-        (bar ~width:30 ~max_value:max_ns m.Workloads.Calls.ns_per_call))
+        (bar ~width:30 ~max_value:max_ns m.Workloads.Calls.ns_per_call);
+      metric ~experiment:"e2"
+        ~name:(slug m.Workloads.Calls.scheme_label ^ "-cycles-per-call")
+        ~value:m.Workloads.Calls.cycles_per_call ~unit_:"cycles";
+      metric ~experiment:"e2"
+        ~name:(slug m.Workloads.Calls.scheme_label ^ "-overhead")
+        ~value:m.Workloads.Calls.overhead_cycles ~unit_:"cycles")
     results;
-  row "expected shape: baseline < SP-only (Clang) < Camouflage < PARTS\n"
+  row "expected shape: baseline < SP-only (Clang) < Camouflage < PARTS\n";
+
+  (* Attribution (PR 4): where do the added cycles land? The telemetry
+     profiler buckets every retired cycle of the same probe by
+     instrumentation origin. *)
+  row "\ncycle attribution (telemetry profiler, per-call figures):\n";
+  let attrs = Workloads.Calls.attribute ~calls:10_000 () in
+  row "%-36s %12s %10s" "scheme" "cycles/call" "added";
+  List.iter
+    (fun o -> row " %13s" (Telemetry.Profile.origin_name o))
+    Telemetry.Profile.all_origins;
+  row " %10s\n" "attributed";
+  List.iter
+    (fun a ->
+      row "%-36s %12.2f %10.2f" a.Workloads.Calls.attr_label
+        a.Workloads.Calls.attr_cycles_per_call
+        a.Workloads.Calls.attr_added_per_call;
+      List.iter
+        (fun o ->
+          let c =
+            match List.assoc_opt o a.Workloads.Calls.attr_by_origin with
+            | Some c -> c
+            | None -> 0L
+          in
+          row " %13.2f" (Int64.to_float c /. 10_000.))
+        Telemetry.Profile.all_origins;
+      row " %9.1f%%\n" (100. *. a.Workloads.Calls.attr_fraction);
+      metric ~experiment:"e2"
+        ~name:(slug a.Workloads.Calls.attr_label ^ "-attributed-fraction")
+        ~value:a.Workloads.Calls.attr_fraction ~unit_:"ratio")
+    attrs;
+  row "every added cycle should carry a named origin (sign/auth/modifier/key)\n"
 
 (* E3: Figure 3 — lmbench relative latencies. *)
 let e3 () =
@@ -90,8 +200,22 @@ let e3 () =
       Array.iter (fun c -> row " %14.1f" c) r.Workloads.Lmbench.cycles;
       Array.iter (fun x -> row " %10.3f" x) r.Workloads.Lmbench.relative;
       row "  %s" (bar ~width:24 ~max_value:max_rel r.Workloads.Lmbench.relative.(0));
-      row "\n")
+      row "\n";
+      List.iteri
+        (fun idx cfg ->
+          metric ~experiment:"e3"
+            ~name:(slug r.Workloads.Lmbench.name ^ "-" ^ slug cfg ^ "-relative")
+            ~value:r.Workloads.Lmbench.relative.(idx)
+            ~unit_:"ratio")
+        config_names)
     results;
+  List.iteri
+    (fun idx cfg ->
+      metric ~experiment:"e3"
+        ~name:("geomean-" ^ slug cfg)
+        ~value:(Workloads.Lmbench.geometric_mean_overhead results ~config_index:idx)
+        ~unit_:"ratio")
+    config_names;
   row "%-20s" "geometric mean";
   row " %14s %14s %14s" "" "" "";
   List.iteri
@@ -117,7 +241,14 @@ let e4 () =
       row "%-30s" r.Workloads.Userspace.name;
       Array.iter (fun x -> row " %10.4f" x) r.Workloads.Userspace.relative;
       row "  %s" (bar ~width:24 ~max_value:max_rel r.Workloads.Userspace.relative.(0));
-      row "\n")
+      row "\n";
+      List.iteri
+        (fun idx cfg ->
+          metric ~experiment:"e4"
+            ~name:(slug r.Workloads.Userspace.name ^ "-" ^ slug cfg ^ "-relative")
+            ~value:r.Workloads.Userspace.relative.(idx)
+            ~unit_:"ratio")
+        config_names)
     results;
   row "%-30s" "geometric mean";
   List.iteri
@@ -127,7 +258,14 @@ let e4 () =
   row "\n";
   let full_geo = Workloads.Userspace.geometric_mean_overhead results ~config_index:0 in
   row "paper: geometric-mean overhead below 4%%; measured: %.2f%%\n"
-    ((full_geo -. 1.0) *. 100.0)
+    ((full_geo -. 1.0) *. 100.0);
+  List.iteri
+    (fun idx cfg ->
+      metric ~experiment:"e4"
+        ~name:("geomean-" ^ slug cfg)
+        ~value:(Workloads.Userspace.geometric_mean_overhead results ~config_index:idx)
+        ~unit_:"ratio")
+    config_names
 
 (* E5: the Coccinelle census of Section 5.3. *)
 let e5 () =
@@ -158,7 +296,21 @@ let e5 () =
   row "ops conversion: %d types -> const ops structs, %d writes collapsed\n"
     conv.Sempatch.Convert.types_converted conv.Sempatch.Convert.assignments_collapsed;
   row "census after conversion: %d members, %d multi types (expected 275 / 0)\n"
-    census'.Sempatch.Analysis.member_count census'.Sempatch.Analysis.multi_member_type_count
+    census'.Sempatch.Analysis.member_count census'.Sempatch.Analysis.multi_member_type_count;
+  List.iter
+    (fun (name, v) ->
+      metric ~experiment:"e5" ~name ~value:(float_of_int v) ~unit_:"count")
+    [
+      ("fp-members", census.Sempatch.Analysis.member_count);
+      ("compound-types", census.Sempatch.Analysis.type_count);
+      ("multi-member-types", census.Sempatch.Analysis.multi_member_type_count);
+      ("ops-convertible", census.Sempatch.Analysis.ops_table_convertible);
+      ("needs-pac", census.Sempatch.Analysis.needs_pac);
+      ("writes-rewritten", stats.Sempatch.Rewrite.writes_rewritten);
+      ("reads-rewritten", stats.Sempatch.Rewrite.reads_rewritten);
+      ("residual-accesses", Sempatch.Rewrite.residual_accesses rewritten ~protected);
+      ("members-after-conversion", census'.Sempatch.Analysis.member_count);
+    ]
 
 (* E6: Appendix A — address layout and PAC widths. *)
 let e6 () =
@@ -167,7 +319,11 @@ let e6 () =
   let show label cfg =
     row "%-34s %8d %5s %9d\n" label cfg.Vaddr.va_bits
       (if cfg.Vaddr.tbi then "yes" else "no")
-      (Vaddr.pac_bits cfg)
+      (Vaddr.pac_bits cfg);
+    metric ~experiment:"e6"
+      ~name:(slug label ^ "-pac-bits")
+      ~value:(float_of_int (Vaddr.pac_bits cfg))
+      ~unit_:"bits"
   in
   show "kernel, 48-bit VA (paper's config)" Vaddr.linux_kernel;
   show "user, 48-bit VA + tag byte" Vaddr.linux_user;
@@ -216,6 +372,9 @@ let e7 () =
   let p = float_of_int !hits /. float_of_int samples in
   row "random forgeries accepted: %d / %d  (p = %.3e; 2^-15 = %.3e)\n" !hits samples p
     (1.0 /. 32768.0);
+  metric ~experiment:"e7" ~name:"forgery-acceptance" ~value:p ~unit_:"probability";
+  metric ~experiment:"e7" ~name:"forgery-hits" ~value:(float_of_int !hits)
+    ~unit_:"count";
   (* the machine-level mitigation demo *)
   let config = { C.Config.full with bruteforce_threshold = 8 } in
   let sys = K.System.boot ~config ~seed:13L () in
@@ -402,7 +561,10 @@ let e8 () =
     Asm.add_function prog ~name:"function" f.C.Instrument.items;
     Asm.assemble prog ~base:0xffff000000100000L
   in
-  print_string (Asm.disassemble layout)
+  print_string (Asm.disassemble layout);
+  metric ~experiment:"e8" ~name:"instrumented-empty-fn-bytes"
+    ~value:(float_of_int layout.Asm.size)
+    ~unit_:"bytes"
 
 (* E9: syscall throughput scaling across simulated SMP cores. *)
 let e9 () =
@@ -421,7 +583,18 @@ let e9 () =
       row "%-6d %14Ld %14Ld %12.2f %8.2fx %6d %6d  %s%s\n" p.cpus p.makespan
         p.aggregate p.throughput p.speedup p.migrations p.ipis
         (bar ~max_value:max_speedup p.speedup)
-        (if p.all_exited then "" else "  [INCOMPLETE]"))
+        (if p.all_exited then "" else "  [INCOMPLETE]");
+      let pfx = Printf.sprintf "%d-cpus-" p.cpus in
+      metric ~experiment:"e9" ~name:(pfx ^ "makespan")
+        ~value:(Int64.to_float p.makespan) ~unit_:"cycles";
+      metric ~experiment:"e9" ~name:(pfx ^ "throughput") ~value:p.throughput
+        ~unit_:"syscalls/kcycle";
+      metric ~experiment:"e9" ~name:(pfx ^ "speedup") ~value:p.speedup
+        ~unit_:"ratio";
+      metric ~experiment:"e9" ~name:(pfx ^ "migrations")
+        ~value:(float_of_int p.migrations) ~unit_:"count";
+      metric ~experiment:"e9" ~name:(pfx ^ "ipis") ~value:(float_of_int p.ipis)
+        ~unit_:"count")
     points;
   row "\nmakespan is the busiest core's cycle counter. Scaling is near-linear\n";
   row "because syscalls serialize only per core — every kernel entry pays its\n";
@@ -435,6 +608,20 @@ let e10 () =
   let seed = 42L and trials = 100 in
   let report = Faultinj.Campaign.run ~seed ~trials () in
   print_string (Faultinj.Campaign.report_to_string report);
+  List.iter
+    (fun (name, v) ->
+      metric ~experiment:"e10" ~name ~value:(float_of_int v) ~unit_:"count")
+    [
+      ("fired", report.Faultinj.Campaign.fired_count);
+      ("detected-by-pac", report.Faultinj.Campaign.n_detected_by_pac);
+      ("detected-by-mmu", report.Faultinj.Campaign.n_detected_by_mmu);
+      ("panicked", report.Faultinj.Campaign.n_panicked);
+      ("task-killed", report.Faultinj.Campaign.n_task_killed);
+      ("silent-corruption", report.Faultinj.Campaign.n_silent);
+      ("benign", report.Faultinj.Campaign.n_benign);
+    ];
+  metric ~experiment:"e10" ~name:"detection-rate"
+    ~value:report.Faultinj.Campaign.detection_rate ~unit_:"ratio";
 
   (* Hook overhead: the same workload with an armed injector whose
      trigger never fires must retire the identical simulated schedule;
@@ -580,7 +767,20 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  (* peel off --json FILE (alias --metrics-json FILE) anywhere in the
+     argument list; the remaining words select experiments as before *)
+  let rec split_json names = function
+    | ("--json" | "--metrics-json") :: path :: rest ->
+        let names', _ = split_json names rest in
+        (names', Some path)
+    | ("--json" | "--metrics-json") :: [] ->
+        Printf.eprintf "--json needs a file argument\n";
+        exit 2
+    | arg :: rest -> split_json (arg :: names) rest
+    | [] -> (List.rev names, None)
+  in
+  let names, json_path = split_json [] args in
+  (match names with
   | [] ->
       List.iter (fun (_, f) -> f ()) experiments;
       bechamel_suite ()
@@ -592,4 +792,5 @@ let () =
           | Some f -> f ()
           | None when name = "bechamel" -> bechamel_suite ()
           | None -> Printf.eprintf "unknown experiment %s\n" name)
-        names
+        names);
+  match json_path with None -> () | Some path -> write_metrics path

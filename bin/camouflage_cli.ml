@@ -164,21 +164,128 @@ let integrity_cmd =
   let doc = "Demonstrate the PACGA kernel integrity monitor." in
   Cmd.v (Cmd.info "integrity" ~doc) Term.(const run $ config_arg $ seed_arg)
 
-let trace_cmd =
-  let run config seed =
-    let sys = K.System.boot ~config ~seed () in
-    Printf.printf "running the f_ops hijack to provoke a PAC failure...\n";
-    Printf.printf "%s\n\n"
-      (Attacks.Fptr_hijack.outcome_to_string (Attacks.Fptr_hijack.run sys));
-    Printf.printf "last instructions retired before the stop:\n";
-    List.iter
-      (fun (pc, insn) -> Printf.printf "  %Lx: %s\n" pc (Insn.to_string insn))
-      (Cpu.recent_trace ~limit:12 (K.System.cpu sys));
-    Printf.printf "\nkernel log:\n";
-    List.iter (fun l -> Printf.printf "  %s\n" l) (K.System.log sys)
+(* Boot with telemetry, run the SMP syscall workload, return the hub. *)
+let telemetry_run ~config ~seed ~cpus ~tasks ~rounds =
+  let sys = K.System.boot ~config ~seed ~cpus ~telemetry:true () in
+  let layout =
+    K.System.map_user_program sys (Workloads.Smp.throughput_program ~rounds)
   in
-  let doc = "Provoke a PAC failure and dump the CPU trace ring around it." in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ config_arg $ seed_arg)
+  let entry = Asm.symbol layout "throughput" in
+  let spawned = List.init tasks (fun _ -> K.System.spawn_user_task sys ~entry) in
+  let stats = K.System.run_smp ~quantum:500 sys ~tasks:spawned in
+  let hub =
+    match K.System.telemetry sys with
+    | Some h -> h
+    | None -> failwith "telemetry boot carries no hub"
+  in
+  (sys, hub, stats)
+
+let trace_cmd =
+  let chrome_arg =
+    let doc =
+      "Run an SMP syscall workload under telemetry and write the event \
+       timeline to $(docv) as Chrome trace-event JSON (load in Perfetto or \
+       chrome://tracing)."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  let validate_arg =
+    let doc =
+      "Validate $(docv) as trace-event JSON (well-formed, required fields, \
+       monotone timestamps per track); exit non-zero on failure."
+    in
+    Arg.(value & opt (some string) None & info [ "validate" ] ~docv:"FILE" ~doc)
+  in
+  let text_arg =
+    let doc = "Print the telemetry event timeline as text instead of JSON." in
+    Arg.(value & flag & info [ "text" ] ~doc)
+  in
+  let run config seed cpus chrome validate text =
+    match (chrome, validate, text) with
+    | _, Some path, _ ->
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let doc = really_input_string ic n in
+        close_in ic;
+        (match Telemetry.Chrome.validate doc with
+        | Ok () -> Printf.printf "%s: valid trace-event JSON\n" path
+        | Error e ->
+            Printf.eprintf "%s: INVALID trace: %s\n" path e;
+            exit 1)
+    | Some path, _, _ ->
+        let _, hub, stats =
+          telemetry_run ~config ~seed ~cpus:(max cpus 2) ~tasks:8 ~rounds:20
+        in
+        let doc = Telemetry.Chrome.serialize hub in
+        (match Telemetry.Chrome.validate doc with
+        | Ok () -> ()
+        | Error e -> failwith ("serializer produced an invalid trace: " ^ e));
+        let oc = open_out path in
+        output_string oc doc;
+        close_out oc;
+        Printf.printf
+          "wrote %d events (%d dropped) from %d cores to %s (makespan %Ld cycles)\n"
+          (List.length (Telemetry.Hub.events hub))
+          (Telemetry.Hub.dropped hub)
+          (Telemetry.Hub.cpus hub) path stats.K.System.makespan
+    | None, None, true ->
+        let _, hub, _ =
+          telemetry_run ~config ~seed ~cpus:(max cpus 2) ~tasks:8 ~rounds:20
+        in
+        print_string (Telemetry.Chrome.text ~limit:200 hub)
+    | None, None, false ->
+        let sys = K.System.boot ~config ~seed () in
+        Printf.printf "running the f_ops hijack to provoke a PAC failure...\n";
+        Printf.printf "%s\n\n"
+          (Attacks.Fptr_hijack.outcome_to_string (Attacks.Fptr_hijack.run sys));
+        Printf.printf "last instructions retired before the stop:\n";
+        List.iter
+          (fun (pc, insn) -> Printf.printf "  %Lx: %s\n" pc (Insn.to_string insn))
+          (Cpu.recent_trace ~limit:12 (K.System.cpu sys));
+        Printf.printf "\nkernel log:\n";
+        List.iter (fun l -> Printf.printf "  %s\n" l) (K.System.log sys)
+  in
+  let doc =
+    "Dump execution traces: by default, provoke a PAC failure and show the \
+     CPU trace ring; with $(b,--chrome)/$(b,--text), run an SMP workload \
+     under telemetry and emit the cycle-stamped event timeline."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ config_arg $ seed_arg $ cpus_arg $ chrome_arg $ validate_arg
+      $ text_arg)
+
+let stats_cmd =
+  let json_arg =
+    let doc = "Emit the merged counter file as a JSON object." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run config seed cpus json =
+    let cpus = max cpus 2 in
+    let _, hub, stats =
+      telemetry_run ~config ~seed ~cpus ~tasks:8 ~rounds:20
+    in
+    let merged = Telemetry.Hub.counters hub in
+    if json then print_string (Telemetry.Counters.to_json merged ^ "\n")
+    else begin
+      Printf.printf
+        "PMU counter files after an 8-task syscall workload (%s, %d cores, \
+         makespan %Ld cycles)\n\n"
+        (C.Config.name config) cpus stats.K.System.makespan;
+      Array.iteri
+        (fun cid snap ->
+          Printf.printf "cpu%d:\n%s\n" cid (Telemetry.Counters.to_string snap))
+        (Telemetry.Hub.per_cpu hub);
+      Printf.printf "machine (all cores merged):\n%s"
+        (Telemetry.Counters.to_string merged)
+    end
+  in
+  let doc =
+    "Run an SMP syscall workload with telemetry enabled and print the \
+     per-core and merged PMU-style counter files."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(const run $ config_arg $ seed_arg $ cpus_arg $ json_arg)
 
 let lint_cmd =
   let json_arg =
@@ -254,7 +361,7 @@ let main =
   Cmd.group (Cmd.info "camouflage" ~version:"1.0.0" ~doc)
     [
       boot_cmd; attack_cmd; census_cmd; disasm_cmd; integrity_cmd; trace_cmd;
-      lint_cmd; faults_cmd;
+      stats_cmd; lint_cmd; faults_cmd;
     ]
 
 let () = exit (Cmd.eval main)

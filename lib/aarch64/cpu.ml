@@ -44,6 +44,9 @@ type t = {
   id : int;
   (* pre-execute observation point; see set_step_hook *)
   mutable step_hook : (t -> pc:int64 -> Insn.t -> hook_action) option;
+  (* telemetry endpoint; None (the default) must leave execution
+     bit-identical to a build without telemetry *)
+  mutable sink : Telemetry.Sink.t option;
 }
 
 (* A canonical kernel address that is never mapped: it survives PAC/AUT
@@ -78,6 +81,7 @@ let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linu
     trace_pos = 0;
     id;
     step_hook = None;
+    sink = None;
   }
 
 let mem t = t.mem
@@ -118,7 +122,18 @@ let set_reg t r v =
 
 let sysreg t sr =
   match sr with
-  | Sysreg.CNTVCT_EL0 -> t.cycles
+  | Sysreg.CNTVCT_EL0 | Sysreg.PMCCNTR_EL0 -> t.cycles
+  | Sysreg.PMICNTR_EL0 -> t.insns_retired
+  | Sysreg.PMEVCNTR0_EL0 | Sysreg.PMEVCNTR1_EL0 | Sysreg.PMEVCNTR2_EL0 -> (
+      (* event counters read 0 unless a telemetry sink is attached *)
+      match t.sink with
+      | None -> 0L
+      | Some s ->
+          let c = Telemetry.Sink.counters s in
+          (match sr with
+          | Sysreg.PMEVCNTR0_EL0 -> Telemetry.Counters.live_pac_ops c
+          | Sysreg.PMEVCNTR1_EL0 -> Telemetry.Counters.live_aut_ops c
+          | _ -> Telemetry.Counters.live_auth_failures c))
   | _ -> ( match Hashtbl.find_opt t.sysregs sr with Some v -> v | None -> 0L)
 
 let set_sysreg t sr v = Hashtbl.replace t.sysregs sr v
@@ -132,6 +147,9 @@ let insns_retired t = t.insns_retired
 let charge t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
 let set_sysreg_lock t f = t.sysreg_locked <- f
 let set_step_hook t h = t.step_hook <- h
+let attach_telemetry t s = t.sink <- Some s
+let detach_telemetry t = t.sink <- None
+let telemetry t = t.sink
 
 let pac_key t k =
   let hi_reg, lo_reg = Sysreg.key_halves k in
@@ -173,7 +191,50 @@ let cost_of t insn =
   | Insn.Eret -> c.eret
   | Insn.Isb -> c.isb
 
+(* Telemetry classification. Retirement class mirrors the cost_of
+   grouping; the origin distinguishes CFI-added instructions (PAC
+   construction, authentication, modifier arithmetic on the reserved
+   ip0/ip1 registers — the PR 2 convention) from the baseline
+   program. Both only run when a sink is attached. *)
+
+let class_of_insn insn =
+  let open Telemetry.Counters in
+  match insn with
+  | Insn.Movz _ | Insn.Movk _ | Insn.Mov _ | Insn.Add_imm _ | Insn.Sub_imm _
+  | Insn.Add_reg _ | Insn.Sub_reg _ | Insn.Subs_reg _ | Insn.Subs_imm _ | Insn.And_reg _
+  | Insn.Orr_reg _ | Insn.Eor_reg _ | Insn.Lsl_imm _ | Insn.Lsr_imm _ | Insn.Bfi _
+  | Insn.Ubfx _ | Insn.Adr _ | Insn.Nop ->
+      Alu
+  | Insn.Ldr _ | Insn.Ldrb _ | Insn.Ldp _ -> Load
+  | Insn.Str _ | Insn.Strb _ | Insn.Stp _ -> Store
+  | Insn.B _ | Insn.Bl _ | Insn.Br _ | Insn.Blr _ | Insn.Ret | Insn.Cbz _ | Insn.Cbnz _
+  | Insn.Bcond _ ->
+      Branch
+  | Insn.Pac _ | Insn.Pac1716 _ -> Pac
+  | Insn.Pacga _ -> Pacga
+  | Insn.Aut _ | Insn.Aut1716 _ -> Aut
+  | Insn.Blra _ | Insn.Bra _ | Insn.Reta _ -> Auth_branch
+  | Insn.Xpac _ -> Xpac
+  | Insn.Mrs _ | Insn.Msr _ | Insn.Isb -> Sys
+  | Insn.Svc _ | Insn.Eret | Insn.Brk _ | Insn.Hlt _ -> Exception
+
+let origin_of_insn insn =
+  let open Telemetry.Profile in
+  match insn with
+  | Insn.Pac _ | Insn.Pac1716 _ | Insn.Pacga _ -> Cfi_sign
+  | Insn.Aut _ | Insn.Aut1716 _ | Insn.Xpac _ | Insn.Blra _ | Insn.Bra _
+  | Insn.Reta _ ->
+      Cfi_auth
+  | _ ->
+      let defs, uses = Insn.defs_uses insn in
+      let reserved r = r = Insn.ip0 || r = Insn.ip1 in
+      if List.exists reserved defs || List.exists reserved uses then Cfi_modifier
+      else Baseline
+
 let translate t ~access va =
+  (match t.sink with
+  | Some s -> Telemetry.Counters.count_mmu_walk (Telemetry.Sink.counters s)
+  | None -> ());
   match Mmu.translate t.mmu ~el:t.el ~access va with
   | Ok pa -> Ok pa
   | Error f -> Error (Fault { fault = Mmu_fault f; pc = t.pc })
@@ -191,7 +252,11 @@ let do_aut t key ptr modifier =
     let cfg = pointer_cfg t ptr in
     match Pac.auth ~cipher:t.cipher ~key:(pac_key t key) ~cfg ~modifier ptr with
     | Ok stripped -> stripped
-    | Error poisoned -> poisoned
+    | Error poisoned ->
+        (match t.sink with
+        | Some s -> Telemetry.Counters.count_auth_failure (Telemetry.Sink.counters s)
+        | None -> ());
+        poisoned
   end
   else ptr
 
@@ -370,7 +435,7 @@ let execute t insn ~next =
   | Insn.Bra (k, rn, rm) -> branch (do_aut t k (reg t rn) (reg t rm))
   | Insn.Reta k -> branch (do_aut t k (reg t Insn.lr) (reg t Insn.SP))
   | Insn.Mrs (rd, sr) ->
-      if t.el = El.El0 && sr <> Sysreg.CNTVCT_EL0 then
+      if t.el = El.El0 && not (Sysreg.el0_readable sr) then
         raise (Stop (Fault { fault = El_denied sr; pc = t.pc }));
       set_reg t rd (sysreg t sr);
       fallthrough ()
@@ -382,12 +447,18 @@ let execute t insn ~next =
       fallthrough ()
   | Insn.Svc imm ->
       t.pc <- next;
+      (match t.sink with
+      | Some s -> Telemetry.Counters.count_exception_entry (Telemetry.Sink.counters s)
+      | None -> ());
       raise (Stop (Svc imm))
   | Insn.Eret ->
       let spsr = sysreg t Sysreg.SPSR_EL1 in
       let target_el = if Val64.extract ~lo:2 ~width:2 spsr = 0L then El.El0 else El.El1 in
       t.el <- target_el;
       t.pc <- sysreg t Sysreg.ELR_EL1;
+      (match t.sink with
+      | Some s -> Telemetry.Counters.count_exception_return (Telemetry.Sink.counters s)
+      | None -> ());
       raise (Stop Eret_done)
   | Insn.Brk imm ->
       t.pc <- next;
@@ -411,10 +482,16 @@ let step t =
               | None -> Exec
               | Some h -> h t ~pc:t.pc insn
             in
-            charge t (cost_of t insn);
+            let cost = cost_of t insn in
+            charge t cost;
             t.insns_retired <- Int64.add t.insns_retired 1L;
             t.trace.(t.trace_pos) <- Some (t.pc, insn);
             t.trace_pos <- (t.trace_pos + 1) mod Array.length t.trace;
+            (match t.sink with
+            | None -> ()
+            | Some s ->
+                Telemetry.Sink.retire s ~pc:t.pc ~cls:(class_of_insn insn)
+                  ~origin:(origin_of_insn insn) ~cycles:cost);
             let next = Int64.add t.pc 4L in
             match action with
             | Skip ->
@@ -461,7 +538,12 @@ let fault_to_string = function
   | Hyp_denied sr -> Printf.sprintf "hypervisor denied write to %s" (Sysreg.name sr)
   | El_denied sr -> Printf.sprintf "EL0 access to %s denied" (Sysreg.name sr)
 
-let dump_state ?(trace_limit = 8) t =
+let dump_state ?trace_limit t =
+  (* default to the full configured trace depth: deep oops traces used
+     to truncate silently at the old default of 8 *)
+  let trace_limit =
+    match trace_limit with Some l -> l | None -> Array.length t.trace
+  in
   let b = Buffer.create 512 in
   Buffer.add_string b
     (Printf.sprintf "cpu%d: pc=0x%Lx el=%s cycles=%Ld insns=%Ld\n" t.id t.pc
@@ -481,6 +563,12 @@ let dump_state ?(trace_limit = 8) t =
   Buffer.add_string b
     (Printf.sprintf "  flags: n=%b z=%b c=%b v=%b\n" t.flags.n t.flags.z
        t.flags.c t.flags.v);
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+      let snap = Telemetry.Counters.snapshot (Telemetry.Sink.counters s) in
+      Buffer.add_string b
+        (Printf.sprintf "  counters: %s\n" (Telemetry.Counters.to_string snap)));
   (match recent_trace ~limit:trace_limit t with
   | [] -> Buffer.add_string b "  trace: (empty)\n"
   | entries ->

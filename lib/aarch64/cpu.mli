@@ -107,6 +107,27 @@ val set_sysreg_lock : t -> (Sysreg.t -> bool) -> unit
     is skipped. The hook must not call {!step} reentrantly. *)
 val set_step_hook : t -> (t -> pc:int64 -> Insn.t -> hook_action) option -> unit
 
+(** [attach_telemetry t sink] connects a per-core telemetry endpoint:
+    every retired instruction is classified into the sink's counter
+    file and cycle-attribution profile, and the machine/kernel layers
+    emit structured events through it. Telemetry is pure observation —
+    attaching a sink never changes architectural state or cycle
+    totals (the PMEVCNTRn sysregs excepted, which read 0 without a
+    sink). *)
+val attach_telemetry : t -> Telemetry.Sink.t -> unit
+
+val detach_telemetry : t -> unit
+val telemetry : t -> Telemetry.Sink.t option
+
+(** [class_of_insn i] / [origin_of_insn i] — the telemetry taxonomy:
+    retirement class (mirrors the cost model's grouping) and
+    instrumentation origin (PAC construction / authentication /
+    reserved-register modifier arithmetic / baseline). Exposed for the
+    profiler's tests. *)
+val class_of_insn : Insn.t -> Telemetry.Counters.insn_class
+
+val origin_of_insn : Insn.t -> Telemetry.Profile.origin
+
 (** The host-return address: jumping here stops execution with
     [Sentinel_return]. It is canonical (so it survives PAC/AUT round
     trips in instrumented prologues) but never mapped. *)
@@ -136,9 +157,10 @@ val recent_trace : ?limit:int -> t -> (int64 * Insn.t) list
 
 (** [dump_state t] — multi-line pretty-printed machine state: core id,
     PC, EL, cycle and retirement counters, the general registers, banked
-    stack pointers, flags, and the last [trace_limit] retired
-    instructions disassembled (default 8). Used by the kernel's oops and
-    panic paths. *)
+    stack pointers, flags, the telemetry counter snapshot (when a sink
+    is attached), and the last [trace_limit] retired instructions
+    disassembled (default: the full configured trace depth). Used by
+    the kernel's oops and panic paths. *)
 val dump_state : ?trace_limit:int -> t -> string
 
 val fault_to_string : fault -> string

@@ -24,9 +24,11 @@ type t = {
   mmu : Mmu.t;
   cipher : Qarma.Block.t;
   gic : gic;
+  hub : Telemetry.Hub.t option;
 }
 
-let create ?cost ?has_pauth ?user_cfg ?kernel_cfg ?cipher ?trace_depth ~cpus () =
+let create ?cost ?has_pauth ?user_cfg ?kernel_cfg ?cipher ?trace_depth
+    ?(telemetry = false) ~cpus () =
   if cpus < 1 then invalid_arg "Machine.create: cpus";
   let cipher = match cipher with Some c -> c | None -> Qarma.Block.create () in
   let mem = Mem.create () in
@@ -35,6 +37,16 @@ let create ?cost ?has_pauth ?user_cfg ?kernel_cfg ?cipher ?trace_depth ~cpus () 
     Array.init cpus (fun id ->
         Cpu.create ?cost ?has_pauth ?user_cfg ?kernel_cfg ~cipher ~mem ~mmu
           ?trace_depth ~id ())
+  in
+  let hub =
+    if telemetry then begin
+      let hub = Telemetry.Hub.create ~cpus () in
+      Array.iteri
+        (fun i core -> Cpu.attach_telemetry core (Telemetry.Hub.sink hub i))
+        cores;
+      Some hub
+    end
+    else None
   in
   {
     cores;
@@ -47,6 +59,7 @@ let create ?cost ?has_pauth ?user_cfg ?kernel_cfg ?cipher ?trace_depth ~cpus () 
         senders = Array.init cpus (fun _ -> Array.make 3 0);
         ipis_sent = 0;
       };
+    hub;
   }
 
 let cpus t = Array.length t.cores
@@ -56,6 +69,7 @@ let core t i =
   t.cores.(i)
 
 let cores t = Array.to_list t.cores
+let telemetry t = t.hub
 let boot_core t = t.cores.(0)
 let mem t = t.mem
 let mmu t = t.mmu
@@ -67,7 +81,14 @@ let send_ipi t ~src ~dst ipi =
   let bit = ipi_bit ipi in
   t.gic.pending.(dst) <- t.gic.pending.(dst) lor (1 lsl bit);
   t.gic.senders.(dst).(bit) <- t.gic.senders.(dst).(bit) lor (1 lsl src);
-  t.gic.ipis_sent <- t.gic.ipis_sent + 1
+  t.gic.ipis_sent <- t.gic.ipis_sent + 1;
+  match Cpu.telemetry t.cores.(src) with
+  | Some s ->
+      Telemetry.Counters.count_ipi_sent (Telemetry.Sink.counters s);
+      Telemetry.Sink.emit s
+        ~ts:(Cpu.cycles t.cores.(src))
+        (Telemetry.Event.Ipi_send { dst; kind = ipi_name ipi })
+  | None -> ()
 
 let pending t ~cpu =
   List.filter (fun i -> t.gic.pending.(cpu) land (1 lsl ipi_bit i) <> 0) all_ipis
@@ -80,8 +101,18 @@ let ack t ~cpu ipi =
   let requesters = t.gic.senders.(cpu).(bit) in
   t.gic.pending.(cpu) <- t.gic.pending.(cpu) land lnot (1 lsl bit);
   t.gic.senders.(cpu).(bit) <- 0;
-  List.filter (fun src -> requesters land (1 lsl src) <> 0)
-    (List.init (cpus t) Fun.id)
+  let srcs =
+    List.filter (fun src -> requesters land (1 lsl src) <> 0)
+      (List.init (cpus t) Fun.id)
+  in
+  (match Cpu.telemetry t.cores.(cpu) with
+  | Some s ->
+      Telemetry.Counters.count_ipi_received (Telemetry.Sink.counters s);
+      Telemetry.Sink.emit s
+        ~ts:(Cpu.cycles t.cores.(cpu))
+        (Telemetry.Event.Ipi_receive { srcs; kind = ipi_name ipi })
+  | None -> ());
+  srcs
 
 let ipis_sent t = t.gic.ipis_sent
 

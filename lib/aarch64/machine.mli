@@ -22,7 +22,10 @@ val ipi_name : ipi -> string
 type t
 
 (** [create ~cpus ()] — [cpus] cores sharing fresh memory/MMU/cipher.
-    Cores are numbered 0..cpus-1; core 0 is the boot core. *)
+    Cores are numbered 0..cpus-1; core 0 is the boot core. With
+    [~telemetry:true] a {!Telemetry.Hub} is created and sink [i]
+    attached to core [i]; IPI sends/acks then also emit trace
+    events. *)
 val create :
   ?cost:Cost.profile ->
   ?has_pauth:bool ->
@@ -30,6 +33,7 @@ val create :
   ?kernel_cfg:Vaddr.config ->
   ?cipher:Qarma.Block.t ->
   ?trace_depth:int ->
+  ?telemetry:bool ->
   cpus:int ->
   unit ->
   t
@@ -37,6 +41,9 @@ val create :
 val cpus : t -> int
 val core : t -> int -> Cpu.t
 val cores : t -> Cpu.t list
+
+(** The machine-wide telemetry hub, when booted with [~telemetry:true]. *)
+val telemetry : t -> Telemetry.Hub.t option
 val boot_core : t -> Cpu.t
 val mem : t -> Mem.t
 val mmu : t -> Mmu.t

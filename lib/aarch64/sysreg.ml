@@ -20,6 +20,13 @@ type t =
   | FAR_EL1
   | TPIDR_EL1
   | CNTVCT_EL0
+  (* PMU counter registers (PR 4 telemetry): appended at the end so
+     existing encodings keep their ids. *)
+  | PMCCNTR_EL0
+  | PMICNTR_EL0
+  | PMEVCNTR0_EL0
+  | PMEVCNTR1_EL0
+  | PMEVCNTR2_EL0
 
 type pauth_key = IA | IB | DA | DB | GA
 
@@ -35,7 +42,8 @@ let is_pauth_key = function
   | APDAKeyHi_EL1 | APDBKeyLo_EL1 | APDBKeyHi_EL1 | APGAKeyLo_EL1 | APGAKeyHi_EL1 ->
       true
   | SCTLR_EL1 | CONTEXTIDR_EL1 | TTBR0_EL1 | TTBR1_EL1 | VBAR_EL1 | ELR_EL1 | SPSR_EL1
-  | ESR_EL1 | FAR_EL1 | TPIDR_EL1 | CNTVCT_EL0 ->
+  | ESR_EL1 | FAR_EL1 | TPIDR_EL1 | CNTVCT_EL0 | PMCCNTR_EL0 | PMICNTR_EL0
+  | PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0 ->
       false
 
 let is_mmu_control = function
@@ -43,8 +51,20 @@ let is_mmu_control = function
   | APIAKeyLo_EL1 | APIAKeyHi_EL1 | APIBKeyLo_EL1 | APIBKeyHi_EL1 | APDAKeyLo_EL1
   | APDAKeyHi_EL1 | APDBKeyLo_EL1 | APDBKeyHi_EL1 | APGAKeyLo_EL1 | APGAKeyHi_EL1
   | CONTEXTIDR_EL1 | VBAR_EL1 | ELR_EL1 | SPSR_EL1 | ESR_EL1 | FAR_EL1 | TPIDR_EL1
-  | CNTVCT_EL0 ->
+  | CNTVCT_EL0 | PMCCNTR_EL0 | PMICNTR_EL0 | PMEVCNTR0_EL0 | PMEVCNTR1_EL0
+  | PMEVCNTR2_EL0 ->
       false
+
+let is_pmu = function
+  | PMCCNTR_EL0 | PMICNTR_EL0 | PMEVCNTR0_EL0 | PMEVCNTR1_EL0 | PMEVCNTR2_EL0 ->
+      true
+  | APIAKeyLo_EL1 | APIAKeyHi_EL1 | APIBKeyLo_EL1 | APIBKeyHi_EL1 | APDAKeyLo_EL1
+  | APDAKeyHi_EL1 | APDBKeyLo_EL1 | APDBKeyHi_EL1 | APGAKeyLo_EL1 | APGAKeyHi_EL1
+  | SCTLR_EL1 | CONTEXTIDR_EL1 | TTBR0_EL1 | TTBR1_EL1 | VBAR_EL1 | ELR_EL1 | SPSR_EL1
+  | ESR_EL1 | FAR_EL1 | TPIDR_EL1 | CNTVCT_EL0 ->
+      false
+
+let el0_readable r = r = CNTVCT_EL0 || is_pmu r
 
 (* Architectural SCTLR_EL1 bit positions (ARM DDI 0487). *)
 let sctlr_enia_bit = 31
@@ -64,7 +84,8 @@ let all =
     APIAKeyLo_EL1; APIAKeyHi_EL1; APIBKeyLo_EL1; APIBKeyHi_EL1; APDAKeyLo_EL1;
     APDAKeyHi_EL1; APDBKeyLo_EL1; APDBKeyHi_EL1; APGAKeyLo_EL1; APGAKeyHi_EL1;
     SCTLR_EL1; CONTEXTIDR_EL1; TTBR0_EL1; TTBR1_EL1; VBAR_EL1; ELR_EL1; SPSR_EL1;
-    ESR_EL1; FAR_EL1; TPIDR_EL1; CNTVCT_EL0;
+    ESR_EL1; FAR_EL1; TPIDR_EL1; CNTVCT_EL0; PMCCNTR_EL0; PMICNTR_EL0;
+    PMEVCNTR0_EL0; PMEVCNTR1_EL0; PMEVCNTR2_EL0;
   ]
 
 let to_id r =
@@ -98,5 +119,10 @@ let name = function
   | FAR_EL1 -> "FAR_EL1"
   | TPIDR_EL1 -> "TPIDR_EL1"
   | CNTVCT_EL0 -> "CNTVCT_EL0"
+  | PMCCNTR_EL0 -> "PMCCNTR_EL0"
+  | PMICNTR_EL0 -> "PMICNTR_EL0"
+  | PMEVCNTR0_EL0 -> "PMEVCNTR0_EL0"
+  | PMEVCNTR1_EL0 -> "PMEVCNTR1_EL0"
+  | PMEVCNTR2_EL0 -> "PMEVCNTR2_EL0"
 
 let pp fmt r = Format.pp_print_string fmt (name r)

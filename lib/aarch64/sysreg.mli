@@ -28,6 +28,11 @@ type t =
   | FAR_EL1
   | TPIDR_EL1
   | CNTVCT_EL0  (** virtual counter, read-only: the cycle counter *)
+  | PMCCNTR_EL0  (** PMU cycle counter (always live) *)
+  | PMICNTR_EL0  (** PMU instructions-retired counter (always live) *)
+  | PMEVCNTR0_EL0  (** PMU event 0: PAC-constructing ops (telemetry) *)
+  | PMEVCNTR1_EL0  (** PMU event 1: authenticating ops (telemetry) *)
+  | PMEVCNTR2_EL0  (** PMU event 2: authentication failures (telemetry) *)
 
 (** PAuth key selector; GA signs generic data via PACGA. *)
 type pauth_key = IA | IB | DA | DB | GA
@@ -42,6 +47,13 @@ val is_pauth_key : t -> bool
 (** [is_mmu_control r] — registers whose modification the hypervisor
     locks down (TTBRs and SCTLR). *)
 val is_mmu_control : t -> bool
+
+(** [is_pmu r] — the five read-only performance counters. *)
+val is_pmu : t -> bool
+
+(** [el0_readable r] — registers user code may MRS without trapping:
+    the virtual counter and the PMU counters. *)
+val el0_readable : t -> bool
 
 (** SCTLR_EL1 PAuth enable bit positions (architectural values). *)
 val sctlr_enia_bit : int

@@ -150,41 +150,6 @@ let strike t cpu =
           (fun cpu' ->
             Cpu.set_sysreg cpu' sr (force_bits ~mask ~target (Cpu.sysreg cpu' sr))) )
 
-let hook t cpu ~pc insn =
-  t.steps_seen <- t.steps_seen + 1;
-  if not t.has_fired then begin
-    if trigger_due t cpu ~pc insn then begin
-      t.has_fired <- true;
-      t.first <- Some (Cpu.id cpu, pc);
-      t.injection_count <- 1;
-      let verdict, force = strike t cpu in
-      if t.spec.persistence = Stuck then t.force <- force;
-      verdict
-    end
-    else Cpu.Exec
-  end
-  else
-    match t.spec.persistence with
-    | Transient -> Cpu.Exec
-    | Stuck -> (
-        match t.spec.model with
-        | Skip_insn ->
-            if trigger_due t cpu ~pc insn then begin
-              t.injection_count <- t.injection_count + 1;
-              Cpu.Skip
-            end
-            else Cpu.Exec
-        | _ -> (
-            match t.force with
-            | Some f ->
-                f cpu;
-                Cpu.Exec
-            | None -> Cpu.Exec))
-
-let arm t cpu = Cpu.set_step_hook cpu (Some (fun cpu ~pc insn -> hook t cpu ~pc insn))
-let arm_all t machine = List.iter (arm t) (Machine.cores machine)
-let disarm cpu = Cpu.set_step_hook cpu None
-
 let insn_class_name = function
   | Any_insn -> "any"
   | Branch_insn -> "branch"
@@ -225,3 +190,44 @@ let spec_to_string s =
     (trigger_to_string s.trigger)
     (model_to_string s.model)
     (match s.persistence with Transient -> "transient" | Stuck -> "stuck")
+
+let hook t cpu ~pc insn =
+  t.steps_seen <- t.steps_seen + 1;
+  if not t.has_fired then begin
+    if trigger_due t cpu ~pc insn then begin
+      t.has_fired <- true;
+      t.first <- Some (Cpu.id cpu, pc);
+      t.injection_count <- 1;
+      (match Cpu.telemetry cpu with
+      | Some s ->
+          Telemetry.Sink.emit s ~ts:(Cpu.cycles cpu)
+            (Telemetry.Event.Injected_fault { desc = spec_to_string t.spec })
+      | None -> ());
+      let verdict, force = strike t cpu in
+      if t.spec.persistence = Stuck then t.force <- force;
+      verdict
+    end
+    else Cpu.Exec
+  end
+  else
+    match t.spec.persistence with
+    | Transient -> Cpu.Exec
+    | Stuck -> (
+        match t.spec.model with
+        | Skip_insn ->
+            if trigger_due t cpu ~pc insn then begin
+              t.injection_count <- t.injection_count + 1;
+              Cpu.Skip
+            end
+            else Cpu.Exec
+        | _ -> (
+            match t.force with
+            | Some f ->
+                f cpu;
+                Cpu.Exec
+            | None -> Cpu.Exec))
+
+let arm t cpu = Cpu.set_step_hook cpu (Some (fun cpu ~pc insn -> hook t cpu ~pc insn))
+let arm_all t machine = List.iter (arm t) (Machine.cores machine)
+let disarm cpu = Cpu.set_step_hook cpu None
+

@@ -24,6 +24,30 @@ let sys_poll = 18
 let sys_timer_set = 19
 let syscall_count = 20
 
+let syscall_name nr =
+  match nr with
+  | 0 -> "sys_exit"
+  | 1 -> "sys_getpid"
+  | 2 -> "sys_read"
+  | 3 -> "sys_write"
+  | 4 -> "sys_open"
+  | 5 -> "sys_close"
+  | 6 -> "sys_stat"
+  | 7 -> "sys_fstat"
+  | 8 -> "sys_notifier_register"
+  | 9 -> "sys_notifier_call"
+  | 10 -> "sys_pipe_write"
+  | 11 -> "sys_pipe_read"
+  | 12 -> "sys_fork"
+  | 13 -> "sys_vuln_read"
+  | 14 -> "sys_vuln_write"
+  | 15 -> "sys_getuid"
+  | 16 -> "sys_read_secure"
+  | 17 -> "sys_socketpair"
+  | 18 -> "sys_poll"
+  | 19 -> "sys_timer_set"
+  | _ -> Printf.sprintf "sys_%d" nr
+
 let i x = Asm.ins x
 let r n = Insn.R n
 

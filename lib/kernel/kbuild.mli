@@ -40,6 +40,11 @@ val sys_poll : int
 val sys_timer_set : int
 val syscall_count : int
 
+(** [syscall_name nr] — the handler's symbol name (["sys_7"]-style for
+    out-of-range numbers); labels syscall spans in the telemetry
+    timeline. *)
+val syscall_name : int -> string
+
 (** [build config registry] — the kernel object. [registry] must already
     contain the protected members ({!Kobject.register_protected_members}). *)
 val build : Camouflage.Config.t -> Camouflage.Pointer_integrity.registry -> Kelf.Object_file.t

@@ -50,7 +50,7 @@ type t = {
   mutable next_pid : int;
   mutable next_stack_slot : int;
   mutable module_alloc : int64;
-  mutable log : string list;
+  mutable log : (int64 * string) list;  (* (cycle stamp, line), newest first *)
   mutable panicked : bool;
   mutable oopses : oops list;  (* newest first *)
   mutable table_mac_golden : int64;
@@ -83,11 +83,27 @@ let xom t = t.xom
 let current t = t.current
 let tasks t = t.tasks
 let panicked t = t.panicked
-let log t = List.rev t.log
+let log t = List.rev_map (fun (_, line) -> line) t.log
+let log_events t = List.rev t.log
 let bruteforce t = t.bruteforce
 let oopses t = List.rev t.oopses
 
-let logf t fmt = Printf.ksprintf (fun s -> t.log <- s :: t.log) fmt
+(* The per-core telemetry sink of the active core, when the system was
+   booted with telemetry. *)
+let sink t = Cpu.telemetry t.cpu
+let telemetry t = Machine.telemetry t.machine
+
+let emit_event t payload =
+  match sink t with
+  | Some s -> Telemetry.Sink.emit s ~ts:(Cpu.cycles t.cpu) payload
+  | None -> ()
+
+let logf t fmt =
+  Printf.ksprintf
+    (fun s ->
+      t.log <- (Cpu.cycles t.cpu, s) :: t.log;
+      emit_event t (Telemetry.Event.Log { line = s }))
+    fmt
 
 (* [with_core t cid f] — run [f] with core [cid] as the active core:
    [t.cpu]/[t.current] become that core's view, so every helper (key
@@ -127,10 +143,26 @@ let kernel_uses_pauth t =
   Cpu.has_pauth t.cpu
   && (t.config.C.Config.scheme <> C.Modifier.No_cfi || t.config.C.Config.protect_pointers)
 
+(* Call one of the audited XOM key routines: its generated MOVZ/MOVK
+   stream is charged like any other code, but telemetry attributes the
+   cycles to the key-switch origin and logs a key-switch event. *)
+let xom_key_call t ~domain ~err addr =
+  emit_event t
+    (Telemetry.Event.Key_switch { domain; pid = t.current.pid });
+  let call () =
+    match Cpu.call t.cpu addr with
+    | Cpu.Sentinel_return -> ()
+    | other -> failwith (err ^ Cpu.stop_to_string other)
+  in
+  match sink t with
+  | Some s ->
+      Telemetry.Counters.count_key_install (Telemetry.Sink.counters s);
+      Telemetry.Sink.with_origin s Telemetry.Profile.Cfi_key_switch call
+  | None -> call ()
+
 let install_kernel_keys t =
-  (match Cpu.call t.cpu t.xom.Xom.setter_addr with
-  | Cpu.Sentinel_return -> ()
-  | other -> failwith ("key setter did not return: " ^ Cpu.stop_to_string other));
+  xom_key_call t ~domain:"kernel" ~err:"key setter did not return: "
+    t.xom.Xom.setter_addr;
   (* per-CPU accounting; the array is empty only during early boot of
      the boot core, before the per-CPU areas exist *)
   if t.active < Array.length t.percpu then
@@ -155,9 +187,8 @@ let key_installs_on t ~cpu:cid =
 
 let restore_user_keys t =
   Cpu.set_reg t.cpu (Insn.R 0) t.current.va;
-  match Cpu.call t.cpu t.xom.Xom.restore_addr with
-  | Cpu.Sentinel_return -> ()
-  | other -> failwith ("key restore did not return: " ^ Cpu.stop_to_string other)
+  xom_key_call t ~domain:"user" ~err:"key restore did not return: "
+    t.xom.Xom.restore_addr
 
 (* Host-side mirror of the backward-edge signing, used to prefabricate
    the switch frame of a fresh task (Section 5.2, cpu_switch_to). *)
@@ -277,7 +308,27 @@ let mark_dead t task =
    disassembly) for the current task on the active core; returns the
    state dump so callers can also log it. *)
 let record_oops t ~cause ~pc =
-  let dump = Cpu.dump_state ~trace_limit:8 t.cpu in
+  emit_event t (Telemetry.Event.Oops { pid = t.current.pid; cause });
+  let dump = Cpu.dump_state t.cpu in
+  (* fold the structured event timeline into the dump: this replaces
+     the old ad-hoc recent_trace-only plumbing *)
+  let dump =
+    match sink t with
+    | Some s ->
+        let evs = Telemetry.Ring.to_list (Telemetry.Sink.ring s) in
+        let n = List.length evs in
+        let tail =
+          if n > 8 then List.filteri (fun i _ -> i >= n - 8) evs else evs
+        in
+        if tail = [] then dump
+        else
+          dump ^ "  events (newest last):\n"
+          ^ String.concat ""
+              (List.map
+                 (fun e -> "    " ^ Telemetry.Event.to_string e ^ "\n")
+                 tail)
+    | None -> dump
+  in
   t.oopses <-
     {
       oops_cpu = t.active;
@@ -304,6 +355,8 @@ let handle_kernel_stop t stop =
         || Vaddr.is_poisoned (Cpu.user_cfg t.cpu) f.Mmu.va
       in
       if poisoned then begin
+        emit_event t
+          (Telemetry.Event.Auth_failure { pid = t.current.pid; va = f.Mmu.va });
         logcpu t "PAC authentication failure: pid %d at pc=0x%Lx va=0x%Lx" t.current.pid
           pc f.Mmu.va;
         ignore
@@ -352,8 +405,15 @@ let handle_kernel_stop t stop =
 
 let kernel_entry ?(trap_charged = false) t =
   (* the SVC instruction charges the trap cost when the entry comes from
-     machine-executed user code; host-driven entries pay it here *)
-  if not trap_charged then Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.exception_entry;
+     machine-executed user code; host-driven entries pay it here (and
+     count it — a machine-executed SVC counts itself) *)
+  if not trap_charged then begin
+    Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.exception_entry;
+    match sink t with
+    | Some s ->
+        Telemetry.Counters.count_exception_entry (Telemetry.Sink.counters s)
+    | None -> ()
+  end;
   Cpu.charge t.cpu entry_overhead_cycles;
   Cpu.set_el t.cpu El.El1;
   Cpu.set_sp_of t.cpu El.El1 (task_stack_top t.current);
@@ -363,7 +423,11 @@ let kernel_entry ?(trap_charged = false) t =
 let kernel_exit t =
   if kernel_uses_pauth t then restore_user_keys t;
   Cpu.charge t.cpu exit_overhead_cycles;
-  Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.eret
+  Cpu.charge t.cpu (Cpu.cost_profile t.cpu).Cost.eret;
+  match sink t with
+  | Some s ->
+      Telemetry.Counters.count_exception_return (Telemetry.Sink.counters s)
+  | None -> ()
 
 let call_handler t addr =
   let stop = Cpu.call t.cpu addr in
@@ -372,6 +436,9 @@ let call_handler t addr =
 let syscall_gen ?trap_charged t ~nr ~args =
   if t.panicked then Panicked "system halted"
   else begin
+    let name = Kbuild.syscall_name nr in
+    emit_event t
+      (Telemetry.Event.Syscall_enter { nr; name; pid = t.current.pid });
     kernel_entry ?trap_charged t;
     List.iteri (fun idx v -> Cpu.set_reg t.cpu (Insn.R idx) v) args;
     Cpu.set_reg t.cpu (Insn.R 28) t.current.va;
@@ -386,6 +453,11 @@ let syscall_gen ?trap_charged t ~nr ~args =
     (match outcome with
     | Ok _ | Killed _ -> kernel_exit t
     | Panicked _ -> ());
+    let result =
+      match outcome with Ok v -> v | Killed _ | Panicked _ -> -1L
+    in
+    emit_event t
+      (Telemetry.Event.Syscall_exit { nr; name; pid = t.current.pid; result });
     outcome
   end
 
@@ -413,6 +485,8 @@ let switch_to t next =
   if t.panicked then Panicked "system halted"
   else begin
     let prev = t.current in
+    emit_event t
+      (Telemetry.Event.Context_switch { from_pid = prev.pid; to_pid = next.pid });
     Cpu.set_el t.cpu El.El1;
     enter_kernel_context t;
     (* the scheduler runs on the outgoing task's kernel stack; establish
@@ -453,6 +527,25 @@ let run_timers t =
     Cpu.set_reg t.cpu (Insn.R 0) (Cpu.cycles t.cpu);
     call_handler t (kernel_symbol t "run_timers")
   end
+
+(* Symbol tables for the telemetry profiler: half-open PC ranges from a
+   placed layout, and the whole kernel (text plus the audited XOM
+   routines, which live outside the image). *)
+let layout_ranges (lay : Asm.layout) =
+  Telemetry.Profile.ranges ~symbols:lay.Asm.symbols
+    ~limit:(Int64.add lay.Asm.base (Int64.of_int lay.Asm.size))
+
+let symbol_ranges t =
+  let text = t.kernel.Kelf.Loader.text_layout in
+  layout_ranges text
+  @ Telemetry.Profile.ranges
+      ~symbols:
+        [
+          ("kernel_key_setter", t.xom.Xom.setter_addr);
+          ("user_key_restore", t.xom.Xom.restore_addr);
+          ("uaccess_authda", t.xom.Xom.uaccess_authda_addr);
+        ]
+      ~limit:(Int64.add t.xom.Xom.base (Int64.of_int t.xom.Xom.bytes))
 
 (* Host-side console drain: what the virtual UART has received. *)
 let console_output t =
@@ -915,9 +1008,8 @@ let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8)
         restore_user_context t task;
         if Cpu.has_pauth t.cpu then begin
           Cpu.set_reg t.cpu (Insn.R 0) task.va;
-          (match Cpu.call t.cpu t.xom.Xom.restore_addr with
-          | Cpu.Sentinel_return -> ()
-          | other -> failwith ("key restore: " ^ Cpu.stop_to_string other));
+          xom_key_call t ~domain:"user" ~err:"key restore: "
+            t.xom.Xom.restore_addr;
           restore_user_context t task
         end;
         Cpu.set_el t.cpu El.El0;
@@ -1026,6 +1118,12 @@ let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8)
            && C.Bruteforce.failures_on t.bruteforce ~cpu:cid >= limit ->
         offline.(cid) <- true;
         offlined := !offlined @ [ cid ];
+        (let core = Machine.core t.machine cid in
+         match Cpu.telemetry core with
+         | Some s ->
+             Telemetry.Sink.emit s ~ts:(Cpu.cycles core)
+               (Telemetry.Event.Quarantine { victim = cid })
+         | None -> ());
         logf t "cpu%d: quarantined after %d PAC failures; offlining" cid
           (C.Bruteforce.failures_on t.bruteforce ~cpu:cid);
         let targets =
@@ -1099,7 +1197,7 @@ let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8)
 (* Boot. *)
 
 let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
-    ?(cost = Cost.cortex_a53) ?(cpus = 1) () =
+    ?(cost = Cost.cortex_a53) ?(cpus = 1) ?(telemetry = false) () =
   (match config.C.Config.scheme with
   | C.Modifier.Chained ->
       failwith
@@ -1110,7 +1208,7 @@ let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
       ());
   if cpus < 1 || cpus > 16 then invalid_arg "System.boot: cpus must be in 1..16";
   let cipher = Qarma.Block.create () in
-  let machine = Machine.create ~cost ~has_pauth ~cipher ~cpus () in
+  let machine = Machine.create ~cost ~has_pauth ~cipher ~cpus ~telemetry () in
   let cpu = Machine.boot_core machine in
   (* Bootloader: map the kernel's working memory (shared by all cores). *)
   Kmem.map_kernel_region cpu ~base:Layout.heap_base ~bytes:Layout.heap_bytes Mmu.rw;

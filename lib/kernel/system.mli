@@ -63,6 +63,7 @@ val boot :
   ?has_pauth:bool ->
   ?cost:Cost.profile ->
   ?cpus:int ->
+  ?telemetry:bool ->
   unit ->
   t
 
@@ -78,6 +79,23 @@ val current : t -> task
 val tasks : t -> task list
 val panicked : t -> bool
 val log : t -> string list
+
+(** [log_events t] — the kernel log with cycle timestamps (the active
+    core's clock at emission), oldest first; lets log lines merge into
+    the trace timeline. *)
+val log_events : t -> (int64 * string) list
+
+(** The machine-wide telemetry hub, when booted with
+    [~telemetry:true]. *)
+val telemetry : t -> Telemetry.Hub.t option
+
+(** Symbol tables for the telemetry profiler, as half-open PC ranges:
+    [symbol_ranges] covers the kernel text plus the audited XOM key
+    routines; [layout_ranges] converts any placed layout (e.g. a
+    loaded module's text). *)
+val symbol_ranges : t -> Telemetry.Profile.sym list
+
+val layout_ranges : Aarch64.Asm.layout -> Telemetry.Profile.sym list
 val bruteforce : t -> Camouflage.Bruteforce.t
 
 (** [oopses t] — every structured oops recorded since boot, oldest

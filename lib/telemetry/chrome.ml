@@ -1,0 +1,230 @@
+(* Track layout: pid 0 = per-core tracks (tid = core id), pid 1 =
+   per-task tracks (tid = task pid). *)
+
+let core_pid = 0
+let task_pid = 1
+
+type item = Span of Event.t * Event.t | Instant of Event.t
+
+(* Pair syscall enter/exit events within one track (same pid, nr and
+   core, exit not before enter); everything unpaired is an instant. *)
+let pair evs =
+  let arr = Array.of_list evs in
+  let n = Array.length arr in
+  let consumed = Array.make n false in
+  let items = ref [] in
+  for i = 0 to n - 1 do
+    if not consumed.(i) then
+      match arr.(i).Event.payload with
+      | Event.Syscall_enter { nr; pid; _ } ->
+          let rec find j =
+            if j >= n then None
+            else if consumed.(j) then find (j + 1)
+            else
+              match arr.(j).Event.payload with
+              | Event.Syscall_exit { nr = nr'; pid = pid'; _ }
+                when nr' = nr && pid' = pid
+                     && arr.(j).Event.cpu = arr.(i).Event.cpu
+                     && arr.(j).Event.ts >= arr.(i).Event.ts ->
+                  Some j
+              | _ -> find (j + 1)
+          in
+          (match find (i + 1) with
+          | Some j ->
+              consumed.(j) <- true;
+              items := Span (arr.(i), arr.(j)) :: !items
+          | None -> items := Instant arr.(i) :: !items)
+      | _ -> items := Instant arr.(i) :: !items
+  done;
+  List.rev !items
+
+let event_name (p : Event.payload) =
+  match p with
+  | Event.Syscall_enter { name; _ } | Event.Syscall_exit { name; _ } -> name
+  | _ -> Event.kind p
+
+let obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> "\"" ^ k ^ "\": " ^ v) fields)
+  ^ "}"
+
+let str s = "\"" ^ Json.escape s ^ "\""
+
+let instant_json ~pid ~tid (ev : Event.t) =
+  obj
+    [
+      ("name", str (event_name ev.payload));
+      ("cat", str (Event.kind ev.payload));
+      ("ph", str "i");
+      ("s", str "t");
+      ("ts", Printf.sprintf "%Ld" ev.ts);
+      ("pid", string_of_int pid);
+      ("tid", string_of_int tid);
+      ("args", obj [ ("desc", str (Event.describe ev.payload)) ]);
+    ]
+
+let span_json ~pid ~tid (enter : Event.t) (exit_ : Event.t) =
+  obj
+    [
+      ("name", str (event_name enter.payload));
+      ("cat", str "syscall");
+      ("ph", str "X");
+      ("ts", Printf.sprintf "%Ld" enter.ts);
+      ("dur", Printf.sprintf "%Ld" (Int64.sub exit_.ts enter.ts));
+      ("pid", string_of_int pid);
+      ("tid", string_of_int tid);
+      ("args", obj [ ("desc", str (Event.describe exit_.payload)) ]);
+    ]
+
+let metadata_json ~pid ~tid ~meta ~name_ =
+  obj
+    [
+      ("name", str meta);
+      ("ph", str "M");
+      ("ts", "0");
+      ("pid", string_of_int pid);
+      ("tid", string_of_int tid);
+      ("args", obj [ ("name", str name_) ]);
+    ]
+
+let track_json ~pid ~tid evs =
+  (* per-track ascending ts: task tracks can interleave cores whose
+     cycle counters differ, so sort locally before pairing *)
+  let evs =
+    List.stable_sort
+      (fun (a : Event.t) (b : Event.t) -> Int64.compare a.ts b.ts)
+      evs
+  in
+  pair evs
+  |> List.map (function
+       | Span (en, ex) -> span_json ~pid ~tid en ex
+       | Instant ev -> instant_json ~pid ~tid ev)
+
+let serialize hub =
+  let events = Hub.events hub in
+  let metadata =
+    metadata_json ~pid:core_pid ~tid:0 ~meta:"process_name" ~name_:"cores"
+    :: metadata_json ~pid:task_pid ~tid:0 ~meta:"process_name" ~name_:"tasks"
+    :: List.concat
+         (List.init (Hub.cpus hub) (fun c ->
+              [
+                metadata_json ~pid:core_pid ~tid:c ~meta:"thread_name"
+                  ~name_:(Printf.sprintf "cpu%d" c);
+              ]))
+  in
+  let core_tracks =
+    List.concat
+      (List.init (Hub.cpus hub) (fun c ->
+           track_json ~pid:core_pid ~tid:c
+             (List.filter (fun (e : Event.t) -> e.cpu = c) events)))
+  in
+  let task_pids =
+    List.filter_map (fun (e : Event.t) -> Event.pid_of e.payload) events
+    |> List.sort_uniq compare
+  in
+  let task_meta =
+    List.map
+      (fun p ->
+        metadata_json ~pid:task_pid ~tid:p ~meta:"thread_name"
+          ~name_:(Printf.sprintf "pid %d" p))
+      task_pids
+  in
+  let task_tracks =
+    List.concat_map
+      (fun p ->
+        track_json ~pid:task_pid ~tid:p
+          (List.filter
+             (fun (e : Event.t) -> Event.pid_of e.payload = Some p)
+             events))
+      task_pids
+  in
+  let all = metadata @ task_meta @ core_tracks @ task_tracks in
+  "{\"traceEvents\": [\n" ^ String.concat ",\n" all
+  ^ "\n], \"displayTimeUnit\": \"ns\"}\n"
+
+let text ?limit hub =
+  let events = Hub.events hub in
+  let events =
+    match limit with
+    | Some n ->
+        let len = List.length events in
+        if len > n then List.filteri (fun i _ -> i >= len - n) events
+        else events
+    | None -> events
+  in
+  let b = Buffer.create 512 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string b (Event.to_string ev);
+      Buffer.add_char b '\n')
+    events;
+  let dropped = Hub.dropped hub in
+  if dropped > 0 then
+    Buffer.add_string b (Printf.sprintf "(%d older events dropped)\n" dropped);
+  Buffer.contents b
+
+let validate text =
+  let ( let* ) = Result.bind in
+  let* doc = Json.parse text in
+  let* events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List evs) -> Ok evs
+    | Some _ -> Error "traceEvents is not an array"
+    | None -> Error "missing traceEvents"
+  in
+  let last : (int * int, int64) Hashtbl.t = Hashtbl.create 16 in
+  let check i ev =
+    let field name =
+      match Json.member name ev with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "event %d: missing %s" i name)
+    in
+    let* name = field "name" in
+    let* () =
+      match name with
+      | Json.Str _ -> Ok ()
+      | _ -> Error (Printf.sprintf "event %d: name is not a string" i)
+    in
+    let* ph = field "ph" in
+    let* ph =
+      match ph with
+      | Json.Str s -> Ok s
+      | _ -> Error (Printf.sprintf "event %d: ph is not a string" i)
+    in
+    let num name =
+      let* v = field name in
+      match v with
+      | Json.Num f -> Ok f
+      | _ -> Error (Printf.sprintf "event %d: %s is not a number" i name)
+    in
+    let* pid = num "pid" in
+    let* tid = num "tid" in
+    if ph = "M" then Ok ()
+    else
+      let* ts = num "ts" in
+      let* () =
+        if ph = "X" then
+          let* dur = num "dur" in
+          if dur < 0.0 then
+            Error (Printf.sprintf "event %d: negative dur" i)
+          else Ok ()
+        else Ok ()
+      in
+      let key = (int_of_float pid, int_of_float tid) in
+      let ts64 = Int64.of_float ts in
+      match Hashtbl.find_opt last key with
+      | Some prev when ts64 < prev ->
+          Error
+            (Printf.sprintf
+               "event %d: ts %Ld before %Ld on track (pid %d, tid %d)" i ts64
+               prev (fst key) (snd key))
+      | _ ->
+          Hashtbl.replace last key ts64;
+          Ok ()
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | ev :: rest ->
+        let* () = check i ev in
+        go (i + 1) rest
+  in
+  go 0 events

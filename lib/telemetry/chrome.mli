@@ -1,0 +1,22 @@
+(** Chrome trace-event serialization (Perfetto / chrome://tracing).
+
+    Layout: process 0 carries one thread ("track") per core, process 1
+    one track per task pid. Matched syscall enter/exit pairs become
+    complete ("X") duration events on both the core track and the
+    task track; everything else is an instant ("i"). Events within a
+    track are emitted in ascending [ts] order, which Perfetto requires
+    and {!validate} checks. Timestamps are core-local cycle counts
+    reported in the [ts] microsecond field — at the model's 1-cycle
+    granularity this gives a faithful relative timeline. *)
+
+(** Full trace-event JSON document for the hub's live events. *)
+val serialize : Hub.t -> string
+
+(** Compact per-line text dump of the merged timeline (newest last).
+    [limit] keeps only the most recent events. *)
+val text : ?limit:int -> Hub.t -> string
+
+(** Validate a serialized trace: well-formed JSON, a [traceEvents]
+    array, every event carrying [name]/[ph]/[ts]/[pid]/[tid], and
+    [ts] monotone non-decreasing within each (pid, tid) track. *)
+val validate : string -> (unit, string) result

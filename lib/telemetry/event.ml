@@ -1,0 +1,56 @@
+type payload =
+  | Syscall_enter of { nr : int; name : string; pid : int }
+  | Syscall_exit of { nr : int; name : string; pid : int; result : int64 }
+  | Context_switch of { from_pid : int; to_pid : int }
+  | Key_switch of { domain : string; pid : int }
+  | Ipi_send of { dst : int; kind : string }
+  | Ipi_receive of { srcs : int list; kind : string }
+  | Auth_failure of { pid : int; va : int64 }
+  | Oops of { pid : int; cause : string }
+  | Injected_fault of { desc : string }
+  | Quarantine of { victim : int }
+  | Log of { line : string }
+
+type t = { ts : int64; cpu : int; payload : payload }
+
+let kind = function
+  | Syscall_enter _ -> "syscall-enter"
+  | Syscall_exit _ -> "syscall-exit"
+  | Context_switch _ -> "context-switch"
+  | Key_switch _ -> "key-switch"
+  | Ipi_send _ -> "ipi-send"
+  | Ipi_receive _ -> "ipi-receive"
+  | Auth_failure _ -> "auth-failure"
+  | Oops _ -> "oops"
+  | Injected_fault _ -> "injected-fault"
+  | Quarantine _ -> "quarantine"
+  | Log _ -> "log"
+
+let describe = function
+  | Syscall_enter { nr; name; pid } ->
+      Printf.sprintf "%s(#%d) pid %d" name nr pid
+  | Syscall_exit { nr; name; pid; result } ->
+      Printf.sprintf "%s(#%d) pid %d -> %Ld" name nr pid result
+  | Context_switch { from_pid; to_pid } ->
+      Printf.sprintf "pid %d -> pid %d" from_pid to_pid
+  | Key_switch { domain; pid } -> Printf.sprintf "%s keys (pid %d)" domain pid
+  | Ipi_send { dst; kind } -> Printf.sprintf "%s -> cpu%d" kind dst
+  | Ipi_receive { srcs; kind } ->
+      Printf.sprintf "%s from [%s]" kind
+        (String.concat "," (List.map string_of_int srcs))
+  | Auth_failure { pid; va } -> Printf.sprintf "pid %d va 0x%Lx" pid va
+  | Oops { pid; cause } -> Printf.sprintf "pid %d: %s" pid cause
+  | Injected_fault { desc } -> desc
+  | Quarantine { victim } -> Printf.sprintf "cpu%d quarantined" victim
+  | Log { line } -> line
+
+let pid_of = function
+  | Syscall_enter { pid; _ } | Syscall_exit { pid; _ } -> Some pid
+  | Context_switch { to_pid; _ } -> Some to_pid
+  | Key_switch { pid; _ } -> Some pid
+  | Auth_failure { pid; _ } | Oops { pid; _ } -> Some pid
+  | Ipi_send _ | Ipi_receive _ | Injected_fault _ | Quarantine _ | Log _ -> None
+
+let to_string t =
+  Printf.sprintf "[%8Ld] cpu%d %-14s %s" t.ts t.cpu (kind t.payload)
+    (describe t.payload)

@@ -1,0 +1,34 @@
+(** Cycle-stamped structured trace events (PR 4 tentpole, layer 2).
+
+    Every variant mirrors one observable transition in the model:
+    syscall boundaries and context/key switches from [Kernel.System],
+    IPIs from [Aarch64.Machine], authentication failures from the
+    exception path, injected faults from [Faultinj], quarantines from
+    [run_smp], plus every kernel log line so the printk stream merges
+    into the same timeline. *)
+
+type payload =
+  | Syscall_enter of { nr : int; name : string; pid : int }
+  | Syscall_exit of { nr : int; name : string; pid : int; result : int64 }
+  | Context_switch of { from_pid : int; to_pid : int }
+  | Key_switch of { domain : string; pid : int }  (** ["kernel"]/["user"] *)
+  | Ipi_send of { dst : int; kind : string }
+  | Ipi_receive of { srcs : int list; kind : string }
+  | Auth_failure of { pid : int; va : int64 }
+  | Oops of { pid : int; cause : string }
+  | Injected_fault of { desc : string }
+  | Quarantine of { victim : int }
+  | Log of { line : string }
+
+type t = { ts : int64;  (** core-local cycle count at emission *) cpu : int; payload : payload }
+
+(** Short stable tag, e.g. ["syscall-enter"]. *)
+val kind : payload -> string
+
+(** Human-readable one-liner for the payload. *)
+val describe : payload -> string
+
+(** Task the event belongs to, when it is task-scoped. *)
+val pid_of : payload -> int option
+
+val to_string : t -> string

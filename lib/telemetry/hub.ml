@@ -1,0 +1,30 @@
+type t = { sinks : Sink.t array }
+
+let create ?ring_depth ~cpus () =
+  if cpus <= 0 then invalid_arg "Hub.create: cpus";
+  { sinks = Array.init cpus (fun cpu -> Sink.create ?ring_depth ~cpu ()) }
+
+let cpus t = Array.length t.sinks
+let sink t i = t.sinks.(i)
+let sinks t = t.sinks
+
+let counters t =
+  Array.fold_left
+    (fun acc s -> Counters.merge acc (Counters.snapshot (Sink.counters s)))
+    Counters.zero t.sinks
+
+let per_cpu t =
+  Array.map (fun s -> Counters.snapshot (Sink.counters s)) t.sinks
+
+let events t =
+  Array.to_list t.sinks
+  |> List.concat_map (fun s -> Ring.to_list (Sink.ring s))
+  |> List.stable_sort (fun (a : Event.t) (b : Event.t) ->
+         match Int64.compare a.ts b.ts with
+         | 0 -> compare a.cpu b.cpu
+         | c -> c)
+
+let dropped t =
+  Array.fold_left (fun acc s -> acc + Ring.dropped (Sink.ring s)) 0 t.sinks
+
+let reset t = Array.iter Sink.reset t.sinks

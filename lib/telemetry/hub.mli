@@ -1,0 +1,23 @@
+(** Machine-wide telemetry: one {!Sink} per core plus merged views.
+    [Aarch64.Machine] creates a hub when booted with telemetry and
+    attaches sink [i] to core [i]. *)
+
+type t
+
+val create : ?ring_depth:int -> cpus:int -> unit -> t
+val cpus : t -> int
+val sink : t -> int -> Sink.t
+val sinks : t -> Sink.t array
+
+(** Merged counter snapshot over all cores. *)
+val counters : t -> Counters.snapshot
+
+val per_cpu : t -> Counters.snapshot array
+
+(** All live events, sorted by (ts, cpu, arrival) — deterministic. *)
+val events : t -> Event.t list
+
+(** Total events overwritten across all rings. *)
+val dropped : t -> int
+
+val reset : t -> unit

@@ -1,0 +1,21 @@
+(** Minimal JSON support for the Chrome serializer and its validator.
+    Hand-rolled on purpose: the container image must not grow a JSON
+    dependency, and the validator only needs well-formedness plus
+    field access. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of value list
+  | Obj of (string * value) list
+
+(** Escape a string for embedding inside JSON quotes. *)
+val escape : string -> string
+
+(** Strict-enough recursive-descent parse of a complete document;
+    trailing garbage is an error. *)
+val parse : string -> (value, string) result
+
+val member : string -> value -> value option

@@ -1,0 +1,37 @@
+type t = {
+  buf : Event.t option array;
+  mutable pos : int;  (* next write slot *)
+  mutable total : int;
+}
+
+let create ~depth =
+  if depth <= 0 then invalid_arg "Ring.create: depth";
+  { buf = Array.make depth None; pos = 0; total = 0 }
+
+let depth t = Array.length t.buf
+
+let push t ev =
+  t.buf.(t.pos) <- Some ev;
+  t.pos <- (t.pos + 1) mod Array.length t.buf;
+  t.total <- t.total + 1
+
+let length t = min t.total (Array.length t.buf)
+let pushed t = t.total
+let dropped t = max 0 (t.total - Array.length t.buf)
+
+let to_list t =
+  let n = Array.length t.buf in
+  let acc = ref [] in
+  for i = 1 to n do
+    (* newest is at pos-1; walk backwards collecting into acc so the
+       result comes out oldest-first *)
+    match t.buf.((t.pos - i + (2 * n)) mod n) with
+    | Some ev -> acc := ev :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.pos <- 0;
+  t.total <- 0

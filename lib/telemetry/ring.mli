@@ -1,0 +1,23 @@
+(** Bounded per-core event ring. Oldest entries are overwritten once
+    [depth] events are live; [dropped] counts the overwrites so a
+    truncated trace is never mistaken for a complete one. *)
+
+type t
+
+(** @raise Invalid_argument if [depth <= 0]. *)
+val create : depth:int -> t
+
+val depth : t -> int
+val push : t -> Event.t -> unit
+val length : t -> int
+
+(** Total events ever pushed. *)
+val pushed : t -> int
+
+(** [max 0 (pushed - depth)]. *)
+val dropped : t -> int
+
+(** Live events, oldest first. *)
+val to_list : t -> Event.t list
+
+val clear : t -> unit

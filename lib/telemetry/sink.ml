@@ -1,0 +1,43 @@
+type t = {
+  cpu : int;
+  counters : Counters.t;
+  ring : Ring.t;
+  profile : Profile.t;
+  mutable origin_override : Profile.origin option;
+}
+
+let default_ring_depth = 4096
+
+let create ?(ring_depth = default_ring_depth) ~cpu () =
+  {
+    cpu;
+    counters = Counters.create ();
+    ring = Ring.create ~depth:ring_depth;
+    profile = Profile.create ();
+    origin_override = None;
+  }
+
+let cpu t = t.cpu
+let counters t = t.counters
+let ring t = t.ring
+let profile t = t.profile
+
+let emit t ~ts payload = Ring.push t.ring { Event.ts; cpu = t.cpu; payload }
+
+let retire t ~pc ~cls ~origin ~cycles =
+  Counters.retire t.counters ~cls ~cycles;
+  let origin =
+    match t.origin_override with Some o -> o | None -> origin
+  in
+  Profile.record t.profile ~pc ~origin ~cycles
+
+let with_origin t o f =
+  let saved = t.origin_override in
+  t.origin_override <- Some o;
+  Fun.protect ~finally:(fun () -> t.origin_override <- saved) f
+
+let reset t =
+  Counters.reset t.counters;
+  Ring.clear t.ring;
+  Profile.reset t.profile;
+  t.origin_override <- None

@@ -1,0 +1,34 @@
+(** One per-core telemetry endpoint: a counter file, a bounded event
+    ring and an attribution profile. The interpreter holds at most one
+    sink per core ([Cpu.attach_telemetry]); when absent, the whole
+    subsystem costs one [option] match per instruction. *)
+
+type t
+
+val create : ?ring_depth:int -> cpu:int -> unit -> t
+val cpu : t -> int
+val counters : t -> Counters.t
+val ring : t -> Ring.t
+val profile : t -> Profile.t
+
+(** Stamp and enqueue a structured event. *)
+val emit : t -> ts:int64 -> Event.payload -> unit
+
+(** Record one retired instruction into both the counter file and the
+    profile. An active {!with_origin} override wins over [origin]. *)
+val retire :
+  t ->
+  pc:int64 ->
+  cls:Counters.insn_class ->
+  origin:Profile.origin ->
+  cycles:int ->
+  unit
+
+(** [with_origin t o f] — attribute every instruction retired during
+    [f ()] to origin [o] (used around the XOM key-switch calls, whose
+    generated code is otherwise indistinguishable from baseline ALU).
+    Restores the previous override even on exception. *)
+val with_origin : t -> Profile.origin -> (unit -> 'a) -> 'a
+
+(** Reset counters, ring and profile (e.g. before a measured window). *)
+val reset : t -> unit

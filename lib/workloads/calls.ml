@@ -72,6 +72,88 @@ let schemes =
     ("Camouflage (32b SP + 32b fn addr)", C.Config.backward_only);
   ]
 
+(* Attribution variant of the same probe (PR 4): boot with telemetry,
+   reset the profiler before the measured window, and bucket every
+   retired cycle by symbol and instrumentation origin. The measured
+   window runs only module code, so the profiler accounts for 100% of
+   the cycle delta. *)
+
+type attribution = {
+  attr_label : string;
+  attr_cycles_per_call : float;
+  attr_added_per_call : float;  (** vs the baseline in the same run *)
+  attr_by_origin : (Telemetry.Profile.origin * int64) list;
+      (** window totals per origin *)
+  attr_cfi_cycles : int64;  (** non-baseline-origin cycles in the window *)
+  attr_added_cycles : int64;  (** window total minus the baseline's *)
+  attr_fraction : float;
+      (** cfi / added — the share of added cycles attributed to a named
+          instrumentation origin (1.0 when nothing was added) *)
+  attr_flat : Telemetry.Profile.line list;
+  attr_folded : string;
+}
+
+let attribute_one config ~calls =
+  let sys = K.System.boot ~config ~seed:11L ~telemetry:true () in
+  match K.System.load_module sys (bench_module config ~calls) with
+  | Result.Error e -> failwith (Kelf.Loader.error_to_string e)
+  | Result.Ok placed ->
+      let cpu = K.System.cpu sys in
+      Cpu.set_el cpu El.El1;
+      Cpu.set_sp_of cpu El.El1
+        (K.Layout.task_stack_top ~slot:(K.System.current sys).K.System.slot);
+      let s =
+        match Cpu.telemetry cpu with Some s -> s | None -> assert false
+      in
+      let prof = Telemetry.Sink.profile s in
+      Telemetry.Profile.reset prof;
+      let before = Cpu.cycles cpu in
+      (match Cpu.call ~max_insns:100_000_000 cpu (Kelf.Loader.symbol placed "caller") with
+      | Cpu.Sentinel_return -> ()
+      | other -> failwith ("call bench: " ^ Cpu.stop_to_string other));
+      let total = Int64.sub (Cpu.cycles cpu) before in
+      let symbols =
+        K.System.layout_ranges placed.Kelf.Loader.text_layout
+        @ K.System.symbol_ranges sys
+      in
+      ( total,
+        Telemetry.Profile.by_origin prof,
+        Telemetry.Profile.flat prof ~symbols,
+        Telemetry.Profile.folded prof ~symbols )
+
+let attribute ?(calls = 10_000) () =
+  let runs =
+    List.map
+      (fun (label, config) -> (label, attribute_one config ~calls))
+      schemes
+  in
+  let baseline_total =
+    match runs with (_, (total, _, _, _)) :: _ -> total | [] -> assert false
+  in
+  List.map
+    (fun (attr_label, (total, by_origin, flat, folded)) ->
+      let cfi =
+        List.fold_left
+          (fun acc (o, c) ->
+            if Telemetry.Profile.is_cfi o then Int64.add acc c else acc)
+          0L by_origin
+      in
+      let added = Int64.sub total baseline_total in
+      {
+        attr_label;
+        attr_cycles_per_call = Int64.to_float total /. float_of_int calls;
+        attr_added_per_call = Int64.to_float added /. float_of_int calls;
+        attr_by_origin = by_origin;
+        attr_cfi_cycles = cfi;
+        attr_added_cycles = added;
+        attr_fraction =
+          (if Int64.compare added 0L <= 0 then 1.0
+           else Int64.to_float cfi /. Int64.to_float added);
+        attr_flat = flat;
+        attr_folded = folded;
+      })
+    runs
+
 let measure ?(calls = 10_000) () =
   let profile = Cost.cortex_a53 in
   let results =

@@ -24,3 +24,25 @@ val measure_one : Camouflage.Config.t -> calls:int -> int64
     only way to measure the chained scheme, which cannot boot the
     kernel. *)
 val measure_bare : ?cost:Aarch64.Cost.profile -> Camouflage.Config.t -> calls:int -> int64
+
+(** Per-scheme cycle attribution of the same probe, from the telemetry
+    profiler: where the added cycles land (signing, authentication,
+    modifier arithmetic, key switches) rather than just how many. *)
+type attribution = {
+  attr_label : string;
+  attr_cycles_per_call : float;
+  attr_added_per_call : float;  (** vs the baseline in the same run *)
+  attr_by_origin : (Telemetry.Profile.origin * int64) list;
+      (** window totals per origin *)
+  attr_cfi_cycles : int64;  (** non-baseline-origin cycles in the window *)
+  attr_added_cycles : int64;  (** window total minus the baseline's *)
+  attr_fraction : float;
+      (** cfi / added — the share of added cycles attributed to a named
+          instrumentation origin (1.0 when nothing was added) *)
+  attr_flat : Telemetry.Profile.line list;
+  attr_folded : string;  (** flamegraph.pl-compatible folded stacks *)
+}
+
+(** [attribute ?calls ()] — one entry per scheme of {!measure}'s list,
+    first entry the baseline. *)
+val attribute : ?calls:int -> unit -> attribution list

@@ -22,5 +22,6 @@ let () =
       ("properties", Test_properties.suite);
       ("fuzz", Test_fuzz.suite);
       ("faultinj", Test_faultinj.suite);
+      ("telemetry", Test_telemetry.suite);
       ("misc", Test_misc.suite);
     ]

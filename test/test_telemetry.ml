@@ -1,0 +1,412 @@
+(* PR 4: the telemetry subsystem. Counter-file invariants (per-class
+   sums, same-seed reproducibility), event-trace determinism under
+   run_smp, Chrome trace-event validation, and a QCheck property that
+   attaching a sink never changes architectural state or cycle
+   totals — observation must be pure. *)
+
+open Aarch64
+module C = Camouflage
+module K = Kernel
+module T = Telemetry
+
+let user_entry sys ~rounds =
+  let layout =
+    K.System.map_user_program sys (Workloads.Smp.throughput_program ~rounds)
+  in
+  Asm.symbol layout "throughput"
+
+(* Boot, run an 8-task SMP workload, hand back the system. *)
+let smp_run ~seed ~cpus =
+  let sys = K.System.boot ~seed ~cpus ~telemetry:true () in
+  let entry = user_entry sys ~rounds:15 in
+  let tasks = List.init 8 (fun _ -> K.System.spawn_user_task sys ~entry) in
+  let stats = K.System.run_smp ~quantum:500 sys ~tasks in
+  (sys, stats)
+
+let hub sys =
+  match K.System.telemetry sys with
+  | Some h -> h
+  | None -> Alcotest.fail "telemetry boot carries no hub"
+
+(* --- counter invariants ------------------------------------------- *)
+
+let test_class_sums_equal_retired () =
+  let sys, _ = smp_run ~seed:7L ~cpus:4 in
+  let h = hub sys in
+  Array.iteri
+    (fun cid snap ->
+      let by_class = Array.fold_left Int64.add 0L snap.T.Counters.classes in
+      Alcotest.(check int64)
+        (Printf.sprintf "cpu%d: per-class counts sum to retired" cid)
+        snap.T.Counters.retired by_class)
+    (T.Hub.per_cpu h);
+  let merged = T.Hub.counters h in
+  Alcotest.(check bool) "work retired" true
+    (Int64.compare merged.T.Counters.retired 0L > 0);
+  Alcotest.(check bool) "cycles >= retired (every insn costs >= 1)" true
+    (Int64.compare merged.T.Counters.cycles merged.T.Counters.retired >= 0)
+
+let test_discrete_counters_move () =
+  let sys, _ = smp_run ~seed:7L ~cpus:4 in
+  let merged = T.Hub.counters (hub sys) in
+  Alcotest.(check bool) "key installs observed" true
+    (Int64.compare merged.T.Counters.key_installs 0L > 0);
+  Alcotest.(check bool) "exception entries observed" true
+    (Int64.compare merged.T.Counters.exception_entries 0L > 0);
+  Alcotest.(check bool) "mmu walks observed" true
+    (Int64.compare merged.T.Counters.mmu_walks 0L > 0);
+  Alcotest.(check bool) "pauth signing observed" true
+    (Int64.compare (T.Counters.pac_ops merged) 0L > 0);
+  Alcotest.(check bool) "pauth authentication observed" true
+    (Int64.compare (T.Counters.aut_ops merged) 0L > 0)
+
+let test_same_seed_counters_identical () =
+  let snap_of () =
+    let sys, _ = smp_run ~seed:11L ~cpus:4 in
+    (T.Hub.counters (hub sys), T.Hub.per_cpu (hub sys))
+  in
+  let a = snap_of () and b = snap_of () in
+  Alcotest.(check bool) "same seed: identical counter files" true (a = b)
+
+let test_diff_and_merge () =
+  let c = T.Counters.create () in
+  T.Counters.retire c ~cls:T.Counters.Alu ~cycles:3;
+  T.Counters.retire c ~cls:T.Counters.Load ~cycles:2;
+  let mid = T.Counters.snapshot c in
+  T.Counters.retire c ~cls:T.Counters.Pac ~cycles:4;
+  T.Counters.count_key_install c;
+  let after = T.Counters.snapshot c in
+  let d = T.Counters.diff ~after ~before:mid in
+  Alcotest.(check int64) "diff retired" 1L d.T.Counters.retired;
+  Alcotest.(check int64) "diff cycles" 4L d.T.Counters.cycles;
+  Alcotest.(check int64) "diff key installs" 1L d.T.Counters.key_installs;
+  let m = T.Counters.merge mid d in
+  Alcotest.(check bool) "merge(before, diff) = after" true (m = after)
+
+(* --- trace determinism and the event ring ------------------------- *)
+
+let test_run_smp_trace_deterministic () =
+  let events () =
+    let sys, _ = smp_run ~seed:11L ~cpus:4 in
+    T.Hub.events (hub sys)
+  in
+  let a = events () and b = events () in
+  Alcotest.(check int) "same event count" (List.length a) (List.length b);
+  Alcotest.(check bool) "same seed: byte-identical event streams" true (a = b);
+  Alcotest.(check bool) "trace is non-trivial" true (List.length a > 50)
+
+let test_trace_covers_event_kinds () =
+  let sys, _ = smp_run ~seed:7L ~cpus:4 in
+  let kinds =
+    List.sort_uniq compare
+      (List.map (fun e -> T.Event.kind e.T.Event.payload) (T.Hub.events (hub sys)))
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (Printf.sprintf "%s events present" k) true
+        (List.mem k kinds))
+    [ "syscall-enter"; "syscall-exit"; "context-switch"; "key-switch" ]
+
+let test_ring_bounds () =
+  let r = T.Ring.create ~depth:4 in
+  for i = 1 to 10 do
+    T.Ring.push r
+      { T.Event.ts = Int64.of_int i; cpu = 0; payload = T.Event.Log { line = "x" } }
+  done;
+  Alcotest.(check int) "length capped at depth" 4 (T.Ring.length r);
+  Alcotest.(check int) "pushed counts all" 10 (T.Ring.pushed r);
+  Alcotest.(check int) "dropped = pushed - depth" 6 (T.Ring.dropped r);
+  (match T.Ring.to_list r with
+  | { T.Event.ts = 7L; _ } :: _ -> ()
+  | e :: _ -> Alcotest.failf "oldest survivor has ts %Ld, want 7" e.T.Event.ts
+  | [] -> Alcotest.fail "ring empty");
+  Alcotest.check_raises "depth must be positive"
+    (Invalid_argument "Ring.create: depth") (fun () ->
+      ignore (T.Ring.create ~depth:0))
+
+(* --- pure observation: telemetry never perturbs the machine ------- *)
+
+let gen_insn =
+  QCheck2.Gen.(
+    let open Insn in
+    let reg = map (fun n -> R n) (int_range 0 15) in
+    let imm16 = int_range 0 0xffff in
+    let imm12 = int_range 0 4095 in
+    oneof
+      [
+        return Nop;
+        map3 (fun r v s -> Movz (r, v, s)) reg imm16
+          (map (fun s -> 16 * s) (int_range 0 3));
+        map2 (fun a b -> Mov (a, b)) reg reg;
+        map3 (fun a b v -> Add_imm (a, b, v)) reg reg imm12;
+        map3 (fun a b v -> Sub_imm (a, b, v)) reg reg imm12;
+        map3 (fun a b c -> Add_reg (a, b, c)) reg reg reg;
+        map2 (fun k r -> Pac (k, r, SP)) (oneofl Sysreg.[ IA; IB ]) reg;
+        map (fun r -> Xpac r) reg;
+      ])
+
+let gen_body = QCheck2.Gen.(list_size (int_range 1 40) gen_insn)
+
+let run_body ~telemetry body =
+  let cpu = Bare.machine ~seed:42L () in
+  if telemetry then Cpu.attach_telemetry cpu (T.Sink.create ~cpu:0 ());
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"f" (List.map Asm.ins body @ [ Asm.ins Insn.Ret ]);
+  let layout = Bare.load cpu prog in
+  for idx = 0 to 15 do
+    Cpu.set_reg cpu (Insn.R idx) (Int64.of_int ((idx * 7919) + 13))
+  done;
+  match Bare.call cpu layout "f" with
+  | Cpu.Sentinel_return ->
+      (List.init 16 (fun i -> Cpu.reg cpu (Insn.R i)), Cpu.cycles cpu)
+  | other -> Alcotest.failf "probe run: %s" (Cpu.stop_to_string other)
+
+let prop_telemetry_is_pure =
+  QCheck2.Test.make
+    ~name:"attaching telemetry never changes architectural state or cycles"
+    ~count:100 gen_body (fun body ->
+      run_body ~telemetry:false body = run_body ~telemetry:true body)
+
+let test_boot_identical_with_telemetry () =
+  let fingerprint ~telemetry =
+    let sys = K.System.boot ~seed:7L ~cpus:4 ~telemetry () in
+    let entry = user_entry sys ~rounds:15 in
+    let tasks = List.init 8 (fun _ -> K.System.spawn_user_task sys ~entry) in
+    let stats = K.System.run_smp ~quantum:500 sys ~tasks in
+    ( List.map (fun (c, p, _) -> (c, p)) stats.K.System.smp_exits,
+      stats.K.System.makespan,
+      Array.to_list stats.K.System.per_cpu_cycles,
+      K.System.console_output sys )
+  in
+  Alcotest.(check bool)
+    "telemetry-enabled run is architecturally identical to disabled" true
+    (fingerprint ~telemetry:false = fingerprint ~telemetry:true)
+
+(* --- PMU sysregs -------------------------------------------------- *)
+
+let test_pmu_regs_el0_readable () =
+  List.iter
+    (fun sr ->
+      Alcotest.(check bool)
+        (Sysreg.name sr ^ " is EL0-readable")
+        true (Sysreg.el0_readable sr))
+    Sysreg.
+      [ PMCCNTR_EL0; PMICNTR_EL0; PMEVCNTR0_EL0; PMEVCNTR1_EL0; PMEVCNTR2_EL0 ];
+  Alcotest.(check bool) "SCTLR stays privileged" false
+    (Sysreg.el0_readable Sysreg.SCTLR_EL1);
+  Alcotest.(check bool) "key halves stay privileged" false
+    (Sysreg.el0_readable Sysreg.APIAKeyLo_EL1);
+  Alcotest.(check bool) "PMU regs are not pauth keys" true
+    (List.for_all (fun sr -> not (Sysreg.is_pauth_key sr))
+       [ Sysreg.PMCCNTR_EL0; Sysreg.PMEVCNTR0_EL0 ])
+
+let pmu_probe ~telemetry =
+  let cpu = Bare.machine ~seed:42L () in
+  if telemetry then Cpu.attach_telemetry cpu (T.Sink.create ~cpu:0 ());
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"probe"
+    [
+      Asm.ins (Insn.Pac (Sysreg.IA, Insn.R 0, Insn.SP));
+      Asm.ins (Insn.Pac (Sysreg.IB, Insn.R 1, Insn.SP));
+      Asm.ins (Insn.Aut (Sysreg.IA, Insn.R 0, Insn.SP));
+      Asm.ins (Insn.Mrs (Insn.R 2, Sysreg.PMEVCNTR0_EL0));
+      Asm.ins (Insn.Mrs (Insn.R 3, Sysreg.PMEVCNTR1_EL0));
+      Asm.ins (Insn.Mrs (Insn.R 4, Sysreg.PMCCNTR_EL0));
+      Asm.ins (Insn.Mrs (Insn.R 5, Sysreg.PMICNTR_EL0));
+      Asm.ins Insn.Ret;
+    ];
+  let layout = Bare.load cpu prog in
+  (match Bare.call cpu layout "probe" with
+  | Cpu.Sentinel_return -> ()
+  | other -> Alcotest.failf "pmu probe: %s" (Cpu.stop_to_string other));
+  cpu
+
+let test_pmu_mrs_reads_live_counters () =
+  let cpu = pmu_probe ~telemetry:true in
+  Alcotest.(check int64) "PMEVCNTR0 = pac ops so far" 2L (Cpu.reg cpu (Insn.R 2));
+  Alcotest.(check int64) "PMEVCNTR1 = aut ops so far" 1L (Cpu.reg cpu (Insn.R 3));
+  Alcotest.(check bool) "PMCCNTR tracks the cycle counter" true
+    (Cpu.reg cpu (Insn.R 4) > 0L && Cpu.reg cpu (Insn.R 4) <= Cpu.cycles cpu);
+  Alcotest.(check bool) "PMICNTR counts retirements" true
+    (Cpu.reg cpu (Insn.R 5) >= 4L)
+
+let test_pmu_mrs_reads_zero_without_sink () =
+  let cpu = pmu_probe ~telemetry:false in
+  Alcotest.(check int64) "PMEVCNTR0 reads 0 unmonitored" 0L (Cpu.reg cpu (Insn.R 2));
+  Alcotest.(check int64) "PMEVCNTR1 reads 0 unmonitored" 0L (Cpu.reg cpu (Insn.R 3))
+
+(* --- dump_state --------------------------------------------------- *)
+
+let test_dump_state_counters () =
+  let with_sink = Cpu.dump_state (pmu_probe ~telemetry:true) in
+  let without = Cpu.dump_state (pmu_probe ~telemetry:false) in
+  let has_counters s =
+    let needle = "counters:" in
+    let n = String.length needle and len = String.length s in
+    let rec scan i = i + n <= len && (String.sub s i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "sink attached: dump carries counters" true
+    (has_counters with_sink);
+  Alcotest.(check bool) "no sink: no counters line" false (has_counters without)
+
+let test_dump_state_full_trace_default () =
+  let cpu = Bare.machine ~seed:42L ~trace_depth:64 () in
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"f"
+    (List.init 60 (fun _ -> Asm.ins Insn.Nop) @ [ Asm.ins Insn.Ret ]);
+  let layout = Bare.load cpu prog in
+  ignore (Bare.call cpu layout "f");
+  let count_lines needle s =
+    let n = ref 0 in
+    String.iteri
+      (fun i c ->
+        if c = needle.[0] && i + String.length needle <= String.length s
+           && String.sub s i (String.length needle) = needle
+        then incr n)
+      s;
+    !n
+  in
+  let dump = Cpu.dump_state cpu in
+  let limited = Cpu.dump_state ~trace_limit:8 cpu in
+  Alcotest.(check int) "default dump shows the whole ring" 61
+    (count_lines "\n    " dump);
+  Alcotest.(check int) "explicit limit still honoured" 8
+    (count_lines "\n    " limited)
+
+(* --- Chrome trace-event output ------------------------------------ *)
+
+let test_chrome_serialization_validates () =
+  let sys, _ = smp_run ~seed:7L ~cpus:4 in
+  let doc = T.Chrome.serialize (hub sys) in
+  (match T.Chrome.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "serialized trace rejected: %s" e);
+  (match T.Json.parse doc with
+  | Ok (T.Json.Obj kvs) -> (
+      match List.assoc_opt "traceEvents" kvs with
+      | Some (T.Json.List evs) ->
+          Alcotest.(check bool) "trace has events" true (List.length evs > 50)
+      | _ -> Alcotest.fail "no traceEvents array")
+  | Ok _ -> Alcotest.fail "top level is not an object"
+  | Error e -> Alcotest.failf "unparsable: %s" e);
+  let text = T.Chrome.text ~limit:20 (hub sys) in
+  Alcotest.(check bool) "text dump mentions dropped prefix" true
+    (String.length text > 0)
+
+let test_chrome_validate_rejects_bad_traces () =
+  let reject doc what =
+    match T.Chrome.validate doc with
+    | Ok () -> Alcotest.failf "accepted %s" what
+    | Error _ -> ()
+  in
+  reject "{" "truncated JSON";
+  reject {|{"traceEvents": 3}|} "non-array traceEvents";
+  reject
+    {|{"traceEvents": [{"name":"a","ph":"i","ts":5,"pid":0,"tid":0,"s":"t"},
+                       {"name":"b","ph":"i","ts":4,"pid":0,"tid":0,"s":"t"}]}|}
+    "non-monotone ts within a track";
+  reject
+    {|{"traceEvents": [{"ph":"i","ts":5,"pid":0,"tid":0}]}|}
+    "event without a name";
+  match
+    T.Chrome.validate
+      {|{"traceEvents": [{"name":"a","ph":"i","ts":4,"pid":0,"tid":1,"s":"t"},
+                         {"name":"b","ph":"i","ts":2,"pid":0,"tid":2,"s":"t"}]}|}
+  with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "distinct tracks wrongly coupled: %s" e
+
+(* --- kernel integration ------------------------------------------- *)
+
+let test_log_events_cycle_stamped () =
+  let sys = K.System.boot ~seed:7L () in
+  let events = K.System.log_events sys in
+  Alcotest.(check bool) "boot produced log entries" true (List.length events > 0);
+  let rec monotone = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        Int64.compare a b <= 0 && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "log timestamps are monotone cycle counts" true
+    (monotone events);
+  Alcotest.(check bool) "timestamps are non-negative" true
+    (List.for_all (fun (ts, _) -> Int64.compare ts 0L >= 0) events);
+  Alcotest.(check (list string)) "log lines unchanged by stamping"
+    (List.map snd events) (K.System.log sys)
+
+let test_syscall_names () =
+  Alcotest.(check string) "exit" "sys_exit" (K.Kbuild.syscall_name K.Kbuild.sys_exit);
+  Alcotest.(check string) "getpid" "sys_getpid"
+    (K.Kbuild.syscall_name K.Kbuild.sys_getpid);
+  Alcotest.(check string) "out of range" "sys_99" (K.Kbuild.syscall_name 99)
+
+(* --- attribution -------------------------------------------------- *)
+
+let test_attribution_accounts_for_overhead () =
+  let rows = Workloads.Calls.attribute ~calls:2000 () in
+  Alcotest.(check int) "one row per scheme" 4 (List.length rows);
+  let baseline = List.hd rows in
+  Alcotest.(check (float 1e-9)) "baseline adds nothing" 0.0
+    baseline.Workloads.Calls.attr_added_per_call;
+  List.iteri
+    (fun i row ->
+      if i > 0 then begin
+        Alcotest.(check bool)
+          (row.Workloads.Calls.attr_label ^ ": instrumentation adds cycles")
+          true
+          (Int64.compare row.Workloads.Calls.attr_added_cycles 0L > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: >= 95%% of added cycles attributed (got %.1f%%)"
+             row.Workloads.Calls.attr_label
+             (100. *. row.Workloads.Calls.attr_fraction))
+          true
+          (row.Workloads.Calls.attr_fraction >= 0.95)
+      end)
+    rows;
+  let camo = List.nth rows 3 in
+  Alcotest.(check bool) "flat profile names the victim" true
+    (List.exists
+       (fun l -> l.T.Profile.line_symbol = "victim")
+       camo.Workloads.Calls.attr_flat);
+  Alcotest.(check bool) "folded stacks carry origins" true
+    (String.length camo.Workloads.Calls.attr_folded > 0)
+
+let suite =
+  [
+    Alcotest.test_case "per-class counts sum to retired" `Quick
+      test_class_sums_equal_retired;
+    Alcotest.test_case "discrete event counters move" `Quick
+      test_discrete_counters_move;
+    Alcotest.test_case "same seed: identical counters" `Quick
+      test_same_seed_counters_identical;
+    Alcotest.test_case "snapshot diff and merge" `Quick test_diff_and_merge;
+    Alcotest.test_case "run_smp trace is deterministic" `Quick
+      test_run_smp_trace_deterministic;
+    Alcotest.test_case "trace covers the event taxonomy" `Quick
+      test_trace_covers_event_kinds;
+    Alcotest.test_case "event ring is bounded and counts drops" `Quick
+      test_ring_bounds;
+    QCheck_alcotest.to_alcotest prop_telemetry_is_pure;
+    Alcotest.test_case "telemetry boot is architecturally identical" `Quick
+      test_boot_identical_with_telemetry;
+    Alcotest.test_case "PMU sysregs are EL0-readable" `Quick
+      test_pmu_regs_el0_readable;
+    Alcotest.test_case "MRS reads live PMU counters" `Quick
+      test_pmu_mrs_reads_live_counters;
+    Alcotest.test_case "PMU counters read 0 unmonitored" `Quick
+      test_pmu_mrs_reads_zero_without_sink;
+    Alcotest.test_case "dump_state includes the counter file" `Quick
+      test_dump_state_counters;
+    Alcotest.test_case "dump_state defaults to the full trace ring" `Quick
+      test_dump_state_full_trace_default;
+    Alcotest.test_case "Chrome trace serializes and validates" `Quick
+      test_chrome_serialization_validates;
+    Alcotest.test_case "Chrome validator rejects malformed traces" `Quick
+      test_chrome_validate_rejects_bad_traces;
+    Alcotest.test_case "kernel log entries are cycle-stamped" `Quick
+      test_log_events_cycle_stamped;
+    Alcotest.test_case "syscall numbers have names" `Quick test_syscall_names;
+    Alcotest.test_case "profiler attributes the CFI overhead" `Quick
+      test_attribution_accounts_for_overhead;
+  ]
