@@ -39,9 +39,18 @@ let cpus_arg =
   let doc = "Number of simulated cores to boot (1-16)." in
   Arg.(value & opt cpus_conv 1 & info [ "cpus" ] ~docv:"N" ~doc)
 
+let no_icache_arg =
+  let doc =
+    "Disable the simulator's decoded-instruction cache and micro-TLB. \
+     Host speed only: execution is bit-identical either way (same guest \
+     state, cycles, telemetry); this flag exists for differential checks \
+     and debugging."
+  in
+  Arg.(value & flag & info [ "no-icache" ] ~doc)
+
 let boot_cmd =
-  let run config seed cpus =
-    let sys = K.System.boot ~config ~seed ~cpus () in
+  let run config seed cpus no_icache =
+    let sys = K.System.boot ~config ~seed ~cpus ~icache:(not no_icache) () in
     Printf.printf "configuration : %s\n" (C.Config.name config);
     Printf.printf "cores         : %d\n" (K.System.cpus sys);
     (match K.System.unkeyed_cpus sys with
@@ -74,7 +83,8 @@ let boot_cmd =
     List.iter (fun l -> Printf.printf "  %s\n" l) (K.System.log sys)
   in
   let doc = "Boot the protected kernel and print a system report." in
-  Cmd.v (Cmd.info "boot" ~doc) Term.(const run $ config_arg $ seed_arg $ cpus_arg)
+  Cmd.v (Cmd.info "boot" ~doc)
+    Term.(const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg)
 
 let attack_names = [ "rop"; "fops"; "replay"; "temporal"; "bruteforce"; "cred"; "cred-replay" ]
 
@@ -83,8 +93,8 @@ let attack_cmd =
     let doc = Printf.sprintf "Attack to run: %s." (String.concat ", " attack_names) in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK" ~doc)
   in
-  let run config seed cpus name =
-    let sys = K.System.boot ~config ~seed ~cpus () in
+  let run config seed cpus no_icache name =
+    let sys = K.System.boot ~config ~seed ~cpus ~icache:(not no_icache) () in
     Printf.printf "kernel build: %s (%d cores)\n" (C.Config.name config) cpus;
     (match name with
     | "rop" -> Printf.printf "%s\n" (Attacks.Rop.outcome_to_string (Attacks.Rop.run sys))
@@ -116,7 +126,7 @@ let attack_cmd =
   in
   let doc = "Run an attack scenario against the booted kernel." in
   Cmd.v (Cmd.info "attack" ~doc)
-    Term.(const run $ config_arg $ seed_arg $ cpus_arg $ attack_arg)
+    Term.(const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg $ attack_arg)
 
 let census_cmd =
   let run seed =
@@ -151,8 +161,8 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ config_arg)
 
 let integrity_cmd =
-  let run config seed =
-    let sys = K.System.boot ~config ~seed () in
+  let run config seed no_icache =
+    let sys = K.System.boot ~config ~seed ~icache:(not no_icache) () in
     Printf.printf "syscall-table PACGA attestation: %s\n"
       (if K.System.verify_syscall_table sys then "OK" else "MISMATCH");
     (* tamper (bypassing stage 2, modeling a protection lapse) and recheck *)
@@ -162,11 +172,12 @@ let integrity_cmd =
       (if K.System.verify_syscall_table sys then "OK (undetected!)" else "MISMATCH detected")
   in
   let doc = "Demonstrate the PACGA kernel integrity monitor." in
-  Cmd.v (Cmd.info "integrity" ~doc) Term.(const run $ config_arg $ seed_arg)
+  Cmd.v (Cmd.info "integrity" ~doc)
+    Term.(const run $ config_arg $ seed_arg $ no_icache_arg)
 
 (* Boot with telemetry, run the SMP syscall workload, return the hub. *)
-let telemetry_run ~config ~seed ~cpus ~tasks ~rounds =
-  let sys = K.System.boot ~config ~seed ~cpus ~telemetry:true () in
+let telemetry_run ~config ~seed ~cpus ~icache ~tasks ~rounds =
+  let sys = K.System.boot ~config ~seed ~cpus ~icache ~telemetry:true () in
   let layout =
     K.System.map_user_program sys (Workloads.Smp.throughput_program ~rounds)
   in
@@ -200,7 +211,8 @@ let trace_cmd =
     let doc = "Print the telemetry event timeline as text instead of JSON." in
     Arg.(value & flag & info [ "text" ] ~doc)
   in
-  let run config seed cpus chrome validate text =
+  let run config seed cpus no_icache chrome validate text =
+    let icache = not no_icache in
     match (chrome, validate, text) with
     | _, Some path, _ ->
         let ic = open_in_bin path in
@@ -214,7 +226,8 @@ let trace_cmd =
             exit 1)
     | Some path, _, _ ->
         let _, hub, stats =
-          telemetry_run ~config ~seed ~cpus:(max cpus 2) ~tasks:8 ~rounds:20
+          telemetry_run ~config ~seed ~cpus:(max cpus 2) ~icache ~tasks:8
+            ~rounds:20
         in
         let doc = Telemetry.Chrome.serialize hub in
         (match Telemetry.Chrome.validate doc with
@@ -230,11 +243,12 @@ let trace_cmd =
           (Telemetry.Hub.cpus hub) path stats.K.System.makespan
     | None, None, true ->
         let _, hub, _ =
-          telemetry_run ~config ~seed ~cpus:(max cpus 2) ~tasks:8 ~rounds:20
+          telemetry_run ~config ~seed ~cpus:(max cpus 2) ~icache ~tasks:8
+            ~rounds:20
         in
         print_string (Telemetry.Chrome.text ~limit:200 hub)
     | None, None, false ->
-        let sys = K.System.boot ~config ~seed () in
+        let sys = K.System.boot ~config ~seed ~icache () in
         Printf.printf "running the f_ops hijack to provoke a PAC failure...\n";
         Printf.printf "%s\n\n"
           (Attacks.Fptr_hijack.outcome_to_string (Attacks.Fptr_hijack.run sys));
@@ -252,18 +266,19 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      const run $ config_arg $ seed_arg $ cpus_arg $ chrome_arg $ validate_arg
-      $ text_arg)
+      const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg $ chrome_arg
+      $ validate_arg $ text_arg)
 
 let stats_cmd =
   let json_arg =
     let doc = "Emit the merged counter file as a JSON object." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run config seed cpus json =
+  let run config seed cpus no_icache json =
     let cpus = max cpus 2 in
     let _, hub, stats =
-      telemetry_run ~config ~seed ~cpus ~tasks:8 ~rounds:20
+      telemetry_run ~config ~seed ~cpus ~icache:(not no_icache) ~tasks:8
+        ~rounds:20
     in
     let merged = Telemetry.Hub.counters hub in
     if json then print_string (Telemetry.Counters.to_json merged ^ "\n")
@@ -285,7 +300,7 @@ let stats_cmd =
      per-core and merged PMU-style counter files."
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run $ config_arg $ seed_arg $ cpus_arg $ json_arg)
+    Term.(const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg $ json_arg)
 
 let lint_cmd =
   let json_arg =

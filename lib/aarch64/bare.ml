@@ -12,8 +12,8 @@ let map_region ?(el0 = Mmu.no_access) cpu ~base ~pages perm =
       ~el0 ~el1:perm
   done
 
-let machine ?(seed = 0xBA2EL) ?cost ?trace_depth () =
-  let cpu = Cpu.create ?cost ?trace_depth () in
+let machine ?(seed = 0xBA2EL) ?cost ?trace_depth ?(icache = true) () =
+  let cpu = Cpu.create ?cost ?trace_depth ~icache_enabled:icache () in
   map_region cpu ~base:code_base ~pages:16 Mmu.rx;
   map_region cpu ~base:(Int64.sub stack_top 0x20000L) ~pages:32 Mmu.rw;
   map_region cpu ~base:data_base ~pages:4 Mmu.rw;

@@ -16,9 +16,11 @@ val pa_of_va : int64 -> int64
 (** [machine ?seed ()] — a CPU at EL1 with code (rx), stack (rw) and
     data (rw) regions mapped, SP at {!stack_top}, all four enable bits
     set and random keys installed. [trace_depth] is forwarded to
-    {!Cpu.create}. *)
+    {!Cpu.create}; [icache:false] disables the decoded-instruction
+    cache (bit-identical execution, host speed only). *)
 val machine :
-  ?seed:int64 -> ?cost:Cost.profile -> ?trace_depth:int -> unit -> Cpu.t
+  ?seed:int64 -> ?cost:Cost.profile -> ?trace_depth:int -> ?icache:bool ->
+  unit -> Cpu.t
 
 (** [map_region cpu ~base ~pages perm] — add an EL1 mapping. *)
 val map_region : ?el0:Mmu.perm -> Cpu.t -> base:int64 -> pages:int -> Mmu.perm -> unit

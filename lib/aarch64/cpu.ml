@@ -30,16 +30,27 @@ type t = {
   sysregs : (Sysreg.t, int64) Hashtbl.t;
   mem : Mem.t;
   mmu : Mmu.t;
+  (* decoded-instruction cache + micro-TLB over (mem, mmu); possibly
+     shared with sibling cores. Purely host-speed: never guest-visible. *)
+  icache : Icache.t;
   cipher : Qarma.Block.t;
   cost : Cost.profile;
-  mutable cycles : int64;
-  mutable insns_retired : int64;
+  (* native ints, not Int64: these are bumped once per retired
+     instruction on the interpreter hot path and a boxed Int64
+     read-modify-write there costs an allocation per step. 63 bits of
+     cycles outlast any run by orders of magnitude. *)
+  mutable cycles : int;
+  mutable insns_retired : int;
   has_pauth : bool;
   user_cfg : Vaddr.config;
   kernel_cfg : Vaddr.config;
   mutable sysreg_locked : Sysreg.t -> bool;
-  (* ring buffer of recently retired (pc, insn), newest last *)
-  trace : (int64 * Insn.t) option array;
+  (* ring buffer of recently retired (pc, insn), newest last; parallel
+     arrays so a retire stores two fields instead of allocating a
+     [Some (pc, insn)] tuple per instruction. The PC ring is a Bigarray
+     so the store is an unboxed write — no allocation, no GC barrier. *)
+  trace_pc : (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  trace_insn : Insn.t array;
   mutable trace_pos : int;
   id : int;
   (* pre-execute observation point; see set_step_hook *)
@@ -47,6 +58,8 @@ type t = {
   (* telemetry endpoint; None (the default) must leave execution
      bit-identical to a build without telemetry *)
   mutable sink : Telemetry.Sink.t option;
+  (* whether the last [run] took the hook-free fast loop *)
+  mutable last_run_fast : bool;
 }
 
 (* A canonical kernel address that is never mapped: it survives PAC/AUT
@@ -54,10 +67,28 @@ type t = {
    address) and the fetch path checks for it before translation. *)
 let sentinel = 0xffff_ffff_dead_0000L
 
+(* Int64 equality on the step path: generic [=] dispatches through the
+   polymorphic comparator (a C call per instruction). Compare the
+   63-bit truncations first — an int compare — and confirm the rare
+   near-miss with the real Int64 primitive. *)
+let sentinel_lo = Int64.to_int sentinel
+
+let[@inline] is_sentinel pc =
+  Int64.to_int pc = sentinel_lo && Int64.equal pc sentinel
+
+let[@inline] is_zero64 v = Int64.to_int v = 0 && Int64.equal v 0L
+
 let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linux_user)
     ?(kernel_cfg = Vaddr.linux_kernel) ?(cipher = Qarma.Block.create ()) ?mem ?mmu
-    ?(trace_depth = 32) ?(id = 0) () =
+    ?icache ?(icache_enabled = true) ?(trace_depth = 32) ?(id = 0) () =
   if trace_depth <= 0 then invalid_arg "Cpu.create: trace_depth";
+  let mem = match mem with Some m -> m | None -> Mem.create () in
+  let mmu = match mmu with Some m -> m | None -> Mmu.create () in
+  let icache =
+    match icache with
+    | Some i -> i
+    | None -> Icache.create ~enabled:icache_enabled ~mem ~mmu ()
+  in
   {
     regs = Array.make 31 0L;
     sp_el0 = 0L;
@@ -67,25 +98,32 @@ let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linu
     el = El.El1;
     flags = { n = false; z = false; v = false; c = false };
     sysregs = Hashtbl.create 32;
-    mem = (match mem with Some m -> m | None -> Mem.create ());
-    mmu = (match mmu with Some m -> m | None -> Mmu.create ());
+    mem;
+    mmu;
+    icache;
     cipher;
     cost;
-    cycles = 0L;
-    insns_retired = 0L;
+    cycles = 0;
+    insns_retired = 0;
     has_pauth;
     user_cfg;
     kernel_cfg;
     sysreg_locked = (fun _ -> false);
-    trace = Array.make trace_depth None;
+    trace_pc =
+      (let a = Bigarray.Array1.create Bigarray.Int64 Bigarray.C_layout trace_depth in
+       Bigarray.Array1.fill a 0L;
+       a);
+    trace_insn = Array.make trace_depth Insn.Nop;
     trace_pos = 0;
     id;
     step_hook = None;
     sink = None;
+    last_run_fast = false;
   }
 
 let mem t = t.mem
 let mmu t = t.mmu
+let icache t = t.icache
 let id t = t.id
 let cipher t = t.cipher
 let cost_profile t = t.cost
@@ -109,21 +147,23 @@ let set_sp_of t el v =
   | El.El1 -> t.sp_el1 <- v
   | El.El2 -> t.sp_el2 <- v
 
+(* [R n] is validated at decode/assembly time (n < 31), so the register
+   file skips the bounds check on the hot path. *)
 let reg t = function
-  | Insn.R n -> t.regs.(n)
+  | Insn.R n -> Array.unsafe_get t.regs n
   | Insn.XZR -> 0L
   | Insn.SP -> sp_of t t.el
 
 let set_reg t r v =
   match r with
-  | Insn.R n -> t.regs.(n) <- v
+  | Insn.R n -> Array.unsafe_set t.regs n v
   | Insn.XZR -> ()
   | Insn.SP -> set_sp_of t t.el v
 
 let sysreg t sr =
   match sr with
-  | Sysreg.CNTVCT_EL0 | Sysreg.PMCCNTR_EL0 -> t.cycles
-  | Sysreg.PMICNTR_EL0 -> t.insns_retired
+  | Sysreg.CNTVCT_EL0 | Sysreg.PMCCNTR_EL0 -> Int64.of_int t.cycles
+  | Sysreg.PMICNTR_EL0 -> Int64.of_int t.insns_retired
   | Sysreg.PMEVCNTR0_EL0 | Sysreg.PMEVCNTR1_EL0 | Sysreg.PMEVCNTR2_EL0 -> (
       (* event counters read 0 unless a telemetry sink is attached *)
       match t.sink with
@@ -136,15 +176,24 @@ let sysreg t sr =
           | _ -> Telemetry.Counters.live_auth_failures c))
   | _ -> ( match Hashtbl.find_opt t.sysregs sr with Some v -> v | None -> 0L)
 
-let set_sysreg t sr v = Hashtbl.replace t.sysregs sr v
+(* Writes to the MMU-control registers (TTBR0/TTBR1/SCTLR) or the ASID
+   register flush the decoded-instruction cache: an address-space or
+   translation-regime change may invalidate every cached decode. PAuth
+   key registers are deliberately exempt — keys affect execution, never
+   decode or translation, and the XOM setter rewrites them on every
+   kernel entry. *)
+let set_sysreg t sr v =
+  Hashtbl.replace t.sysregs sr v;
+  if Sysreg.is_mmu_control sr || sr = Sysreg.CONTEXTIDR_EL1 then
+    Icache.flush t.icache
 
 let pc t = t.pc
 let set_pc t v = t.pc <- v
 let el t = t.el
 let set_el t e = t.el <- e
-let cycles t = t.cycles
-let insns_retired t = t.insns_retired
-let charge t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
+let cycles t = Int64.of_int t.cycles
+let insns_retired t = Int64.of_int t.insns_retired
+let charge t n = t.cycles <- t.cycles + n
 let set_sysreg_lock t f = t.sysreg_locked <- f
 let set_step_hook t h = t.step_hook <- h
 let attach_telemetry t s = t.sink <- Some s
@@ -231,14 +280,6 @@ let origin_of_insn insn =
       if List.exists reserved defs || List.exists reserved uses then Cfi_modifier
       else Baseline
 
-let translate t ~access va =
-  (match t.sink with
-  | Some s -> Telemetry.Counters.count_mmu_walk (Telemetry.Sink.counters s)
-  | None -> ());
-  match Mmu.translate t.mmu ~el:t.el ~access va with
-  | Ok pa -> Ok pa
-  | Error f -> Error (Fault { fault = Mmu_fault f; pc = t.pc })
-
 (* PAC helpers used by the instruction semantics. *)
 
 let do_pac t key ptr modifier =
@@ -295,18 +336,34 @@ let cond_holds t = function
 
 exception Stop of stop
 
+(* Data-side accesses. The walk counter counts architectural walks,
+   which the micro-TLB does not change: it bumps once per translation
+   request whether the result comes from the cache or the tables,
+   keeping telemetry bit-identical across cache configurations.
+   [Icache.Translate_fault] propagates to the step loops, which convert
+   it to a [Stop] with the current PC (unchanged until retirement
+   bookkeeping is done, so the faulting PC is exact). *)
+let[@inline] count_walk t =
+  match t.sink with
+  | Some s -> Telemetry.Counters.count_mmu_walk (Telemetry.Sink.counters s)
+  | None -> ()
+
 let load t ~access ~width va =
-  match translate t ~access va with
-  | Error s -> raise (Stop s)
-  | Ok pa -> ( match width with `B -> Int64.of_int (Mem.read8 t.mem pa) | `X -> Mem.read64 t.mem pa)
+  count_walk t;
+  match width with
+  | `X -> Icache.read64_exn t.icache ~el:t.el va
+  | `B ->
+      Int64.of_int
+        (Mem.read8 t.mem (Icache.translate_exn t.icache ~el:t.el ~access va))
 
 let store t ~width va v =
-  match translate t ~access:Mmu.Write va with
-  | Error s -> raise (Stop s)
-  | Ok pa -> (
-      match width with
-      | `B -> Mem.write8 t.mem pa (Int64.to_int (Int64.logand v 0xffL))
-      | `X -> Mem.write64 t.mem pa v)
+  count_walk t;
+  match width with
+  | `X -> Icache.write64_exn t.icache ~el:t.el va v
+  | `B ->
+      Mem.write8 t.mem
+        (Icache.translate_exn t.icache ~el:t.el ~access:Mmu.Write va)
+        (Int64.to_int (Int64.logand v 0xffL))
 
 
 (* Execute one decoded instruction. The PC has NOT yet been advanced;
@@ -404,8 +461,9 @@ let execute t insn ~next =
       set_reg t Insn.lr next;
       branch target
   | Insn.Ret -> branch (reg t Insn.lr)
-  | Insn.Cbz (rn, target) -> if reg t rn = 0L then branch target else fallthrough ()
-  | Insn.Cbnz (rn, target) -> if reg t rn <> 0L then branch target else fallthrough ()
+  | Insn.Cbz (rn, target) -> if is_zero64 (reg t rn) then branch target else fallthrough ()
+  | Insn.Cbnz (rn, target) ->
+      if not (is_zero64 (reg t rn)) then branch target else fallthrough ()
   | Insn.Bcond (c, target) -> if cond_holds t c then branch target else fallthrough ()
   | Insn.Pac (k, rd, rm) ->
       set_reg t rd (do_pac t k (reg t rd) (reg t rm));
@@ -467,54 +525,101 @@ let execute t insn ~next =
       t.pc <- next;
       raise (Stop (Hlt imm))
 
+(* Fetch one instruction through the decoded-instruction cache,
+   mapping cache-level errors to machine stops. The instruction-side
+   walk counter bumps once per fetch regardless of a hit or miss. *)
+let fetch t =
+  (match t.sink with
+  | Some s -> Telemetry.Counters.count_mmu_walk (Telemetry.Sink.counters s)
+  | None -> ());
+  match Icache.fetch t.icache ~el:t.el t.pc with
+  | Ok insn -> Ok insn
+  | Error (Icache.Fetch_fault f) -> Error (Fault { fault = Mmu_fault f; pc = t.pc })
+  | Error (Icache.Fetch_undefined word) ->
+      Error (Fault { fault = Undefined_instruction word; pc = t.pc })
+
+(* Retirement bookkeeping common to both step paths. Allocation-free:
+   the trace ring keeps pc and insn in parallel arrays, and the number
+   of valid entries is [min insns_retired depth] since every retire
+   writes one. *)
+let retire t insn cost =
+  t.cycles <- t.cycles + cost;
+  t.insns_retired <- t.insns_retired + 1;
+  Bigarray.Array1.unsafe_set t.trace_pc t.trace_pos t.pc;
+  Array.unsafe_set t.trace_insn t.trace_pos insn;
+  t.trace_pos <- (t.trace_pos + 1) mod Array.length t.trace_insn
+
 let step t =
-  if t.pc = sentinel then Some Sentinel_return
+  if is_sentinel t.pc then Some Sentinel_return
   else begin
-    match translate t ~access:Mmu.Exec t.pc with
+    match fetch t with
     | Error s -> Some s
-    | Ok pa -> (
-        let word = Mem.read32 t.mem pa in
-        match Encode.decode ~pc:t.pc word with
-        | None -> Some (Fault { fault = Undefined_instruction word; pc = t.pc })
-        | Some insn -> (
-            let action =
-              match t.step_hook with
-              | None -> Exec
-              | Some h -> h t ~pc:t.pc insn
-            in
-            let cost = cost_of t insn in
-            charge t cost;
-            t.insns_retired <- Int64.add t.insns_retired 1L;
-            t.trace.(t.trace_pos) <- Some (t.pc, insn);
-            t.trace_pos <- (t.trace_pos + 1) mod Array.length t.trace;
-            (match t.sink with
-            | None -> ()
-            | Some s ->
-                Telemetry.Sink.retire s ~pc:t.pc ~cls:(class_of_insn insn)
-                  ~origin:(origin_of_insn insn) ~cycles:cost);
-            let next = Int64.add t.pc 4L in
-            match action with
-            | Skip ->
-                (* the instruction issues (is fetched, charged and traced)
-                   but its effects are suppressed: the PC just advances *)
-                t.pc <- next;
-                None
-            | Exec -> (
-                try
-                  execute t insn ~next;
-                  None
-                with Stop s -> Some s)))
+    | Ok insn -> (
+        let action =
+          match t.step_hook with
+          | None -> Exec
+          | Some h -> h t ~pc:t.pc insn
+        in
+        let cost = cost_of t insn in
+        retire t insn cost;
+        (match t.sink with
+        | None -> ()
+        | Some s ->
+            Telemetry.Sink.retire s ~pc:t.pc ~cls:(class_of_insn insn)
+              ~origin:(origin_of_insn insn) ~cycles:cost);
+        let next = Int64.add t.pc 4L in
+        match action with
+        | Skip ->
+            (* the instruction issues (is fetched, charged and traced)
+               but its effects are suppressed: the PC just advances *)
+            t.pc <- next;
+            None
+        | Exec -> (
+            try
+              execute t insn ~next;
+              None
+            with
+            | Stop s -> Some s
+            | Icache.Translate_fault f ->
+                Some (Fault { fault = Mmu_fault f; pc = t.pc })))
   end
 
 let run ?(max_insns = 10_000_000) t =
-  let rec go budget =
-    if budget <= 0 then Insn_limit
-    else
-      match step t with
-      | Some s -> s
-      | None -> go (budget - 1)
-  in
-  go max_insns
+  let fast = Option.is_none t.step_hook && Option.is_none t.sink in
+  t.last_run_fast <- fast;
+  if fast then begin
+    (* one exception frame for the whole run, not one per step *)
+    let rec go budget =
+      if budget <= 0 then Insn_limit
+      else if is_sentinel t.pc then Sentinel_return
+      else begin
+        let insn = Icache.fetch_exn t.icache ~el:t.el t.pc in
+        let cost = cost_of t insn in
+        retire t insn cost;
+        execute t insn ~next:(Int64.add t.pc 4L);
+        go (budget - 1)
+      end
+    in
+    try go max_insns with
+    | Stop s -> s
+    | Icache.Translate_fault f -> Fault { fault = Mmu_fault f; pc = t.pc }
+    | Icache.Fetch_stop (Icache.Fetch_fault f) ->
+        Fault { fault = Mmu_fault f; pc = t.pc }
+    | Icache.Fetch_stop (Icache.Fetch_undefined word) ->
+        Fault { fault = Undefined_instruction word; pc = t.pc }
+  end
+  else begin
+    let rec go budget =
+      if budget <= 0 then Insn_limit
+      else
+        match step t with
+        | Some s -> s
+        | None -> go (budget - 1)
+    in
+    go max_insns
+  end
+
+let last_run_fast t = t.last_run_fast
 
 let call ?max_insns t addr =
   set_reg t Insn.lr sentinel;
@@ -522,15 +627,17 @@ let call ?max_insns t addr =
   run ?max_insns t
 
 let recent_trace ?(limit = 16) t =
-  let n = Array.length t.trace in
+  let n = Array.length t.trace_insn in
+  let valid = min t.insns_retired n in
   let rec collect acc idx remaining =
     if remaining = 0 then acc
     else
-      match t.trace.((idx + n) mod n) with
-      | None -> acc
-      | Some entry -> collect (entry :: acc) (idx - 1) (remaining - 1)
+      let i = (idx + n) mod n in
+      collect
+        ((Bigarray.Array1.get t.trace_pc i, t.trace_insn.(i)) :: acc)
+        (idx - 1) (remaining - 1)
   in
-  collect [] (t.trace_pos - 1) (min limit n)
+  collect [] (t.trace_pos - 1) (min limit valid)
 
 let fault_to_string = function
   | Mmu_fault f -> Mmu.fault_to_string f
@@ -542,11 +649,11 @@ let dump_state ?trace_limit t =
   (* default to the full configured trace depth: deep oops traces used
      to truncate silently at the old default of 8 *)
   let trace_limit =
-    match trace_limit with Some l -> l | None -> Array.length t.trace
+    match trace_limit with Some l -> l | None -> Array.length t.trace_insn
   in
   let b = Buffer.create 512 in
   Buffer.add_string b
-    (Printf.sprintf "cpu%d: pc=0x%Lx el=%s cycles=%Ld insns=%Ld\n" t.id t.pc
+    (Printf.sprintf "cpu%d: pc=0x%Lx el=%s cycles=%d insns=%d\n" t.id t.pc
        (match t.el with El.El0 -> "EL0" | El.El1 -> "EL1" | El.El2 -> "EL2")
        t.cycles t.insns_retired);
   for row = 0 to 7 do

@@ -41,6 +41,14 @@ type hook_action = Exec | Skip
     observe one physical memory while keeping private register files,
     EL state, banked SPs, key registers and cycle counters.
 
+    [icache] substitutes a shared decoded-instruction cache (a
+    {!Machine} passes one instance to every core — entries depend only
+    on (EL, VA page) and the shared tables, never on per-core state);
+    without it a private cache is created over this core's memory and
+    MMU, enabled per [icache_enabled] (default [true]). The cache is a
+    host-speed optimization only: execution with it on or off is
+    bit-identical, including cycles and telemetry.
+
     [trace_depth] sizes the retired-instruction ring buffer behind
     {!recent_trace} (default 32); deep call chains in oops dumps may
     want more. [id] is the core number reported by {!id} (default 0). *)
@@ -52,6 +60,8 @@ val create :
   ?cipher:Qarma.Block.t ->
   ?mem:Mem.t ->
   ?mmu:Mmu.t ->
+  ?icache:Icache.t ->
+  ?icache_enabled:bool ->
   ?trace_depth:int ->
   ?id:int ->
   unit ->
@@ -59,6 +69,9 @@ val create :
 
 val mem : t -> Mem.t
 val mmu : t -> Mmu.t
+
+(** The decoded-instruction cache this core fetches through. *)
+val icache : t -> Icache.t
 
 (** [id t] — the core number given at {!create} (0 on a uniprocessor). *)
 val id : t -> int
@@ -136,8 +149,15 @@ val sentinel : int64
 (** [step t] executes one instruction; [None] means normal retirement. *)
 val step : t -> stop option
 
-(** [run ?max_insns t] steps until a stop (default limit 10 million). *)
+(** [run ?max_insns t] steps until a stop (default limit 10 million).
+    When neither a step hook nor a telemetry sink is attached, the loop
+    commits to a fast path that skips both disabled-path checks — the
+    selection is made once per call, not per step. *)
 val run : ?max_insns:int -> t -> stop
+
+(** [last_run_fast t] — whether the most recent {!run} took the
+    hook-free fast loop (observability for the fast-path tests). *)
+val last_run_fast : t -> bool
 
 (** [call ?max_insns t addr] sets LR to {!sentinel}, jumps to [addr] and
     runs; a well-behaved function ends with [Sentinel_return]. *)

@@ -22,21 +22,27 @@ type t = {
   cores : Cpu.t array;
   mem : Mem.t;
   mmu : Mmu.t;
+  icache : Icache.t;
   cipher : Qarma.Block.t;
   gic : gic;
   hub : Telemetry.Hub.t option;
 }
 
 let create ?cost ?has_pauth ?user_cfg ?kernel_cfg ?cipher ?trace_depth
-    ?(telemetry = false) ~cpus () =
+    ?(telemetry = false) ?(icache = true) ~cpus () =
   if cpus < 1 then invalid_arg "Machine.create: cpus";
   let cipher = match cipher with Some c -> c | None -> Qarma.Block.create () in
   let mem = Mem.create () in
   let mmu = Mmu.create () in
+  (* One shared cache: decoded entries depend only on (EL, VA page) and
+     the shared translation tables, so cores can reuse each other's
+     fills — and the single-threaded interleaved execution model means
+     there is no concurrent access to protect against. *)
+  let ic = Icache.create ~enabled:icache ~mem ~mmu () in
   let cores =
     Array.init cpus (fun id ->
         Cpu.create ?cost ?has_pauth ?user_cfg ?kernel_cfg ~cipher ~mem ~mmu
-          ?trace_depth ~id ())
+          ~icache:ic ?trace_depth ~id ())
   in
   let hub =
     if telemetry then begin
@@ -52,6 +58,7 @@ let create ?cost ?has_pauth ?user_cfg ?kernel_cfg ?cipher ?trace_depth
     cores;
     mem;
     mmu;
+    icache = ic;
     cipher;
     gic =
       {
@@ -73,6 +80,7 @@ let telemetry t = t.hub
 let boot_core t = t.cores.(0)
 let mem t = t.mem
 let mmu t = t.mmu
+let icache t = t.icache
 let cipher t = t.cipher
 
 let send_ipi t ~src ~dst ipi =

@@ -25,7 +25,10 @@ type t
     Cores are numbered 0..cpus-1; core 0 is the boot core. With
     [~telemetry:true] a {!Telemetry.Hub} is created and sink [i]
     attached to core [i]; IPI sends/acks then also emit trace
-    events. *)
+    events. All cores fetch through one shared decoded-instruction
+    cache ({!Icache}); [~icache:false] creates it disabled (the
+    [--no-icache] escape hatch — execution is bit-identical either
+    way, only host speed changes). *)
 val create :
   ?cost:Cost.profile ->
   ?has_pauth:bool ->
@@ -34,6 +37,7 @@ val create :
   ?cipher:Qarma.Block.t ->
   ?trace_depth:int ->
   ?telemetry:bool ->
+  ?icache:bool ->
   cpus:int ->
   unit ->
   t
@@ -47,6 +51,9 @@ val telemetry : t -> Telemetry.Hub.t option
 val boot_core : t -> Cpu.t
 val mem : t -> Mem.t
 val mmu : t -> Mmu.t
+
+(** The machine-wide decoded-instruction cache shared by all cores. *)
+val icache : t -> Icache.t
 val cipher : t -> Qarma.Block.t
 
 (** [send_ipi t ~src ~dst ipi] — ring core [dst]'s doorbell: sets the

@@ -1,23 +1,78 @@
-type t = { frames : (int64, Bytes.t) Hashtbl.t }
+type t = {
+  (* frames keyed by native-int frame index ([pa lsr 12], exact — 52
+     significant bits). A boxed-int64 key would pay a custom-block
+     polymorphic hash on every access, which dominates the interpreter
+     hot path. *)
+  frames : (int, Bytes.t) Hashtbl.t;
+  (* one-entry frame cache: consecutive accesses overwhelmingly hit the
+     same page (the stack or the current code page) *)
+  mutable last_idx : int;
+  mutable last_frame : Bytes.t;
+  (* store observers, called with the frame index of every write — the
+     decoded-instruction cache invalidation channel. The list is almost
+     always empty or a singleton; hooks must not write memory. *)
+  mutable write_hooks : (int -> unit) list;
+}
 
 let frame_size = 4096
+let no_frame = Bytes.create 0
 
-let create () = { frames = Hashtbl.create 1024 }
+let create () =
+  {
+    frames = Hashtbl.create 1024;
+    last_idx = -1;
+    last_frame = no_frame;
+    write_hooks = [];
+  }
 
-let frame_of pa = Int64.shift_right_logical pa 12
-let offset_of pa = Int64.to_int (Int64.logand pa 0xfffL)
+(* Exact for any 64-bit PA: the shift leaves 52 significant bits. The
+   offset is unaffected by the 63-bit [to_int] truncation. *)
+let index_of pa = Int64.to_int (Int64.shift_right_logical pa 12)
+let offset_of pa = Int64.to_int pa land 0xfff
 
-let get_frame t pa =
-  let idx = frame_of pa in
-  match Hashtbl.find_opt t.frames idx with
-  | Some b -> b
-  | None ->
-      let b = Bytes.make frame_size '\000' in
-      Hashtbl.add t.frames idx b;
-      b
+let add_write_hook t h = t.write_hooks <- t.write_hooks @ [ h ]
+
+(* Every mutation funnels through here exactly once per primitive write
+   (the byte-wise straddling paths notify via their write8 calls). *)
+let notify t idx =
+  match t.write_hooks with
+  | [] -> ()
+  | [ h ] -> h idx  (* the common case, without an iteration closure *)
+  | hooks -> List.iter (fun h -> h idx) hooks
+
+let frame_at t idx =
+  if idx = t.last_idx then t.last_frame
+  else begin
+    let b =
+      match Hashtbl.find t.frames idx with
+      | b -> b
+      | exception Not_found ->
+          let b = Bytes.make frame_size '\000' in
+          Hashtbl.add t.frames idx b;
+          b
+    in
+    t.last_idx <- idx;
+    t.last_frame <- b;
+    b
+  end
+
+let get_frame t pa = frame_at t (index_of pa)
+
+(* Frame-pointer access for the micro-TLB: an entry that memoizes the
+   [Bytes.t] of its physical frame skips both the PA reconstruction and
+   this table on every subsequent access. Frames are allocated once and
+   never replaced, so the pointer stays valid until the memory itself
+   dies. Writers that bypass [write64] must pair their mutation with
+   [notify_store]. *)
+let frame_bytes t idx = frame_at t idx
+let notify_store t idx = notify t idx
 
 let read8 t pa = Char.code (Bytes.get (get_frame t pa) (offset_of pa))
-let write8 t pa v = Bytes.set (get_frame t pa) (offset_of pa) (Char.chr (v land 0xff))
+
+let write8 t pa v =
+  let idx = index_of pa in
+  Bytes.set (frame_at t idx) (offset_of pa) (Char.chr (v land 0xff));
+  notify t idx
 
 (* Multi-byte accesses may straddle a frame boundary; go byte-wise unless
    the access is frame-local, which is the common case. *)
@@ -35,7 +90,11 @@ let read64 t pa =
 
 let write64 t pa v =
   let off = offset_of pa in
-  if off <= frame_size - 8 then Bytes.set_int64_le (get_frame t pa) off v
+  if off <= frame_size - 8 then begin
+    let idx = index_of pa in
+    Bytes.set_int64_le (frame_at t idx) off v;
+    notify t idx
+  end
   else
     for i = 0 to 7 do
       write8 t
@@ -50,7 +109,11 @@ let read32 t pa =
 
 let write32 t pa v =
   let off = offset_of pa in
-  if off <= frame_size - 4 then Bytes.set_int32_le (get_frame t pa) off v
+  if off <= frame_size - 4 then begin
+    let idx = index_of pa in
+    Bytes.set_int32_le (frame_at t idx) off v;
+    notify t idx
+  end
   else
     for i = 0 to 3 do
       write8 t

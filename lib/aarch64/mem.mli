@@ -21,5 +21,24 @@ val blit_string : t -> int64 -> string -> unit
 (** [read_string t pa len]. *)
 val read_string : t -> int64 -> int -> string
 
+(** [add_write_hook t h] registers a store observer: [h] is called with
+    the frame index ([pa lsr 12], as an [int]) of every write, after the
+    bytes land. This is the invalidation channel for the
+    decoded-instruction cache — it sees {e every} mutation path (guest
+    stores, host-side {!Kmem} writes, fault-injector flips) because they
+    all terminate here. Hooks must not write memory. *)
+val add_write_hook : t -> (int -> unit) -> unit
+
+(** [frame_bytes t idx] — the backing [Bytes.t] of frame [idx]
+    (allocating it if untouched). Frames are never replaced, so the
+    pointer remains valid for the life of [t]; the micro-TLB memoizes
+    it to skip the frame table on cached accesses. A caller that
+    mutates the bytes directly must follow with [notify_store t idx],
+    which runs the registered write hooks exactly as a {!write64}
+    would. *)
+val frame_bytes : t -> int -> Bytes.t
+
+val notify_store : t -> int -> unit
+
 (** Number of frames currently allocated (for memory-use reporting). *)
 val frames_allocated : t -> int

@@ -18,21 +18,30 @@ type s1_entry = { pa_page : int64; el0 : perm; el1 : perm }
 type t = {
   stage1 : (int64, s1_entry) Hashtbl.t;
   stage2 : (int64, perm) Hashtbl.t;
+  mutable generation : int;
 }
 
-let create () = { stage1 = Hashtbl.create 256; stage2 = Hashtbl.create 64 }
+let create () =
+  { stage1 = Hashtbl.create 256; stage2 = Hashtbl.create 64; generation = 0 }
+
+let generation t = t.generation
 
 let map t ~va_page ~pa_page ~el0 ~el1 =
+  t.generation <- t.generation + 1;
   Hashtbl.replace t.stage1 va_page { pa_page; el0; el1 }
 
-let unmap t ~va_page = Hashtbl.remove t.stage1 va_page
+let unmap t ~va_page =
+  t.generation <- t.generation + 1;
+  Hashtbl.remove t.stage1 va_page
 
 let stage1_lookup t va_page =
   match Hashtbl.find_opt t.stage1 va_page with
   | Some e -> Some (e.pa_page, e.el0, e.el1)
   | None -> None
 
-let stage2_protect t ~pa_page perm = Hashtbl.replace t.stage2 pa_page perm
+let stage2_protect t ~pa_page perm =
+  t.generation <- t.generation + 1;
+  Hashtbl.replace t.stage2 pa_page perm
 
 let stage2_lookup t pa_page = Hashtbl.find_opt t.stage2 pa_page
 
@@ -65,6 +74,28 @@ let translate t ~el ~access va =
         else
           Ok (Int64.logor (Int64.shift_left entry.pa_page 12) (Int64.logand va 0xfffL))
       end
+
+(* Both-stage permission summary for one page, with the same EL
+   semantics as [translate] (including the implicit EL1 read grant).
+   Powers the micro-TLB: a cached (pa_page, perm) pair stays valid
+   until [generation] moves, so callers can combine one probe with a
+   generation check instead of re-walking both stages per access. *)
+let probe t ~el va_page =
+  match Hashtbl.find_opt t.stage1 va_page with
+  | None -> None
+  | Some entry ->
+      let s1 =
+        match el with
+        | El.El0 -> entry.el0
+        | El.El1 -> effective_el1 entry.el1
+        | El.El2 -> invalid_arg "Mmu.probe: EL2 is not subject to this walk"
+      in
+      let s2 =
+        match Hashtbl.find_opt t.stage2 entry.pa_page with
+        | Some p -> p
+        | None -> rwx
+      in
+      Some (entry.pa_page, { r = s1.r && s2.r; w = s1.w && s2.w; x = s1.x && s2.x })
 
 let access_name = function Read -> "read" | Write -> "write" | Exec -> "exec"
 

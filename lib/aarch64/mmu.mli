@@ -48,6 +48,22 @@ val stage2_protect : t -> pa_page:int64 -> perm -> unit
 
 val stage2_lookup : t -> int64 -> perm option
 
+(** [allows perm access] — does [perm] grant [access]? *)
+val allows : perm -> access -> bool
+
+(** [generation t] — a counter bumped by every mutation of either
+    translation stage ({!map}, {!unmap}, {!stage2_protect}). Caches
+    built over translation results ({!Icache}) compare it against the
+    value seen at fill time and discard everything on mismatch. *)
+val generation : t -> int
+
+(** [probe t ~el va_page] — the stage-1 frame and the {e combined}
+    two-stage permission set for [va_page] at [el], or [None] when the
+    page is unmapped. Same EL semantics as {!translate}, including the
+    implicit EL1 read grant; raises on EL2. The result is valid until
+    {!generation} changes. *)
+val probe : t -> el:El.t -> int64 -> (int64 * perm) option
+
 (** [translate t ~el ~access va] performs the full two-stage walk for an
     EL0 or EL1 access. EL2 accesses are not subject to stage 2 and are
     rejected here — the hypervisor is not modeled as machine code. *)

@@ -6,6 +6,7 @@ type purpose = Text | Rodata | Data
 type env = {
   place : text_bytes:int -> rodata_bytes:int -> data_bytes:int -> int64 * int64 * int64;
   map_region : base:int64 -> bytes:int -> purpose -> unit;
+  unmap_region : base:int64 -> bytes:int -> purpose -> unit;
   read32 : int64 -> int32;
   write32 : int64 -> int32 -> unit;
   read64 : int64 -> int64;
@@ -139,6 +140,19 @@ let load ~cpu ~config ~registry ~env (obj : Object_file.t) =
         }
     end
   with Load_error e -> Error e
+
+(* Tear a placed object down: remove its mappings (which also lifts
+   any stage-2 protection via the environment's callback). Decoded
+   instructions cached for the vacated pages are flushed by the MMU
+   mutations this performs — a subsequent load at the same address
+   re-decodes from the new bytes. *)
+let unload ~env placed =
+  if placed.text_bytes > 0 then
+    env.unmap_region ~base:placed.text_base ~bytes:placed.text_bytes Text;
+  if placed.rodata_bytes > 0 then
+    env.unmap_region ~base:placed.rodata_base ~bytes:placed.rodata_bytes Rodata;
+  if placed.data_bytes > 0 then
+    env.unmap_region ~base:placed.data_base ~bytes:placed.data_bytes Data
 
 let symbol placed name =
   match List.assoc_opt name placed.text_layout.Asm.symbols with

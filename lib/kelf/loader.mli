@@ -29,6 +29,9 @@ type env = {
   place : text_bytes:int -> rodata_bytes:int -> data_bytes:int -> int64 * int64 * int64;
       (** allocate (text, rodata, data) base addresses *)
   map_region : base:int64 -> bytes:int -> purpose -> unit;
+  unmap_region : base:int64 -> bytes:int -> purpose -> unit;
+      (** remove a region's mappings, including any stage-2 protection
+          installed by [map_region] (module unload) *)
   read32 : int64 -> int32;
   write32 : int64 -> int32 -> unit;
   read64 : int64 -> int64;
@@ -65,6 +68,11 @@ val load :
   env:env ->
   Object_file.t ->
   (placed, error) result
+
+(** [unload ~env placed] removes the object's text/rodata/data mappings
+    through [env.unmap_region]. The caller owns allocation policy; see
+    [System.unload_module] for the address-reuse path. *)
+val unload : env:env -> placed -> unit
 
 (** [symbol placed name] — text or data symbol address.
     Raises [Not_found]. *)

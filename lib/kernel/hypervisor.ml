@@ -21,3 +21,8 @@ let protect_frames t ~base ~bytes perm =
 let protect_xom t ~base ~bytes = protect_frames t ~base ~bytes Mmu.xo
 let protect_text t ~base ~bytes = protect_frames t ~base ~bytes Mmu.rx
 let protect_rodata t ~base ~bytes = protect_frames t ~base ~bytes Mmu.ro
+
+(* Return frames to the unrestricted default (module unload: the
+   stage-1 mapping is gone, so there is nothing left to protect and the
+   frames must be reusable by the next allocation). *)
+let release t ~base ~bytes = protect_frames t ~base ~bytes Mmu.rwx

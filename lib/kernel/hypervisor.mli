@@ -24,6 +24,11 @@ val protect_text : t -> base:int64 -> bytes:int -> unit
 (** [protect_rodata t ~base ~bytes] — readable only. *)
 val protect_rodata : t -> base:int64 -> bytes:int -> unit
 
+(** [release t ~base ~bytes] — drop the stage-2 restriction on a range
+    whose stage-1 mapping was removed (module unload), so the frames can
+    be reused by a later load. *)
+val release : t -> base:int64 -> bytes:int -> unit
+
 (** [is_locked_register t sr] — the lockdown predicate installed in the
     machine. *)
 val is_locked_register : t -> Sysreg.t -> bool

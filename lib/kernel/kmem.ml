@@ -16,6 +16,13 @@ let map_pages cpu ~base ~bytes ~el0 ~el1 =
       ~el0 ~el1
   done
 
+let unmap_region cpu ~base ~bytes =
+  let pages = Layout.round_pages bytes / 4096 in
+  for i = 0 to pages - 1 do
+    let va = Int64.add base (Int64.of_int (i * 4096)) in
+    Mmu.unmap (Cpu.mmu cpu) ~va_page:(Vaddr.page_of va)
+  done
+
 let map_kernel_region cpu ~base ~bytes perm =
   map_pages cpu ~base ~bytes ~el0:Mmu.no_access ~el1:perm
 

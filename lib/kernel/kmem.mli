@@ -22,3 +22,7 @@ val map_kernel_region : Cpu.t -> base:int64 -> bytes:int -> Mmu.perm -> unit
 (** [map_user_region cpu ~base ~bytes perm] — stage-1 map a user range:
     EL0 gets [perm]; EL1 gets read/write (kernel uaccess). *)
 val map_user_region : Cpu.t -> base:int64 -> bytes:int -> Mmu.perm -> unit
+
+(** [unmap_region cpu ~base ~bytes] — remove the stage-1 mappings of a
+    range (module unload). *)
+val unmap_region : Cpu.t -> base:int64 -> bytes:int -> unit

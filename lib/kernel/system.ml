@@ -575,6 +575,15 @@ let loader_env t =
             Kmem.map_kernel_region t.cpu ~base ~bytes Mmu.ro;
             Hypervisor.protect_rodata t.hyp ~base ~bytes
         | Kelf.Loader.Data -> Kmem.map_kernel_region t.cpu ~base ~bytes Mmu.rw);
+    unmap_region =
+      (fun ~base ~bytes purpose ->
+        Kmem.unmap_region t.cpu ~base ~bytes;
+        match purpose with
+        | Kelf.Loader.Text | Kelf.Loader.Rodata ->
+            (* lift the stage-2 write protection so the frames are
+               reusable by the next load at this address *)
+            Hypervisor.release t.hyp ~base ~bytes
+        | Kelf.Loader.Data -> ());
     read32 = Kmem.read32 t.cpu;
     write32 = Kmem.write32 t.cpu;
     read64 = Kmem.read64 t.cpu;
@@ -602,6 +611,21 @@ let load_module t obj =
       logf t "module %s rejected: %s" obj.Kelf.Object_file.obj_name
         (Kelf.Loader.error_to_string e));
   result
+
+(* Unload a module: unmap text/rodata/data (lifting stage-2 protection)
+   and, when the module is the most recent allocation, roll the bump
+   allocator back so the next load reuses the same addresses — the
+   decoded-instruction cache must observe new code at old addresses
+   (covered by the invalidation regression tests). *)
+let unload_module t (placed : Kelf.Loader.placed) =
+  Kelf.Loader.unload ~env:(loader_env t) placed;
+  let region_end =
+    Int64.add placed.Kelf.Loader.data_base
+      (Int64.of_int (Layout.round_pages placed.Kelf.Loader.data_bytes))
+  in
+  if region_end = t.module_alloc then t.module_alloc <- placed.Kelf.Loader.text_base;
+  logf t "module %s unloaded from 0x%Lx" placed.Kelf.Loader.object_name
+    placed.Kelf.Loader.text_base
 
 (* User execution. *)
 
@@ -1197,7 +1221,7 @@ let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8)
 (* Boot. *)
 
 let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
-    ?(cost = Cost.cortex_a53) ?(cpus = 1) ?(telemetry = false) () =
+    ?(cost = Cost.cortex_a53) ?(cpus = 1) ?(telemetry = false) ?(icache = true) () =
   (match config.C.Config.scheme with
   | C.Modifier.Chained ->
       failwith
@@ -1208,7 +1232,7 @@ let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
       ());
   if cpus < 1 || cpus > 16 then invalid_arg "System.boot: cpus must be in 1..16";
   let cipher = Qarma.Block.create () in
-  let machine = Machine.create ~cost ~has_pauth ~cipher ~cpus ~telemetry () in
+  let machine = Machine.create ~cost ~has_pauth ~cipher ~cpus ~telemetry ~icache () in
   let cpu = Machine.boot_core machine in
   (* Bootloader: map the kernel's working memory (shared by all cores). *)
   Kmem.map_kernel_region cpu ~base:Layout.heap_base ~bytes:Layout.heap_bytes Mmu.rw;

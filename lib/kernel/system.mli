@@ -56,7 +56,11 @@ type t
     executes the XOM key setter itself during bring-up and on each of
     its own kernel entries. Secondaries get a per-CPU data area
     (published via their TPIDR_EL1) and an idle task; with [cpus = 1]
-    nothing observable changes. *)
+    nothing observable changes.
+
+    [icache] (default [true]) enables the machine-wide
+    decoded-instruction cache. Disabling it ([--no-icache] at the CLI)
+    changes host speed only: execution is bit-identical either way. *)
 val boot :
   ?config:Camouflage.Config.t ->
   ?seed:int64 ->
@@ -64,6 +68,7 @@ val boot :
   ?cost:Cost.profile ->
   ?cpus:int ->
   ?telemetry:bool ->
+  ?icache:bool ->
   unit ->
   t
 
@@ -134,6 +139,12 @@ val run_timers : t -> syscall_outcome
 (** [load_module t obj] — verify and load a kernel object into the
     module area. *)
 val load_module : t -> Kelf.Object_file.t -> (Kelf.Loader.placed, Kelf.Loader.error) result
+
+(** [unload_module t placed] — unmap a loaded module's regions (lifting
+    their stage-2 protection) and, if it was the most recent allocation,
+    roll the module-area bump allocator back so the next {!load_module}
+    reuses the same addresses. *)
+val unload_module : t -> Kelf.Loader.placed -> unit
 
 (** [map_user_program t prog] — assemble a user program into the current
     task's user text and return its layout. *)

@@ -32,6 +32,8 @@ let bench_module config ~calls =
   in
   Kelf.Object_file.add_function obj ~name:"caller" caller.C.Instrument.items
 
+let calls_object = bench_module
+
 (* Bare-machine variant for schemes that cannot boot the kernel (the
    chained scheme's live chain register precludes prefabricated frames). *)
 let measure_bare ?cost config ~calls =

@@ -16,6 +16,13 @@ type measurement = {
 (** [measure ?calls ()] — per-scheme cost of one call+return. *)
 val measure : ?calls:int -> unit -> measurement list
 
+(** [calls_object config ~calls] — the kernel object behind every
+    variant of this probe: an instrumented empty victim plus a caller
+    that invokes it [calls] times. Exposed so the host-throughput
+    benchmark ([bench sim]) can run the exact E2 workload on a bare
+    machine with the decoded-instruction cache on or off. *)
+val calls_object : Camouflage.Config.t -> calls:int -> Kelf.Object_file.t
+
 (** [measure_one config ~calls] — raw cycles for [calls] calls of the
     empty victim under [config], measured inside a booted kernel. *)
 val measure_one : Camouflage.Config.t -> calls:int -> int64

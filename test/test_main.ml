@@ -10,6 +10,7 @@ let () =
       ("insn", Test_insn.suite);
       ("paclint", Test_paclint.suite);
       ("cpu", Test_cpu.suite);
+      ("icache", Test_icache.suite);
       ("camouflage", Test_camouflage.suite);
       ("kernel", Test_kernel.suite);
       ("sched", Test_sched.suite);
