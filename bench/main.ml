@@ -606,7 +606,12 @@ let e9 () =
 let e10 () =
   header "E10 Fault-injection: detection rate and graceful degradation";
   let seed = 42L and trials = 100 in
-  let report = Faultinj.Campaign.run ~seed ~trials () in
+  (* trials run on the fleet engine; the merged report is byte-identical
+     to the sequential (--workers 1) rendering for any worker count *)
+  let workers = min 4 (Domain.recommended_domain_count ()) in
+  let result = Option.get (Fleet.Campaign.run ~workers ~seed ~trials ()) in
+  let report = result.Fleet.Campaign.report in
+  row "(%d trials on %d fleet worker domains)\n" trials workers;
   print_string (Faultinj.Campaign.report_to_string report);
   List.iter
     (fun (name, v) ->
@@ -704,6 +709,60 @@ let parallel () =
   row "\nhost offers %d core%s (Domain.recommended_domain_count); wall-clock\n" host
     (if host = 1 then "" else "s");
   row "speedup is bounded by that, independent of the simulated machine.\n"
+
+(* FLEET: jobs/sec scaling of the work-stealing engine itself. The job
+   unit is one single-machine SMP workload point; simulated results are
+   asserted identical across worker counts (the engine's determinism
+   contract), so the only quantity allowed to move is wall clock. *)
+let fleet () =
+  header "FLEET work-stealing engine: jobs/sec scaling across domains";
+  let jobs = 32 and seed = 2026L in
+  let host = Domain.recommended_domain_count () in
+  let counts =
+    List.sort_uniq compare [ 1; 2; 4; Fleet.Pool.default_workers () ]
+  in
+  let fingerprint points =
+    Array.fold_left
+      (fun acc p ->
+        Int64.add (Int64.mul acc 1000003L)
+          (Int64.add p.Workloads.Smp.makespan p.Workloads.Smp.aggregate))
+      0L points
+  in
+  let run workers =
+    let t0 = Unix.gettimeofday () in
+    let points, stats = Fleet.Sweep.bench_points ~workers ~seed ~jobs () in
+    (Unix.gettimeofday () -. t0, points, stats)
+  in
+  ignore (run 1) (* warm up *);
+  let results = List.map (fun w -> (w, run w)) counts in
+  let base_wall, base_fp =
+    match results with
+    | (_, (wall, points, _)) :: _ -> (wall, fingerprint points)
+    | [] -> (1.0, 0L)
+  in
+  row "%d jobs (1-cpu SMP workload points), host offers %d cores\n\n" jobs host;
+  row "%-8s %10s %12s %9s %8s\n" "workers" "wall (s)" "jobs/sec" "speedup"
+    "steals";
+  List.iter
+    (fun (w, (wall, points, stats)) ->
+      if fingerprint points <> base_fp then
+        failwith
+          (Printf.sprintf
+             "fleet bench: results diverged at %d workers (determinism broken)"
+             w);
+      let jobs_per_sec = float_of_int jobs /. wall in
+      let speedup = base_wall /. wall in
+      let steals = Array.fold_left ( + ) 0 stats.Fleet.Pool.steals in
+      row "%-8d %10.3f %12.1f %8.2fx %8d\n" w wall jobs_per_sec speedup steals;
+      let pfx = Printf.sprintf "%d-workers-" w in
+      metric ~experiment:"fleet" ~name:(pfx ^ "jobs-per-sec")
+        ~value:jobs_per_sec ~unit_:"jobs/s";
+      metric ~experiment:"fleet" ~name:(pfx ^ "speedup") ~value:speedup
+        ~unit_:"ratio")
+    results;
+  metric ~experiment:"fleet" ~name:"deterministic" ~value:1.0 ~unit_:"bool";
+  row "\nevery worker count produced bit-identical simulated results; the\n";
+  row "speedup column is host-hardware-limited, like the parallel experiment.\n"
 
 (* Bechamel wall-time suite: how fast the simulator itself is. *)
 let bechamel_suite () =
@@ -853,6 +912,7 @@ let experiments =
     ("e9", e9);
     ("e10", e10);
     ("sim", sim);
+    ("fleet", fleet);
     ("parallel", parallel);
     ("oracle", oracle);
     ("a1", a1);

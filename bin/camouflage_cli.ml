@@ -350,13 +350,24 @@ let faults_cmd =
     in
     Arg.(value & flag & info [ "demo" ] ~doc)
   in
-  let run config seed cpus trials json quarantine demo =
+  let workers_arg =
+    let doc =
+      "Run trials on $(docv) worker domains via the fleet engine. The report \
+       is byte-identical for every worker count; only wall-clock changes."
+    in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let run config seed cpus trials json quarantine workers demo =
     if demo then print_string (Faultinj.Campaign.demo_to_string (Faultinj.Campaign.quarantine_demo ~seed ()))
     else begin
-      let report =
-        Faultinj.Campaign.run ~config ~config_name:(C.Config.name config)
-          ~cpus:(max cpus 2) ?quarantine_after:quarantine ~seed ~trials ()
+      (* the sequential path is just the fleet engine at --workers 1 *)
+      let result =
+        Option.get
+          (Fleet.Campaign.run ~config ~config_name:(C.Config.name config)
+             ~cpus:(max cpus 2) ?quarantine_after:quarantine
+             ~workers:(max 1 workers) ~seed ~trials ())
       in
+      let report = result.Fleet.Campaign.report in
       if json then print_string (Faultinj.Campaign.report_to_json report)
       else print_string (Faultinj.Campaign.report_to_string report)
     end
@@ -364,19 +375,68 @@ let faults_cmd =
   let doc =
     "Run a seeded fault-injection campaign (bit flips in memory, registers, PAC \
      fields and key registers; instruction skips) and report how faults were \
-     detected or survived. Fully deterministic per seed."
+     detected or survived. Fully deterministic per seed and worker count."
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run $ config_arg $ seed_arg $ cpus_arg $ trials_arg $ json_arg
-      $ quarantine_arg $ demo_arg)
+      $ quarantine_arg $ workers_arg $ demo_arg)
+
+let sweep_cmd =
+  let machines_arg =
+    let doc = "Number of independent machines to boot and attack." in
+    Arg.(value & opt int 16 & info [ "machines" ] ~docv:"N" ~doc)
+  in
+  let attempts_arg =
+    let doc = "PAC forgery attempts per machine." in
+    Arg.(value & opt int 8 & info [ "attempts" ] ~docv:"N" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Override the brute-force panic threshold." in
+    Arg.(value & opt (some int) None & info [ "threshold" ] ~docv:"N" ~doc)
+  in
+  let workers_arg =
+    let doc = "Worker domains for the fleet engine." in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the sweep report as deterministic JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run config seed machines attempts threshold workers json =
+    let report, _ =
+      Option.get
+        (Fleet.Sweep.run ~config ?threshold ~workers:(max 1 workers) ~seed
+           ~machines ~attempts ())
+    in
+    if json then print_string (Fleet.Sweep.report_to_json report)
+    else print_string (Fleet.Sweep.report_to_string report)
+  in
+  let doc =
+    "Run the PAC brute-force attack and accounting audit across a fleet of \
+     independent machines (work-stealing domains, index-merged byte-stable \
+     report)."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ config_arg $ seed_arg $ machines_arg $ attempts_arg
+      $ threshold_arg $ workers_arg $ json_arg)
+
+let serve_cmd =
+  let run () = Fleet.Serve.loop (Fleet.Serve.create ()) in
+  let doc =
+    "Serve the campaign control plane: one JSON request per line on stdin \
+     (ping, submit, status, report, cancel, shutdown), one JSON response per \
+     line on stdout. Campaigns run asynchronously on fleet worker domains."
+  in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(const run $ const ())
 
 let main =
   let doc = "Camouflage: hardware-assisted CFI for an ARM-like kernel (DAC'20 reproduction)" in
   Cmd.group (Cmd.info "camouflage" ~version:"1.0.0" ~doc)
     [
       boot_cmd; attack_cmd; census_cmd; disasm_cmd; integrity_cmd; trace_cmd;
-      stats_cmd; lint_cmd; faults_cmd;
+      stats_cmd; lint_cmd; faults_cmd; sweep_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

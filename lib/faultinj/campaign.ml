@@ -84,8 +84,8 @@ let workload_program ~rounds =
     ];
   prog
 
-let setup ~config ~seed ~cpus ~tasks ~rounds =
-  let sys = K.System.boot ~config ~seed ~cpus () in
+let setup ?(telemetry = false) ~config ~seed ~cpus ~tasks ~rounds () =
+  let sys = K.System.boot ~config ~seed ~cpus ~telemetry () in
   let layout = K.System.map_user_program sys (workload_program ~rounds) in
   let entry = Asm.symbol layout "main" in
   let spawned = List.init tasks (fun _ -> K.System.spawn_user_task sys ~entry) in
@@ -105,8 +105,9 @@ type golden = {
 let sorted_exits (stats : K.System.smp_stats) =
   List.sort compare (List.map (fun (_c, pid, e) -> (pid, e)) stats.K.System.smp_exits)
 
-let golden_run ~config ~seed ~cpus ~tasks ~rounds ~quantum =
-  let sys, _layout, spawned = setup ~config ~seed ~cpus ~tasks ~rounds in
+let golden_run ?(config = C.Config.full) ?(cpus = 2) ?(tasks = 4) ?(rounds = 8)
+    ?(quantum = 400) ~seed () =
+  let sys, _layout, spawned = setup ~config ~seed ~cpus ~tasks ~rounds () in
   let stats =
     K.System.run_smp ~quantum ~max_slices:(max_slices ~tasks) sys ~tasks:spawned
   in
@@ -175,8 +176,9 @@ let classify ~golden sys result =
                       (Silent_corruption, "lost work: not every task completed")
                     else (Silent_corruption, "exit codes or console diverge from golden")))
 
-let run_one ~config ~cpus ~tasks ~rounds ~quantum ~quarantine_after ~seed spec_fn =
-  let sys, layout, spawned = setup ~config ~seed ~cpus ~tasks ~rounds in
+let run_one ?(telemetry = false) ~config ~cpus ~tasks ~rounds ~quantum
+    ~quarantine_after ~seed spec_fn =
+  let sys, layout, spawned = setup ~telemetry ~config ~seed ~cpus ~tasks ~rounds () in
   let spec = spec_fn sys layout spawned in
   let inj = Injector.create spec in
   Injector.arm_all inj (K.System.machine sys);
@@ -208,7 +210,7 @@ let trial_of ~golden ~index (sys, inj, spec, result) =
 
 let run_trial ?(config = C.Config.full) ?(cpus = 2) ?(tasks = 4) ?(rounds = 8)
     ?(quantum = 400) ?quarantine_after ?(index = 0) ~seed ~spec () =
-  let golden = golden_run ~config ~seed ~cpus ~tasks ~rounds ~quantum in
+  let golden = golden_run ~config ~cpus ~tasks ~rounds ~quantum ~seed () in
   trial_of ~golden ~index
     (run_one ~config ~cpus ~tasks ~rounds ~quantum ~quarantine_after ~seed spec)
 
@@ -303,18 +305,46 @@ let random_spec rng ~golden_makespan sys (layout : Asm.layout)
       persistence = Injector.Transient;
     }
 
-let run ?(config = C.Config.full) ?(config_name = "full") ?(cpus = 2) ?(tasks = 4)
-    ?(rounds = 8) ?(quantum = 400) ?quarantine_after ~seed ~trials () =
-  let golden = golden_run ~config ~seed ~cpus ~tasks ~rounds ~quantum in
-  let trial_list =
-    List.init trials (fun i ->
-        let rng =
-          Rng.create (Int64.add seed (Int64.mul golden_mix (Int64.of_int (i + 1))))
-        in
-        trial_of ~golden ~index:i
-          (run_one ~config ~cpus ~tasks ~rounds ~quantum ~quarantine_after ~seed
-             (random_spec rng ~golden_makespan:golden.g_makespan)))
+(* Per-job telemetry harvest: the merged counter file plus a summary of
+   the machine's event rings, so a fleet of trials can fold thousands of
+   runs into one machine view with Telemetry.Counters.merge. *)
+type job_telemetry = {
+  jt_counters : Telemetry.Counters.snapshot;
+  jt_events : int;
+  jt_dropped : int;
+}
+
+let harvest_telemetry sys =
+  match K.System.telemetry sys with
+  | None -> None
+  | Some hub ->
+      Some
+        {
+          jt_counters = Telemetry.Hub.counters hub;
+          jt_events = List.length (Telemetry.Hub.events hub);
+          jt_dropped = Telemetry.Hub.dropped hub;
+        }
+
+(* One fleet-shardable unit of work: trial [index] of the campaign keyed
+   by [seed]. The per-trial RNG stream depends only on (seed, index), so
+   any partition of the index space over any number of workers replays
+   the exact trials the sequential loop would have run. *)
+let run_random_trial ?(config = C.Config.full) ?(cpus = 2) ?(tasks = 4)
+    ?(rounds = 8) ?(quantum = 400) ?quarantine_after ?(telemetry = false)
+    ~golden ~seed ~index () =
+  let rng =
+    Rng.create (Int64.add seed (Int64.mul golden_mix (Int64.of_int (index + 1))))
   in
+  let ((sys, _, _, _) as outcome) =
+    run_one ~telemetry ~config ~cpus ~tasks ~rounds ~quantum ~quarantine_after
+      ~seed
+      (random_spec rng ~golden_makespan:golden.g_makespan)
+  in
+  (trial_of ~golden ~index outcome, harvest_telemetry sys)
+
+let report_of_trials ?(config_name = "full") ?(cpus = 2) ?(tasks = 4)
+    ?(rounds = 8) ?(quantum = 400) ?quarantine_after ~seed ~golden trial_list =
+  let trials = List.length trial_list in
   let count o = List.length (List.filter (fun t -> t.outcome = o) trial_list) in
   let n_detected_by_pac = count Detected_by_pac in
   let n_detected_by_mmu = count Detected_by_mmu in
@@ -354,6 +384,18 @@ let run ?(config = C.Config.full) ?(config_name = "full") ?(cpus = 2) ?(tasks = 
     mean_makespan;
     trial_list;
   }
+
+let run ?(config = C.Config.full) ?(config_name = "full") ?(cpus = 2) ?(tasks = 4)
+    ?(rounds = 8) ?(quantum = 400) ?quarantine_after ~seed ~trials () =
+  let golden = golden_run ~config ~cpus ~tasks ~rounds ~quantum ~seed () in
+  let trial_list =
+    List.init trials (fun i ->
+        fst
+          (run_random_trial ~config ~cpus ~tasks ~rounds ~quantum
+             ?quarantine_after ~golden ~seed ~index:i ()))
+  in
+  report_of_trials ~config_name ~cpus ~tasks ~rounds ~quantum ?quarantine_after
+    ~seed ~golden trial_list
 
 (* JSON rendering: fixed field order, %.6f floats, minimal escaping —
    the same report must always serialize to the same bytes. *)
@@ -465,7 +507,7 @@ let quarantine_demo ?(seed = 42L) () =
     }
   in
   let run_variant quarantine_after =
-    let sys, _layout, spawned = setup ~config ~seed ~cpus:2 ~tasks:8 ~rounds:40 in
+    let sys, _layout, spawned = setup ~config ~seed ~cpus:2 ~tasks:8 ~rounds:40 () in
     let inj = Injector.create spec in
     Injector.arm inj (Machine.core (K.System.machine sys) 1);
     let stats =

@@ -73,6 +73,73 @@ type report = {
     observable. *)
 val workload_program : rounds:int -> Aarch64.Asm.program
 
+(** The uninjected reference run trials are classified against. Plain
+    immutable data, so a fleet can compute it once and share it
+    read-only across worker domains. *)
+type golden = {
+  g_exits : (int * Kernel.System.user_exit) list;  (** sorted by pid *)
+  g_console : string;
+  g_makespan : int64;
+}
+
+val golden_run :
+  ?config:Camouflage.Config.t ->
+  ?cpus:int ->
+  ?tasks:int ->
+  ?rounds:int ->
+  ?quantum:int ->
+  seed:int64 ->
+  unit ->
+  golden
+
+(** Telemetry harvested from one trial's machine when the trial booted
+    with [~telemetry:true]: the merged per-core counter file plus an
+    event-ring summary. Fold with {!Telemetry.Counters.merge} to build
+    fleet-wide views. *)
+type job_telemetry = {
+  jt_counters : Telemetry.Counters.snapshot;
+  jt_events : int;
+  jt_dropped : int;
+}
+
+(** [run_random_trial ~golden ~seed ~index ()] — trial [index] of the
+    campaign keyed by [seed]: exactly what {!run} executes at that index.
+    The per-trial RNG stream depends only on [(seed, index)], so any
+    partition of the index space over any number of workers replays the
+    identical trials. [telemetry] (default [false]) boots the trial
+    machine with telemetry — pure observation, the trial outcome is
+    bit-identical either way — and returns the harvested summary. *)
+val run_random_trial :
+  ?config:Camouflage.Config.t ->
+  ?cpus:int ->
+  ?tasks:int ->
+  ?rounds:int ->
+  ?quantum:int ->
+  ?quarantine_after:int ->
+  ?telemetry:bool ->
+  golden:golden ->
+  seed:int64 ->
+  index:int ->
+  unit ->
+  trial * job_telemetry option
+
+(** [report_of_trials ~seed ~golden trials] — aggregate classified
+    trials into a campaign report. All aggregates (counts, rates, mean
+    makespan) are computed from the list in the order given; pass trials
+    sorted by index to get the byte-identical report the sequential
+    {!run} produces. *)
+val report_of_trials :
+  ?config_name:string ->
+  ?cpus:int ->
+  ?tasks:int ->
+  ?rounds:int ->
+  ?quantum:int ->
+  ?quarantine_after:int ->
+  seed:int64 ->
+  golden:golden ->
+  trial list ->
+  report
+
 (** [run_trial ~seed ~spec ()] — boot, arm [spec] (given the booted
     system, the mapped workload layout and the spawned tasks — so tests
     can compute concrete addresses), run, classify. [index] only labels

@@ -1,0 +1,63 @@
+module FC = Faultinj.Campaign
+
+type telemetry_summary = {
+  counters : Telemetry.Counters.snapshot;
+  events : int;
+  dropped : int;
+}
+
+type result = {
+  report : FC.report;
+  telemetry : telemetry_summary option;
+  stats : Pool.stats;
+}
+
+let empty_telemetry =
+  { counters = Telemetry.Counters.zero; events = 0; dropped = 0 }
+
+let merge_telemetry a b =
+  {
+    counters = Telemetry.Counters.merge a.counters b.counters;
+    events = a.events + b.events;
+    dropped = a.dropped + b.dropped;
+  }
+
+let run ?(config = Camouflage.Config.full) ?(config_name = "full") ?(cpus = 2)
+    ?(tasks = 4) ?(rounds = 8) ?(quantum = 400) ?quarantine_after ?workers
+    ?(telemetry = false) ?progress ?should_stop ~seed ~trials () =
+  let golden = FC.golden_run ~config ~cpus ~tasks ~rounds ~quantum ~seed () in
+  let outcome =
+    Pool.run ?workers ?progress ?should_stop ~jobs:trials (fun index ->
+        FC.run_random_trial ~config ~cpus ~tasks ~rounds ~quantum
+          ?quarantine_after ~telemetry ~golden ~seed ~index ())
+  in
+  if Array.exists Option.is_none outcome.Pool.results then None
+  else
+    let jobs =
+      Array.to_list (Array.map Option.get outcome.Pool.results)
+    in
+    let trial_list = List.map fst jobs in
+    let telemetry_summary =
+      if not telemetry then None
+      else
+        (* fold in index order: deterministic, and the merge-monoid
+           property (tested) makes any other order equivalent anyway *)
+        Some
+          (List.fold_left
+             (fun acc (_, jt) ->
+               match jt with
+               | None -> acc
+               | Some jt ->
+                   merge_telemetry acc
+                     {
+                       counters = jt.FC.jt_counters;
+                       events = jt.FC.jt_events;
+                       dropped = jt.FC.jt_dropped;
+                     })
+             empty_telemetry jobs)
+    in
+    let report =
+      FC.report_of_trials ~config_name ~cpus ~tasks ~rounds ~quantum
+        ?quarantine_after ~seed ~golden trial_list
+    in
+    Some { report; telemetry = telemetry_summary; stats = outcome.Pool.stats }

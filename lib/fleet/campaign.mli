@@ -1,0 +1,52 @@
+(** Sharded fault-injection campaigns over the {!Pool} (PR 6 tentpole,
+    layer 3).
+
+    The golden run is computed once on the calling domain and shared
+    read-only; each trial is one pool job keyed by [(seed, index)], so
+    the work-stealing schedule cannot change which faults are drawn.
+    Trials are merged {e by job index, not completion order}, making the
+    report — and its JSON — byte-identical to the sequential
+    {!Faultinj.Campaign.run} for every worker count. The single-run path
+    is literally [~workers:1].
+
+    With [telemetry] every trial machine boots with telemetry (pure
+    observation: the report bytes do not change) and the per-job counter
+    files are folded with {!Telemetry.Counters.merge} into one
+    fleet-wide view, alongside summed event-ring totals. *)
+
+type telemetry_summary = {
+  counters : Telemetry.Counters.snapshot;
+      (** all cores of all trial machines, merged *)
+  events : int;  (** events live in the rings at harvest, summed *)
+  dropped : int;  (** ring overwrites, summed *)
+}
+
+type result = {
+  report : Faultinj.Campaign.report;
+  telemetry : telemetry_summary option;  (** with [~telemetry:true] *)
+  stats : Pool.stats;
+}
+
+val merge_telemetry : telemetry_summary -> telemetry_summary -> telemetry_summary
+
+(** [run ~seed ~trials ()] — golden run, then [trials] pool jobs.
+    Returns [None] only when [should_stop] fired before every trial
+    completed (the cancelled-campaign path of [camouflage serve]).
+    [progress] is called once per finished trial from worker domains.
+    Defaults mirror {!Faultinj.Campaign.run}. *)
+val run :
+  ?config:Camouflage.Config.t ->
+  ?config_name:string ->
+  ?cpus:int ->
+  ?tasks:int ->
+  ?rounds:int ->
+  ?quantum:int ->
+  ?quarantine_after:int ->
+  ?workers:int ->
+  ?telemetry:bool ->
+  ?progress:(unit -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  seed:int64 ->
+  trials:int ->
+  unit ->
+  result option

@@ -1,0 +1,31 @@
+(** Minimal JSON reader for the [camouflage serve] wire protocol.
+
+    The repo's JSON {e writers} (campaign reports, counter files, bench
+    metrics) are hand-rolled byte-stable serializers; this is their
+    missing inverse, used by the serve control plane to parse request
+    lines and by tests to validate reports structurally. Recursive
+    descent, no dependencies; numbers without a fraction or exponent are
+    kept as exact [int64]s so seeds survive the round trip. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [parse s] — parse one JSON value; trailing non-whitespace is an
+    error. Errors carry a position and a short description. *)
+val parse : string -> (t, string) result
+
+(** [member name v] — field lookup in an [Obj]; [None] for absent
+    fields and non-objects. *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+val to_int64 : t -> int64 option
+val to_float : t -> float option
+val to_string : t -> string option
+val to_bool : t -> bool option

@@ -1,0 +1,89 @@
+type stats = {
+  workers : int;
+  jobs_run : int array;
+  steals : int array;
+  stopped : bool;
+}
+
+type 'a outcome = { results : 'a option array; stats : stats }
+
+let default_workers () = min 8 (max 1 (Domain.recommended_domain_count ()))
+
+(* Each results slot is written by exactly one worker (each index is
+   handed out once by the deques) and read only after every worker has
+   joined, so the plain array needs no synchronisation of its own. *)
+let run ?workers ?progress ?should_stop ~jobs f =
+  if jobs < 0 then invalid_arg "Pool.run: negative job count";
+  let workers =
+    match workers with
+    | Some w when w < 1 -> invalid_arg "Pool.run: worker count must be >= 1"
+    | Some w -> min w (max 1 jobs)
+    | None -> min (default_workers ()) (max 1 jobs)
+  in
+  let results = Array.make jobs None in
+  let deques = Array.init workers (fun _ -> Deque.create ()) in
+  (* block partition: worker w owns the contiguous index range
+     [w*jobs/workers, (w+1)*jobs/workers) *)
+  for i = 0 to jobs - 1 do
+    Deque.push deques.(i * workers / jobs) i
+  done;
+  let jobs_run = Array.make workers 0 in
+  let steals = Array.make workers 0 in
+  let stop = Atomic.make false in
+  let failed : exn option Atomic.t = Atomic.make None in
+  let stopping () =
+    Atomic.get stop
+    ||
+    match should_stop with
+    | Some p when p () ->
+        Atomic.set stop true;
+        true
+    | _ -> false
+  in
+  let exec w i =
+    (try results.(i) <- Some (f i)
+     with e ->
+       ignore (Atomic.compare_and_set failed None (Some e));
+       Atomic.set stop true);
+    jobs_run.(w) <- jobs_run.(w) + 1;
+    match progress with Some p -> p () | None -> ()
+  in
+  let rec steal_from w v tried =
+    if tried >= workers then None
+    else
+      match Deque.steal deques.(v) with
+      | Some i ->
+          steals.(w) <- steals.(w) + 1;
+          Some i
+      | None -> steal_from w ((v + 1) mod workers) (tried + 1)
+  in
+  let rec worker w =
+    if stopping () then ()
+    else
+      match Deque.pop deques.(w) with
+      | Some i ->
+          exec w i;
+          worker w
+      | None -> (
+          match steal_from w ((w + 1) mod workers) 0 with
+          | Some i ->
+              exec w i;
+              worker w
+          | None -> ())
+  in
+  (* worker 0 is the calling domain: workers = 1 spawns nothing *)
+  let spawned =
+    List.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+  in
+  worker 0;
+  List.iter Domain.join spawned;
+  (match Atomic.get failed with Some e -> raise e | None -> ());
+  { results; stats = { workers; jobs_run; steals; stopped = Atomic.get stop } }
+
+let map ?workers ~jobs f =
+  let o = run ?workers ~jobs f in
+  Array.map
+    (function
+      | Some x -> x
+      | None -> invalid_arg "Pool.map: pool stopped before all jobs ran")
+    o.results

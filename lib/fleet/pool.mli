@@ -1,0 +1,55 @@
+(** Domain-pool executor with per-worker deques and work-stealing
+    (PR 6 tentpole, layer 2).
+
+    [run ~jobs f] evaluates [f i] for every [i] in [0 .. jobs-1] across
+    a pool of OCaml domains. Job indices are block-partitioned onto
+    per-worker {!Deque}s; an idle worker steals from the cold end of its
+    neighbours. Results land in a slot array {e at their job index}, so
+    the caller always sees index order — completion order, worker count
+    and steal pattern are invisible, which is what makes fleet reports
+    byte-stable regardless of parallelism.
+
+    [f] runs on worker domains: it must not share mutable state across
+    jobs (each fleet job boots its own machine). A raised exception
+    stops the pool and is re-raised in the caller after all workers
+    join.
+
+    [workers = 1] degenerates to a plain sequential loop on the calling
+    domain — no domain is spawned; the single-run paths of the CLI are
+    exactly this special case. *)
+
+type stats = {
+  workers : int;
+  jobs_run : int array;  (** jobs executed, per worker *)
+  steals : int array;  (** jobs a worker obtained by stealing, per worker *)
+  stopped : bool;  (** [should_stop] fired before every job ran *)
+}
+
+type 'a outcome = {
+  results : 'a option array;
+      (** slot [i] holds [f i]; [None] only when the pool was stopped
+          before job [i] was reached *)
+  stats : stats;
+}
+
+(** Workers to use when the caller does not say: the host's recommended
+    domain count, clamped to [1 .. 8]. *)
+val default_workers : unit -> int
+
+(** [run ?workers ?progress ?should_stop ~jobs f] — execute the job
+    stream. [progress] is invoked once per completed job {e from worker
+    domains} (it must be thread-safe; an [Atomic] counter is the
+    intended use). [should_stop] is polled by every worker between jobs;
+    once it returns [true] no further job starts, in-flight jobs finish,
+    and unreached slots stay [None]. *)
+val run :
+  ?workers:int ->
+  ?progress:(unit -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  jobs:int ->
+  (int -> 'a) ->
+  'a outcome
+
+(** [map ?workers ~jobs f] — {!run} without cancellation: every slot is
+    filled, returned as a plain array in index order. *)
+val map : ?workers:int -> jobs:int -> (int -> 'a) -> 'a array

@@ -1,0 +1,250 @@
+module C = Camouflage
+
+type job_state =
+  | Running
+  | Done of string  (* single-line report JSON *)
+  | Cancelled
+  | Failed of string
+
+type entry = {
+  e_id : int;
+  e_kind : string;
+  e_total : int;
+  e_completed : int Atomic.t;
+  e_stop : bool Atomic.t;
+  e_state : job_state Atomic.t;
+  e_domain : unit Domain.t;
+  mutable e_joined : bool;
+}
+
+type t = { mutable next_id : int; entries : (int, entry) Hashtbl.t }
+
+let create () = { next_id = 1; entries = Hashtbl.create 16 }
+
+(* --- response rendering: tiny, single-line, deterministic field order *)
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let error fmt = Printf.ksprintf (fun m -> Printf.sprintf "{\"ok\": false, \"error\": \"%s\"}" (escape m)) fmt
+
+(* The report serializers are multi-line for humans; the protocol is
+   line-oriented, so fold the newlines away — everything inside strings
+   is already escaped, making this a pure formatting change. *)
+let single_line s = String.concat "" (String.split_on_char '\n' s)
+
+let state_name = function
+  | Running -> "running"
+  | Done _ -> "done"
+  | Cancelled -> "cancelled"
+  | Failed _ -> "failed"
+
+(* --- request field helpers *)
+
+let str_field obj name = Option.bind (Jsonin.member name obj) Jsonin.to_string
+let int_field obj name = Option.bind (Jsonin.member name obj) Jsonin.to_int
+let int64_field obj name = Option.bind (Jsonin.member name obj) Jsonin.to_int64
+let dflt d = Option.value ~default:d
+
+let config_of_name = function
+  | "full" -> Some C.Config.full
+  | "backward" -> Some C.Config.backward_only
+  | "compat" -> Some C.Config.compat
+  | "none" -> Some C.Config.none
+  | _ -> None
+
+exception Bad_request of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
+
+let bounded name lo hi v =
+  if v < lo || v > hi then bad "%s %d out of range (%d-%d)" name v lo hi;
+  v
+
+let parse_config obj =
+  match str_field obj "config" with
+  | None -> (C.Config.full, "full")
+  | Some name -> (
+      match config_of_name name with
+      | Some c -> (c, name)
+      | None -> bad "unknown config %S" name)
+
+(* --- job bookkeeping *)
+
+let register t ~kind ~total spawn =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let completed = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let state = Atomic.make Running in
+  let domain = spawn ~completed ~stop ~state in
+  Hashtbl.replace t.entries id
+    {
+      e_id = id;
+      e_kind = kind;
+      e_total = total;
+      e_completed = completed;
+      e_stop = stop;
+      e_state = state;
+      e_domain = domain;
+      e_joined = false;
+    };
+  Printf.sprintf "{\"ok\": true, \"id\": %d, \"kind\": \"%s\", \"total\": %d}" id
+    kind total
+
+let submit_faults t obj =
+  let config, config_name = parse_config obj in
+  let seed = dflt 42L (int64_field obj "seed") in
+  let trials = bounded "trials" 1 1_000_000 (dflt 16 (int_field obj "trials")) in
+  let workers =
+    bounded "workers" 1 64 (dflt (Pool.default_workers ()) (int_field obj "workers"))
+  in
+  let cpus = bounded "cpus" 1 16 (dflt 2 (int_field obj "cpus")) in
+  let tasks = bounded "tasks" 1 64 (dflt 4 (int_field obj "tasks")) in
+  let rounds = bounded "rounds" 1 10_000 (dflt 8 (int_field obj "rounds")) in
+  let quantum = bounded "quantum" 50 100_000 (dflt 400 (int_field obj "quantum")) in
+  let quarantine_after =
+    Option.map (bounded "quarantine" 1 1_000_000) (int_field obj "quarantine")
+  in
+  register t ~kind:"faults" ~total:trials (fun ~completed ~stop ~state ->
+      Domain.spawn (fun () ->
+          match
+            Campaign.run ~config ~config_name ~cpus ~tasks ~rounds ~quantum
+              ?quarantine_after ~workers ~telemetry:true
+              ~progress:(fun () -> Atomic.incr completed)
+              ~should_stop:(fun () -> Atomic.get stop)
+              ~seed ~trials ()
+          with
+          | Some result ->
+              Atomic.set state
+                (Done
+                   (single_line
+                      (Faultinj.Campaign.report_to_json
+                         result.Campaign.report)))
+          | None -> Atomic.set state Cancelled
+          | exception e -> Atomic.set state (Failed (Printexc.to_string e))))
+
+let submit_bruteforce t obj =
+  let config, _ = parse_config obj in
+  let seed = dflt 42L (int64_field obj "seed") in
+  let machines =
+    bounded "machines" 1 1_000_000 (dflt 8 (int_field obj "machines"))
+  in
+  let attempts = bounded "attempts" 1 100_000 (dflt 8 (int_field obj "attempts")) in
+  let workers =
+    bounded "workers" 1 64 (dflt (Pool.default_workers ()) (int_field obj "workers"))
+  in
+  let threshold = Option.map (bounded "threshold" 1 1_000_000) (int_field obj "threshold") in
+  register t ~kind:"bruteforce" ~total:machines (fun ~completed ~stop ~state ->
+      Domain.spawn (fun () ->
+          match
+            Sweep.run ~config ?threshold ~workers
+              ~progress:(fun () -> Atomic.incr completed)
+              ~should_stop:(fun () -> Atomic.get stop)
+              ~seed ~machines ~attempts ()
+          with
+          | Some (report, _) ->
+              Atomic.set state (Done (single_line (Sweep.report_to_json report)))
+          | None -> Atomic.set state Cancelled
+          | exception e -> Atomic.set state (Failed (Printexc.to_string e))))
+
+let find t obj =
+  match int_field obj "id" with
+  | None -> bad "request needs an integer \"id\""
+  | Some id -> (
+      match Hashtbl.find_opt t.entries id with
+      | Some e -> e
+      | None -> bad "unknown id %d" id)
+
+let status_response e =
+  let state = Atomic.get e.e_state in
+  let extra =
+    match state with
+    | Failed m -> Printf.sprintf ", \"error\": \"%s\"" (escape m)
+    | _ -> ""
+  in
+  Printf.sprintf
+    "{\"ok\": true, \"id\": %d, \"kind\": \"%s\", \"state\": \"%s\", \
+     \"completed\": %d, \"total\": %d%s}"
+    e.e_id e.e_kind (state_name state)
+    (min (Atomic.get e.e_completed) e.e_total)
+    e.e_total extra
+
+let report_response e =
+  match Atomic.get e.e_state with
+  | Done report ->
+      Printf.sprintf
+        "{\"ok\": true, \"id\": %d, \"kind\": \"%s\", \"state\": \"done\", \
+         \"report\": %s}"
+        e.e_id e.e_kind report
+  | state ->
+      error "job %d is %s, no report available" e.e_id (state_name state)
+
+let cancel_response e =
+  Atomic.set e.e_stop true;
+  Printf.sprintf "{\"ok\": true, \"id\": %d, \"state\": \"%s\"}" e.e_id
+    (match Atomic.get e.e_state with
+    | Running -> "cancelling"
+    | s -> state_name s)
+
+let drain t =
+  Hashtbl.iter
+    (fun _ e ->
+      if not e.e_joined then begin
+        e.e_joined <- true;
+        Domain.join e.e_domain
+      end)
+    t.entries
+
+let handle t line =
+  let continue = ref true in
+  let response =
+    match Jsonin.parse line with
+    | Result.Error msg -> error "parse error: %s" msg
+    | Result.Ok obj -> (
+        try
+          match str_field obj "req" with
+          | None -> error "request needs a \"req\" field"
+          | Some "ping" -> "{\"ok\": true, \"reply\": \"pong\"}"
+          | Some "submit" -> (
+              match str_field obj "kind" with
+              | Some "faults" -> submit_faults t obj
+              | Some "bruteforce" -> submit_bruteforce t obj
+              | Some other -> error "unknown kind %S (try: faults, bruteforce)" other
+              | None -> error "submit needs a \"kind\" field")
+          | Some "status" -> status_response (find t obj)
+          | Some "report" -> report_response (find t obj)
+          | Some "cancel" -> cancel_response (find t obj)
+          | Some "shutdown" ->
+              continue := false;
+              "{\"ok\": true, \"reply\": \"bye\"}"
+          | Some other -> error "unknown req %S" other
+        with Bad_request m -> error "%s" m)
+  in
+  (response, !continue)
+
+let loop ?(input = stdin) ?(output = stdout) t =
+  let rec go () =
+    match input_line input with
+    | exception End_of_file -> ()
+    | line when String.trim line = "" -> go ()
+    | line ->
+        let response, continue = handle t line in
+        output_string output response;
+        output_char output '\n';
+        flush output;
+        if continue then go ()
+  in
+  go ();
+  drain t

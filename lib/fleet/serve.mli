@@ -1,0 +1,46 @@
+(** [camouflage serve]: a long-running campaign control plane speaking a
+    line-oriented JSON protocol (PR 6 tentpole, layer 4).
+
+    One request object per line on stdin, one response object per line
+    on stdout. Submitted campaigns run asynchronously on a spawned
+    domain (whose internal worker pool is itself sized by the request),
+    so external drivers can pump many concurrent campaigns at one server
+    and poll for completion.
+
+    Requests ([{"req": ...}]):
+    - [ping] — liveness check.
+    - [submit] — start a campaign. [kind] is ["faults"] (fields: seed,
+      trials, workers, cpus, tasks, rounds, quantum, quarantine, config)
+      or ["bruteforce"] (fields: seed, machines, attempts, workers,
+      threshold, config). Replies with a fresh job [id].
+    - [status] — [{"id": n}]: state (running / done / cancelled /
+      failed) plus completed/total job counts.
+    - [report] — [{"id": n}]: the merged report as an embedded JSON
+      object, available once state is done. Fault-campaign reports are
+      the byte-stable {!Faultinj.Campaign.report_to_json} rendering
+      (newlines folded, since the protocol is line-oriented).
+    - [cancel] — [{"id": n}]: stop scheduling the job's remaining
+      work; in-flight trials finish, the report is discarded.
+    - [shutdown] — drain running jobs and exit the loop.
+
+    Every malformed request (bad JSON, missing or unknown fields,
+    unknown id, out-of-range parameters) gets a structured
+    [{"ok": false, "error": ...}] response; nothing kills the server. *)
+
+type t
+
+val create : unit -> t
+
+(** [handle t line] — process one request line, returning the response
+    line (no trailing newline) and [false] when the server should stop
+    ([shutdown]). Exposed so tests can drive the protocol without
+    channels. *)
+val handle : t -> string -> string * bool
+
+(** [drain t] — join every spawned campaign domain. Idempotent; called
+    by {!loop} on shutdown/EOF. *)
+val drain : t -> unit
+
+(** [loop t] — serve until [shutdown] or EOF on [input] (defaults:
+    stdin/stdout). Responses are flushed per line. *)
+val loop : ?input:in_channel -> ?output:out_channel -> t -> unit

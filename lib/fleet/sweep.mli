@@ -1,0 +1,72 @@
+(** Fleet job kinds beyond fault campaigns: PAC brute-force sweeps and
+    bench-style throughput sweeps.
+
+    A brute-force sweep boots [machines] independent systems, runs the
+    {!Attacks.Bruteforce_attack} guessing loop on each with a seed
+    derived from [(seed, index)], checks the kernel's SMP accounting
+    invariant ({!Camouflage.Bruteforce.audit}) on every machine, and
+    merges per-machine results by job index into a byte-stable report —
+    the paper's Section 5.4 mitigation measured across a fleet instead
+    of one box.
+
+    A throughput sweep runs [jobs] independent
+    {!Workloads.Smp.run_point} instances — the unit of work [bench
+    fleet] uses to measure the engine's own jobs/sec scaling. *)
+
+type machine_report = {
+  m_index : int;
+  m_attempts : int;  (** guesses actually made (early stop on panic) *)
+  m_successes : int;  (** forged PACs that authenticated *)
+  m_detected : int;  (** PAC failures recorded *)
+  m_panicked : bool;  (** brute-force threshold fired *)
+  m_audit_ok : bool;  (** global = per-CPU sums = log length invariant *)
+}
+
+type report = {
+  sw_seed : int64;
+  sw_machines : int;
+  sw_attempts : int;  (** budget per machine *)
+  sw_threshold : int;
+  sw_config_name : string;
+  sw_total_attempts : int;
+  sw_total_successes : int;
+  sw_total_detected : int;
+  sw_panicked : int;  (** machines that halted *)
+  sw_audit_failures : int;  (** machines whose accounting broke — 0 or bug *)
+  sw_machine_list : machine_report list;  (** in index order *)
+}
+
+(** [run ~seed ~machines ~attempts ()] — the sweep. [threshold]
+    overrides the config's brute-force panic threshold. Deterministic:
+    the same arguments give the same report for every worker count. *)
+val run :
+  ?config:Camouflage.Config.t ->
+  ?threshold:int ->
+  ?workers:int ->
+  ?progress:(unit -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  seed:int64 ->
+  machines:int ->
+  attempts:int ->
+  unit ->
+  (report * Pool.stats) option
+
+(** Deterministic JSON: fixed field order, byte-stable. *)
+val report_to_json : ?machine_detail:bool -> report -> string
+
+val report_to_string : report -> string
+
+(** [bench_points ~seed ~jobs ()] — [jobs] independent single-machine
+    SMP workload points (seed derived per index), merged in index order.
+    The simulated numbers are identical for every worker count; only
+    wall-clock changes, which is the quantity [bench fleet] reports. *)
+val bench_points :
+  ?config:Camouflage.Config.t ->
+  ?workers:int ->
+  ?cpus:int ->
+  ?tasks:int ->
+  ?rounds:int ->
+  seed:int64 ->
+  jobs:int ->
+  unit ->
+  Workloads.Smp.point array * Pool.stats

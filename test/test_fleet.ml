@@ -1,0 +1,308 @@
+(* PR 6: the fleet engine. Deque semantics, pool determinism and
+   cancellation, campaign/sweep byte-stability across worker counts
+   (including against the legacy sequential path), telemetry merging,
+   the serve control-plane protocol, and the JSON reader. *)
+
+module F = Fleet
+
+(* --- deque -------------------------------------------------------- *)
+
+let test_deque_semantics () =
+  let d = F.Deque.create () in
+  Alcotest.(check bool) "fresh deque is empty" true (F.Deque.is_empty d);
+  Alcotest.(check (option int)) "pop on empty" None (F.Deque.pop d);
+  Alcotest.(check (option int)) "steal on empty" None (F.Deque.steal d);
+  List.iter (fun i -> F.Deque.push d i) [ 1; 2; 3; 4 ];
+  Alcotest.(check int) "length" 4 (F.Deque.length d);
+  (* owner pops the hot (most recent) end... *)
+  Alcotest.(check (option int)) "pop is LIFO" (Some 4) (F.Deque.pop d);
+  (* ...thieves take the cold (oldest) end *)
+  Alcotest.(check (option int)) "steal is FIFO" (Some 1) (F.Deque.steal d);
+  Alcotest.(check (option int)) "steal again" (Some 2) (F.Deque.steal d);
+  Alcotest.(check (option int)) "pop the rest" (Some 3) (F.Deque.pop d);
+  Alcotest.(check bool) "drained" true (F.Deque.is_empty d)
+
+(* --- pool --------------------------------------------------------- *)
+
+let test_pool_map_matches_sequential () =
+  let f i = (i * i) + 7 in
+  let expected = Array.init 40 f in
+  List.iter
+    (fun workers ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map at %d workers = sequential" workers)
+        expected
+        (F.Pool.map ~workers ~jobs:40 f))
+    [ 1; 2; 3; 8 ]
+
+let test_pool_accounts_every_job () =
+  let outcome = F.Pool.run ~workers:4 ~jobs:33 (fun i -> i) in
+  Alcotest.(check int) "worker count recorded" 4
+    outcome.F.Pool.stats.F.Pool.workers;
+  Alcotest.(check int) "every job ran exactly once" 33
+    (Array.fold_left ( + ) 0 outcome.F.Pool.stats.F.Pool.jobs_run);
+  Alcotest.(check bool) "not stopped" false outcome.F.Pool.stats.F.Pool.stopped;
+  Array.iteri
+    (fun i slot ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "slot %d filled in index order" i)
+        (Some i) slot)
+    outcome.F.Pool.results
+
+let test_pool_cancellation () =
+  let completed = Atomic.make 0 in
+  let outcome =
+    F.Pool.run ~workers:2 ~jobs:100
+      ~progress:(fun () -> Atomic.incr completed)
+      ~should_stop:(fun () -> Atomic.get completed >= 5)
+      (fun i -> i)
+  in
+  Alcotest.(check bool) "stop latched" true outcome.F.Pool.stats.F.Pool.stopped;
+  Alcotest.(check bool) "some jobs were shed" true
+    (Array.exists Option.is_none outcome.F.Pool.results);
+  let ran = Array.fold_left ( + ) 0 outcome.F.Pool.stats.F.Pool.jobs_run in
+  Alcotest.(check bool)
+    (Printf.sprintf "completed count bounded (ran %d)" ran)
+    true
+    (ran >= 5 && ran < 100)
+
+let test_pool_propagates_exceptions () =
+  match F.Pool.run ~workers:3 ~jobs:12 (fun i -> if i = 7 then failwith "boom" else i) with
+  | exception Failure m -> Alcotest.(check string) "original exception" "boom" m
+  | _ -> Alcotest.fail "worker exception was swallowed"
+
+(* --- fleet campaign: byte-stable across worker counts -------------- *)
+
+let campaign_json ?telemetry workers =
+  let result =
+    Option.get (F.Campaign.run ?telemetry ~workers ~seed:5L ~trials:6 ())
+  in
+  (Faultinj.Campaign.report_to_json result.F.Campaign.report, result)
+
+let test_campaign_workers_byte_identical () =
+  let w1, _ = campaign_json 1 in
+  let w2, _ = campaign_json 2 in
+  let w8, _ = campaign_json 8 in
+  Alcotest.(check string) "1 worker = 2 workers" w1 w2;
+  Alcotest.(check string) "1 worker = 8 workers" w1 w8
+
+let test_campaign_matches_legacy_sequential () =
+  let legacy =
+    Faultinj.Campaign.report_to_json
+      (Faultinj.Campaign.run ~seed:5L ~trials:6 ())
+  in
+  let fleet, _ = campaign_json 3 in
+  Alcotest.(check string) "fleet report = legacy sequential report" legacy fleet
+
+let test_campaign_telemetry_merge () =
+  let plain, _ = campaign_json 2 in
+  let observed, result = campaign_json ~telemetry:true 2 in
+  (* observation stays pure: the report bytes cannot move *)
+  Alcotest.(check string) "telemetry does not perturb the report" plain observed;
+  match result.F.Campaign.telemetry with
+  | None -> Alcotest.fail "telemetry summary missing"
+  | Some t ->
+      Alcotest.(check bool) "merged counters retired work" true
+        (Int64.compare t.F.Campaign.counters.Telemetry.Counters.retired 0L > 0);
+      Alcotest.(check bool) "event rings observed" true (t.F.Campaign.events > 0)
+
+(* --- brute-force sweep -------------------------------------------- *)
+
+let sweep_json workers =
+  let report, _ =
+    Option.get (F.Sweep.run ~workers ~seed:9L ~machines:6 ~attempts:8 ())
+  in
+  report
+
+let test_sweep_workers_byte_identical () =
+  let w1 = sweep_json 1 and w3 = sweep_json 3 in
+  Alcotest.(check string) "sweep report byte-identical across workers"
+    (F.Sweep.report_to_json w1) (F.Sweep.report_to_json w3)
+
+let test_sweep_audits_and_threshold () =
+  let r = sweep_json 2 in
+  Alcotest.(check int) "accounting audit passes on every machine" 0
+    r.F.Sweep.sw_audit_failures;
+  Alcotest.(check int) "default threshold keeps machines alive" 0
+    r.F.Sweep.sw_panicked;
+  Alcotest.(check int) "every machine made its guesses" (6 * 8)
+    r.F.Sweep.sw_total_attempts;
+  (* a tight threshold must halt every machine before its budget *)
+  let tight, _ =
+    Option.get
+      (F.Sweep.run ~threshold:4 ~workers:2 ~seed:9L ~machines:6 ~attempts:8 ())
+  in
+  Alcotest.(check int) "threshold 4: every machine panics" 6
+    tight.F.Sweep.sw_panicked;
+  Alcotest.(check bool) "panic stops the guessing loop early" true
+    (tight.F.Sweep.sw_total_attempts < 6 * 8)
+
+(* --- jsonin ------------------------------------------------------- *)
+
+let parse_ok s =
+  match F.Jsonin.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("jsonin rejected " ^ s ^ ": " ^ e)
+
+let test_jsonin_basics () =
+  let v = parse_ok {|{"a": 1, "b": [true, null, "xA\n"], "c": -2.5}|} in
+  Alcotest.(check (option int)) "int member" (Some 1)
+    (Option.bind (F.Jsonin.member "a" v) F.Jsonin.to_int);
+  (match F.Jsonin.member "b" v with
+  | Some (F.Jsonin.List [ F.Jsonin.Bool true; F.Jsonin.Null; F.Jsonin.Str s ]) ->
+      Alcotest.(check string) "escapes decoded" "xA\n" s
+  | _ -> Alcotest.fail "list member shape");
+  Alcotest.(check (option (float 1e-9))) "float member" (Some (-2.5))
+    (Option.bind (F.Jsonin.member "c" v) F.Jsonin.to_float);
+  (match F.Jsonin.parse "{\"a\": 1} junk" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match F.Jsonin.parse "{nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed object accepted"
+
+let test_jsonin_reads_campaign_report () =
+  let report =
+    Faultinj.Campaign.report_to_json (Faultinj.Campaign.run ~seed:3L ~trials:4 ())
+  in
+  let v = parse_ok report in
+  Alcotest.(check (option string)) "campaign tag" (Some "camouflage-faultinj")
+    (Option.bind (F.Jsonin.member "campaign" v) F.Jsonin.to_string);
+  Alcotest.(check (option int)) "trials round-trips" (Some 4)
+    (Option.bind (F.Jsonin.member "trials" v) F.Jsonin.to_int);
+  match F.Jsonin.member "trial_list" v with
+  | Some (F.Jsonin.List l) ->
+      Alcotest.(check int) "one row per trial" 4 (List.length l)
+  | _ -> Alcotest.fail "trial_list missing"
+
+(* --- serve: the control-plane protocol ----------------------------- *)
+
+let request srv fmt =
+  Printf.ksprintf
+    (fun line ->
+      let response, _ = F.Serve.handle srv line in
+      parse_ok response)
+    fmt
+
+let str_of v name = Option.bind (F.Jsonin.member name v) F.Jsonin.to_string
+let int_of v name = Option.bind (F.Jsonin.member name v) F.Jsonin.to_int
+let is_ok v = Option.bind (F.Jsonin.member "ok" v) F.Jsonin.to_bool = Some true
+
+let poll srv id ~until =
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let rec go () =
+    let v = request srv {|{"req": "status", "id": %d}|} id in
+    match str_of v "state" with
+    | Some s when List.mem s until -> (s, v)
+    | Some _ when Unix.gettimeofday () < deadline ->
+        Unix.sleepf 0.02;
+        go ()
+    | Some s -> Alcotest.fail (Printf.sprintf "job %d stuck in state %s" id s)
+    | None -> Alcotest.fail "status response carries no state"
+  in
+  go ()
+
+let test_serve_round_trip () =
+  let srv = F.Serve.create () in
+  let pong = request srv {|{"req": "ping"}|} in
+  Alcotest.(check (option string)) "ping" (Some "pong") (str_of pong "reply");
+  let sub =
+    request srv
+      {|{"req": "submit", "kind": "faults", "seed": 5, "trials": 4, "workers": 2}|}
+  in
+  Alcotest.(check bool) "submit accepted" true (is_ok sub);
+  let id = Option.get (int_of sub "id") in
+  Alcotest.(check (option int)) "total echoes trials" (Some 4) (int_of sub "total");
+  let state, status = poll srv id ~until:[ "done"; "failed" ] in
+  Alcotest.(check string) "campaign completes" "done" state;
+  Alcotest.(check (option int)) "progress reached total" (Some 4)
+    (int_of status "completed");
+  let rep = request srv {|{"req": "report", "id": %d}|} id in
+  Alcotest.(check bool) "report fetch ok" true (is_ok rep);
+  let report = Option.get (F.Jsonin.member "report" rep) in
+  Alcotest.(check (option string)) "embedded campaign report"
+    (Some "camouflage-faultinj")
+    (str_of report "campaign");
+  (* the served report carries the same trial outcomes as a direct run *)
+  Alcotest.(check (option int)) "served trials" (Some 4) (int_of report "trials");
+  F.Serve.drain srv
+
+let test_serve_rejects_malformed () =
+  let srv = F.Serve.create () in
+  let checks =
+    [
+      ("bad JSON", "{nope");
+      ("missing req", {|{"id": 3}|});
+      ("unknown req", {|{"req": "frobnicate"}|});
+      ("unknown kind", {|{"req": "submit", "kind": "pizza"}|});
+      ("unknown id", {|{"req": "status", "id": 99}|});
+      ("report before submit", {|{"req": "report", "id": 99}|});
+      ("out-of-range workers", {|{"req": "submit", "kind": "faults", "workers": 0}|});
+    ]
+  in
+  List.iter
+    (fun (label, line) ->
+      let v = parse_ok (fst (F.Serve.handle srv line)) in
+      Alcotest.(check bool) (label ^ ": rejected") false (is_ok v);
+      Alcotest.(check bool)
+        (label ^ ": error is explained")
+        true
+        (match str_of v "error" with Some e -> e <> "" | None -> false))
+    checks;
+  (* a garbage line must not kill the server *)
+  let pong = request srv {|{"req": "ping"}|} in
+  Alcotest.(check bool) "server survives" true (is_ok pong);
+  F.Serve.drain srv
+
+let test_serve_cancel_and_shutdown () =
+  let srv = F.Serve.create () in
+  let sub =
+    request srv
+      {|{"req": "submit", "kind": "bruteforce", "seed": 9, "machines": 400, "attempts": 8, "workers": 2}|}
+  in
+  let id = Option.get (int_of sub "id") in
+  let cancel = request srv {|{"req": "cancel", "id": %d}|} id in
+  Alcotest.(check bool) "cancel accepted" true (is_ok cancel);
+  let state, _ = poll srv id ~until:[ "cancelled"; "done" ] in
+  Alcotest.(check string) "job cancelled" "cancelled" state;
+  let rep = request srv {|{"req": "report", "id": %d}|} id in
+  Alcotest.(check bool) "no report after cancel" false (is_ok rep);
+  let bye, continue = F.Serve.handle srv {|{"req": "shutdown"}|} in
+  Alcotest.(check bool) "shutdown stops the loop" false continue;
+  Alcotest.(check (option string)) "shutdown acks" (Some "bye")
+    (str_of (parse_ok bye) "reply");
+  F.Serve.drain srv
+
+let suite =
+  [
+    Alcotest.test_case "deque: owner LIFO, thief FIFO" `Quick
+      test_deque_semantics;
+    Alcotest.test_case "pool map = sequential at any width" `Quick
+      test_pool_map_matches_sequential;
+    Alcotest.test_case "pool runs every job exactly once" `Quick
+      test_pool_accounts_every_job;
+    Alcotest.test_case "pool cancellation sheds queued jobs" `Quick
+      test_pool_cancellation;
+    Alcotest.test_case "pool re-raises worker exceptions" `Quick
+      test_pool_propagates_exceptions;
+    Alcotest.test_case "campaign bytes: workers 1 = 2 = 8" `Quick
+      test_campaign_workers_byte_identical;
+    Alcotest.test_case "campaign bytes: fleet = legacy sequential" `Quick
+      test_campaign_matches_legacy_sequential;
+    Alcotest.test_case "campaign telemetry merges without perturbing" `Quick
+      test_campaign_telemetry_merge;
+    Alcotest.test_case "sweep bytes: workers 1 = 3" `Quick
+      test_sweep_workers_byte_identical;
+    Alcotest.test_case "sweep audits pass; tight threshold panics" `Quick
+      test_sweep_audits_and_threshold;
+    Alcotest.test_case "jsonin: values, escapes, rejects garbage" `Quick
+      test_jsonin_basics;
+    Alcotest.test_case "jsonin reads a campaign report" `Quick
+      test_jsonin_reads_campaign_report;
+    Alcotest.test_case "serve: submit, poll, fetch report" `Quick
+      test_serve_round_trip;
+    Alcotest.test_case "serve: malformed requests get errors" `Quick
+      test_serve_rejects_malformed;
+    Alcotest.test_case "serve: cancel and shutdown" `Quick
+      test_serve_cancel_and_shutdown;
+  ]

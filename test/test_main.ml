@@ -24,5 +24,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("faultinj", Test_faultinj.suite);
       ("telemetry", Test_telemetry.suite);
+      ("fleet", Test_fleet.suite);
       ("misc", Test_misc.suite);
     ]

@@ -372,6 +372,43 @@ let test_attribution_accounts_for_overhead () =
   Alcotest.(check bool) "folded stacks carry origins" true
     (String.length camo.Workloads.Calls.attr_folded > 0)
 
+(* --- merge is a commutative monoid (PR 6 satellite) ----------------
+   The fleet engine folds per-job counter files in index order and
+   relies on any other fold order being equivalent; that is exactly the
+   commutative-monoid law for [merge] with [zero] as identity. *)
+
+let snapshot_gen =
+  let open QCheck2.Gen in
+  let i64 = map Int64.of_int (int_range 0 1_000_000) in
+  map
+    (fun (f, classes) ->
+      {
+        T.Counters.retired = f.(0);
+        cycles = f.(1);
+        classes;
+        auth_failures = f.(2);
+        key_installs = f.(3);
+        exception_entries = f.(4);
+        exception_returns = f.(5);
+        mmu_walks = f.(6);
+        ipis_sent = f.(7);
+        ipis_received = f.(8);
+      })
+    (pair
+       (array_size (return 9) i64)
+       (array_size (return T.Counters.class_count) i64))
+
+let prop_merge_monoid =
+  QCheck2.Test.make ~name:"Counters.merge: commutative monoid with zero"
+    ~count:200
+    QCheck2.Gen.(triple snapshot_gen snapshot_gen snapshot_gen)
+    (fun (a, b, c) ->
+      T.Counters.merge a b = T.Counters.merge b a
+      && T.Counters.merge (T.Counters.merge a b) c
+         = T.Counters.merge a (T.Counters.merge b c)
+      && T.Counters.merge T.Counters.zero a = a
+      && T.Counters.merge a T.Counters.zero = a)
+
 let suite =
   [
     Alcotest.test_case "per-class counts sum to retired" `Quick
@@ -381,6 +418,7 @@ let suite =
     Alcotest.test_case "same seed: identical counters" `Quick
       test_same_seed_counters_identical;
     Alcotest.test_case "snapshot diff and merge" `Quick test_diff_and_merge;
+    QCheck_alcotest.to_alcotest prop_merge_monoid;
     Alcotest.test_case "run_smp trace is deterministic" `Quick
       test_run_smp_trace_deterministic;
     Alcotest.test_case "trace covers the event taxonomy" `Quick
