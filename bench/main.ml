@@ -764,6 +764,104 @@ let fleet () =
   row "\nevery worker count produced bit-identical simulated results; the\n";
   row "speedup column is host-hardware-limited, like the parallel experiment.\n"
 
+(* LINT: the whole-image interprocedural analyzer under the fleet
+   engine. Two contracts: (1) determinism — diagnostics and gadget
+   census of the full kernel image are byte-identical whether the
+   per-function rounds run sequentially or on 2/8 work-stealing
+   domains (hard failure if not); (2) scaling — a batch of whole-image
+   lints fanned out over the pool, wall-clock only, bounded by host
+   cores like every parallel experiment. The census quantities of the
+   colliding schemes are emitted as seeded metrics so CI can pin
+   them. *)
+let lint_bench () =
+  header "LINT whole-image analyzer: determinism + worker scaling";
+  let configs =
+    [
+      C.Config.full;
+      C.Config.backward_only;
+      C.Config.compat;
+      C.Config.none;
+      { C.Config.backward_only with scheme = C.Modifier.Sp_only };
+      { C.Config.backward_only with scheme = C.Modifier.Parts 0x7357L };
+      { C.Config.backward_only with scheme = C.Modifier.Chained };
+    ]
+  in
+  let par workers =
+    if workers <= 1 then Paclint.Lint.seq_par
+    else
+      { Paclint.Lint.pmap = (fun ~jobs f -> Fleet.Pool.map ~workers ~jobs f) }
+  in
+  let fingerprint (r : K.Kbuild.lint_report) =
+    Paclint.Census.to_json r.K.Kbuild.census
+    ^ Paclint.Diag.list_to_json r.K.Kbuild.diags
+  in
+  (* determinism of the inner per-function parallelism *)
+  let fps =
+    List.map
+      (fun w -> (w, fingerprint (K.Kbuild.lint_report ~par:(par w) C.Config.full)))
+      [ 1; 2; 8 ]
+  in
+  let _, base_fp = List.hd fps in
+  List.iter
+    (fun (w, fp) ->
+      if fp <> base_fp then
+        failwith
+          (Printf.sprintf
+             "lint bench: report diverged at %d workers (determinism broken)" w))
+    fps;
+  row "full-image report byte-identical for workers in {1, 2, 8}\n";
+  metric ~experiment:"lint" ~name:"deterministic" ~value:1.0 ~unit_:"bool";
+  (* seeded census quantities CI pins *)
+  List.iter
+    (fun config ->
+      let r = K.Kbuild.lint_report config in
+      let errors = List.filter Paclint.Diag.is_error r.K.Kbuild.diags in
+      let pairs = Attacks.Census_check.frame_replay_pairs r.K.Kbuild.census in
+      let name = slug (C.Config.name config) in
+      row "%-44s %3d diags, %d errors, %5d frame-replay pairs\n"
+        (C.Config.name config)
+        (List.length r.K.Kbuild.diags)
+        (List.length errors) pairs;
+      metric ~experiment:"lint" ~name:(name ^ "-errors")
+        ~value:(float_of_int (List.length errors))
+        ~unit_:"count";
+      metric ~experiment:"lint" ~name:(name ^ "-frame-replay-pairs")
+        ~value:(float_of_int pairs) ~unit_:"count")
+    configs;
+  (* wall-clock scaling over a batch of whole-image lints *)
+  let n = List.length configs in
+  let jobs = 2 * n in
+  let arr = Array.of_list configs in
+  let run workers =
+    let t0 = Unix.gettimeofday () in
+    let out =
+      Fleet.Pool.map ~workers ~jobs (fun i ->
+          fingerprint (K.Kbuild.lint_report arr.(i mod n)))
+    in
+    (Unix.gettimeofday () -. t0, out)
+  in
+  ignore (run 1) (* warm up *);
+  let base_wall, base_out = run 1 in
+  row "\n%d whole-image lints per run, host offers %d cores\n\n" jobs
+    (Domain.recommended_domain_count ());
+  row "%-8s %10s %12s %9s\n" "workers" "wall (s)" "lints/sec" "speedup";
+  List.iter
+    (fun w ->
+      let wall, out = run w in
+      if out <> base_out then
+        failwith
+          (Printf.sprintf
+             "lint bench: batch diverged at %d workers (determinism broken)" w);
+      let speedup = base_wall /. wall in
+      row "%-8d %10.3f %12.1f %8.2fx\n" w wall
+        (float_of_int jobs /. wall)
+        speedup;
+      metric ~experiment:"lint"
+        ~name:(Printf.sprintf "%d-workers-speedup" w)
+        ~value:speedup ~unit_:"ratio")
+    [ 1; 2; 4 ];
+  row "\nwall-clock speedup is host-hardware-limited, like the fleet experiment.\n"
+
 (* Bechamel wall-time suite: how fast the simulator itself is. *)
 let bechamel_suite () =
   let open Bechamel in
@@ -913,6 +1011,7 @@ let experiments =
     ("e10", e10);
     ("sim", sim);
     ("fleet", fleet);
+    ("lint", lint_bench);
     ("parallel", parallel);
     ("oracle", oracle);
     ("a1", a1);

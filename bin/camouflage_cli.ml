@@ -13,6 +13,7 @@ let config_of_string = function
   | "none" -> Ok C.Config.none
   | "sp-only" -> Ok { C.Config.backward_only with scheme = C.Modifier.Sp_only }
   | "parts" -> Ok { C.Config.backward_only with scheme = C.Modifier.Parts 0x7357L }
+  | "chained" -> Ok { C.Config.backward_only with scheme = C.Modifier.Chained }
   | s -> Error (`Msg (Printf.sprintf "unknown config %S" s))
 
 let config_conv =
@@ -21,7 +22,7 @@ let config_conv =
       fun fmt config -> Format.pp_print_string fmt (C.Config.name config) )
 
 let config_arg =
-  let doc = "Protection configuration: full, backward, compat, none, sp-only, parts." in
+  let doc = "Protection configuration: full, backward, compat, none, sp-only, parts, chained." in
   Arg.(value & opt config_conv C.Config.full & info [ "c"; "config" ] ~docv:"CONFIG" ~doc)
 
 let seed_arg =
@@ -304,29 +305,172 @@ let stats_cmd =
 
 let lint_cmd =
   let json_arg =
-    let doc = "Emit diagnostics as a JSON array instead of human-readable lines." in
+    let doc = "Emit the selected report as byte-stable JSON instead of text." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run config json =
-    let diags = K.Kbuild.lint config in
+  let calls_arg =
+    let doc = "Print the reconstructed call graph instead of diagnostics." in
+    Arg.(value & flag & info [ "calls" ] ~doc)
+  in
+  let gadgets_arg =
+    let doc =
+      "Print the modifier-collision gadget census (every PAC/AUT site \
+       partitioned by key and modifier-expression class, cross-function \
+       substitution pairs, static forgery probability) instead of \
+       diagnostics."
+    in
+    Arg.(value & flag & info [ "gadgets" ] ~doc)
+  in
+  let scheme_arg =
+    let parse s =
+      match Paclint.Rules.scheme_of_string s with
+      | Some sc -> Ok sc
+      | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+    in
+    let sconv =
+      Arg.conv
+        (parse, fun fmt sc -> Format.pp_print_string fmt (Paclint.Rules.scheme_name sc))
+    in
+    let doc =
+      "Override the rule pack: generic, sp-only, parts, camouflage, chained. \
+       Default: the pack matching the configuration's own scheme."
+    in
+    Arg.(value & opt (some sconv) None & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+  in
+  let workers_arg =
+    let doc =
+      "Run the per-function analysis rounds on $(docv) fleet worker domains. \
+       Diagnostics and census are byte-identical for every worker count."
+    in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let module_arg =
+    let doc =
+      "Lint a standalone .kelf module object (written by $(b,camouflage \
+       modgen)) against the kernel export surface instead of the kernel \
+       image."
+    in
+    Arg.(value & opt (some string) None & info [ "module" ] ~docv:"FILE" ~doc)
+  in
+  let run config json calls gadgets scheme workers module_path =
+    let par =
+      if workers <= 1 then Paclint.Lint.seq_par
+      else { Paclint.Lint.pmap = (fun ~jobs f -> Fleet.Pool.map ~workers ~jobs f) }
+    in
+    let subject, report =
+      match module_path with
+      | None -> (C.Config.name config ^ " kernel image", K.Kbuild.lint_report ~par ?scheme config)
+      | Some path -> (
+          match Kelf.Object_file.read_file path with
+          | Ok obj ->
+              ( Printf.sprintf "%s (module %s, %s exports)" obj.Kelf.Object_file.obj_name
+                  path "kernel",
+                K.Kbuild.lint_module ~par ?scheme config obj )
+          | Error e ->
+              Printf.eprintf "%s\n" e;
+              exit 2)
+    in
+    let diags = report.K.Kbuild.diags in
     let errors = List.filter Paclint.Diag.is_error diags in
-    if json then print_string (Paclint.Diag.list_to_json diags)
+    let summary = report.K.Kbuild.summary in
+    if calls then begin
+      let cg = summary.Paclint.Summary.cg in
+      if json then print_string (Paclint.Callgraph.to_json cg)
+      else begin
+        Array.iter
+          (fun fn ->
+            Printf.printf "%s (0x%Lx, %d insns)\n"
+              (match fn.Paclint.Callgraph.name with
+              | Some n -> n
+              | None -> "<anon>")
+              fn.Paclint.Callgraph.entry
+              (fn.Paclint.Callgraph.hi - fn.Paclint.Callgraph.lo);
+            List.iter
+              (fun c ->
+                Printf.printf "  %Lx: %s -> %s\n" c.Paclint.Callgraph.site
+                  (match c.Paclint.Callgraph.kind with
+                  | Paclint.Callgraph.Direct -> "bl  "
+                  | Paclint.Callgraph.Indirect -> "blr "
+                  | Paclint.Callgraph.Tail -> "tail")
+                  (match c.Paclint.Callgraph.target with
+                  | Some t -> (
+                      match Paclint.Callgraph.fn_index cg t with
+                      | Some j -> (
+                          match cg.Paclint.Callgraph.fns.(j).Paclint.Callgraph.name with
+                          | Some n -> n
+                          | None -> Printf.sprintf "0x%Lx" t)
+                      | None -> Printf.sprintf "0x%Lx (external)" t)
+                  | None -> "?unresolved"))
+              fn.Paclint.Callgraph.calls)
+          cg.Paclint.Callgraph.fns;
+        Printf.printf
+          "%s: %d functions, %d unresolved indirect call sites, %d summary rounds\n"
+          subject
+          (Array.length cg.Paclint.Callgraph.fns)
+          (Paclint.Callgraph.unresolved_count cg)
+          summary.Paclint.Summary.rounds
+      end
+    end
+    else if gadgets then begin
+      let census = report.K.Kbuild.census in
+      if json then print_string (Paclint.Census.to_json census)
+      else begin
+        print_string (Paclint.Census.table census);
+        let sc =
+          match scheme with
+          | Some sc -> sc
+          | None -> C.Verifier.rules_scheme config
+        in
+        Printf.printf "\nrule pack (%s):\n" (Paclint.Rules.scheme_name sc);
+        List.iter
+          (fun r ->
+            Printf.printf "  %-24s %s\n" r.Paclint.Rules.name r.Paclint.Rules.describes)
+          (Paclint.Rules.pack sc)
+      end
+    end
+    else if json then print_string (Paclint.Diag.list_to_json diags)
     else begin
-      List.iter
-        (fun d -> Printf.printf "%s\n" (Paclint.Diag.to_string d))
-        diags;
-      Printf.printf "%s kernel image: %d diagnostics (%d errors, %d warnings)\n"
-        (C.Config.name config) (List.length diags) (List.length errors)
+      List.iter (fun d -> Printf.printf "%s\n" (Paclint.Diag.to_string d)) diags;
+      Printf.printf "%s: %d diagnostics (%d errors, %d warnings/notes)\n" subject
+        (List.length diags) (List.length errors)
         (List.length diags - List.length errors)
     end;
     if errors <> [] then exit 1
   in
   let doc =
-    "Statically lint the kernel image with the PAC-state analyzer \
-     (CFG reconstruction + abstract interpretation); exit non-zero on \
-     error-severity findings."
+    "Statically lint the kernel image (or a .kelf module with \
+     $(b,--module)) with the whole-image interprocedural PAC analyzer: \
+     call-graph reconstruction, per-function summaries to fixpoint, the \
+     modifier-collision gadget census and the scheme's rule pack; exit \
+     non-zero on error-severity findings."
   in
-  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ config_arg $ json_arg)
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ config_arg $ json_arg $ calls_arg $ gadgets_arg $ scheme_arg
+      $ workers_arg $ module_arg)
+
+let modgen_cmd =
+  let dir_arg =
+    let doc = "Directory to write the sample .kelf objects into." in
+    Arg.(value & opt string "." & info [ "o"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let run config dir =
+    List.iter
+      (fun (base, obj) ->
+        let path = Filename.concat dir (base ^ ".kelf") in
+        Kelf.Object_file.write_file path obj;
+        Printf.printf "wrote %s (%d functions, %d instructions)\n" path
+          (List.length obj.Kelf.Object_file.functions)
+          (Kelf.Object_file.text_instruction_count obj))
+      (Kelf.Samples.all config)
+  in
+  let doc =
+    "Write the sample .kelf module objects (a clean module and the \
+     cross-function signing-oracle / modifier-collision fixture) for the \
+     $(b,lint --module) workflow. A .kelf file is readable only by the \
+     binary that wrote it."
+  in
+  Cmd.v (Cmd.info "modgen" ~doc) Term.(const run $ config_arg $ dir_arg)
 
 let faults_cmd =
   let trials_arg =
@@ -436,7 +580,7 @@ let main =
   Cmd.group (Cmd.info "camouflage" ~version:"1.0.0" ~doc)
     [
       boot_cmd; attack_cmd; census_cmd; disasm_cmd; integrity_cmd; trace_cmd;
-      stats_cmd; lint_cmd; faults_cmd; sweep_cmd; serve_cmd;
+      stats_cmd; lint_cmd; modgen_cmd; faults_cmd; sweep_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

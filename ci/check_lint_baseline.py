@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Compare the whole-kernel gadget census against the committed baseline.
+
+Usage: check_lint_baseline.py BASELINE.json CENSUS_DIR
+
+CENSUS_DIR holds <config>.census.json (from `camouflage lint --gadgets
+--json`) and <config>.diags.json (from `camouflage lint --json`) for
+every configuration named in the baseline. Any drift fails: more gadget
+pairs or errors is a regression, fewer means the baseline must be
+re-pinned deliberately in the same commit.
+"""
+import json
+import sys
+
+def main(baseline_path, census_dir):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    failures = []
+    for config, want in baseline.items():
+        if config.startswith("_"):
+            continue
+        with open(f"{census_dir}/{config}.census.json") as f:
+            census = json.load(f)
+        with open(f"{census_dir}/{config}.diags.json") as f:
+            diags = json.load(f)
+        got = {
+            "errors": sum(1 for d in diags if d.get("severity") == "error"),
+            "collision_classes": census["collision_classes"],
+            "gadget_pairs": census["gadget_pairs"],
+        }
+        for key, expect in want.items():
+            if got[key] != expect:
+                failures.append(
+                    f"{config}: {key} = {got[key]}, baseline pins {expect}"
+                )
+    if failures:
+        print("lint baseline drift:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
+    print(f"lint baseline holds for {sum(1 for k in baseline if not k.startswith('_'))} configurations")
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1], sys.argv[2])

@@ -1,0 +1,73 @@
+(* Interprocedural static lint: findings a per-function lint cannot see.
+
+   Two fixtures from Kelf.Samples.oracle, built with the real PARTS
+   instrumentation:
+
+   - cap_sign signs whatever its caller passes; cap_make feeds it a word
+     loaded from writable memory. Each function alone is clean — the
+     signing oracle exists only on the call edge.
+   - both prologues sign LR under the same (key, modifier-class), a
+     cross-function substitution pair only a whole-image census counts.
+
+   This example runs the per-function region lint first (it must stay
+   silent), then the whole-module analysis (it must flag both), and
+   exits non-zero if either side misbehaves — CI runs it as living
+   documentation of why the analyzer is interprocedural. *)
+
+module C = Camouflage
+module K = Kernel
+module D = Paclint.Diag
+
+let fail fmt = Printf.ksprintf (fun m -> print_endline ("FAIL: " ^ m); exit 1) fmt
+
+let () =
+  let config = { C.Config.backward_only with scheme = C.Modifier.Parts 0x7357L } in
+  let obj = Kelf.Samples.oracle config in
+  Printf.printf "fixture: %s under %s\n\n" obj.Kelf.Object_file.obj_name
+    (C.Config.name config);
+
+  (* 1. The intraprocedural view: lint each function as its own region,
+     the way the pre-PR-7 gate did. Entry states are all-unknown, so
+     cap_sign's PAC of x0 is just "signing an argument" and the
+     prologues are two unrelated sign sites. *)
+  let policy = C.Verifier.policy config in
+  let report = K.Kbuild.lint_module config obj in
+  let cg = report.K.Kbuild.summary.Paclint.Summary.cg in
+  let intra =
+    Array.to_list cg.Paclint.Callgraph.fns
+    |> List.concat_map (fun (fn : Paclint.Callgraph.fn) ->
+           Paclint.Lint.lint_insns ~policy
+             ~entries:[ fn.Paclint.Callgraph.entry ]
+             (Array.to_list (Paclint.Callgraph.code_of cg
+                               (Option.get (Paclint.Callgraph.fn_index cg
+                                              fn.Paclint.Callgraph.entry)))))
+    |> List.filter (fun d -> D.severity d <> D.Info)
+  in
+  Printf.printf "per-function lint:  %d findings above Info\n" (List.length intra);
+  if intra <> [] then
+    fail "the fixture should be invisible to per-function analysis";
+
+  (* 2. The whole-module view. *)
+  let oracle =
+    List.exists
+      (fun d -> match d.D.kind with D.Signing_oracle _ -> true | _ -> false)
+      report.K.Kbuild.diags
+  in
+  let collisions =
+    List.filter_map
+      (fun d -> match d.D.kind with D.Modifier_collision c -> Some c | _ -> None)
+      report.K.Kbuild.diags
+  in
+  Printf.printf "whole-module lint:  %d diagnostics\n\n" (List.length report.K.Kbuild.diags);
+  List.iter (fun d -> print_endline ("  " ^ D.to_string d)) report.K.Kbuild.diags;
+  if not oracle then
+    fail "cross-function signing oracle went unflagged (cap_make -> cap_sign)";
+  (match collisions with
+  | [] -> fail "cross-function modifier collision went unflagged (the two prologues)"
+  | c :: _ ->
+      if c.D.pairs < 1 then fail "collision class reports no substitution pair");
+
+  print_newline ();
+  print_string (Paclint.Census.table report.K.Kbuild.census);
+  Printf.printf
+    "\nboth interprocedural findings present; per-function lint saw neither.\n"

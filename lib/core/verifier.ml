@@ -18,6 +18,14 @@ let policy ?(allowed = fun _ -> false) (config : Config.t) =
     allowed_key_writer = allowed;
   }
 
+let rules_scheme (config : Config.t) =
+  match config.scheme with
+  | Modifier.No_cfi -> Paclint.Rules.Generic
+  | Modifier.Sp_only -> Paclint.Rules.Sp_only
+  | Modifier.Parts _ -> Paclint.Rules.Parts
+  | Modifier.Camouflage -> Paclint.Rules.Camouflage
+  | Modifier.Chained -> Paclint.Rules.Chained
+
 let of_diag (d : Paclint.Diag.t) =
   match d.kind with
   | Paclint.Diag.Key_register_read sr ->

@@ -25,6 +25,10 @@ type violation = { va : int64; insn : Insn.t; reason : reason }
     nothing is allowed). *)
 val policy : ?allowed:(int64 -> bool) -> Config.t -> Paclint.Lint.policy
 
+(** [rules_scheme config] — the {!Paclint.Rules.scheme} whose rule pack
+    the configured modifier scheme promises to satisfy. *)
+val rules_scheme : Config.t -> Paclint.Rules.scheme
+
 (** [scan ~read32 ~base ~size ~allowed] decodes every word of
     [base, base+size) and reports violations. [allowed va] marks
     addresses belonging to the audited key-setter, where MSRs to key

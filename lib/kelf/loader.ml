@@ -75,16 +75,25 @@ let load ~cpu ~config ~registry ~env (obj : Object_file.t) =
       Asm.assemble prog ~base:text_base ~extra_symbols:(blob_symbols @ env.extra_symbols)
     in
     Asm.encode_into layout ~write32:env.write32;
-    (* Static verification before the code becomes reachable: the full
-       PAC-state lint under the policy this configuration promises, with
-       the audited key setter as the only legitimate key writer. Errors
-       reject the object; warnings ride along on [placed]. *)
+    (* Static verification before the code becomes reachable: the
+       whole-object interprocedural lint under the policy this
+       configuration promises, with the audited key setter as the only
+       legitimate key writer. The analysis decodes what was actually
+       written to memory (not the pre-encode listing), builds the
+       object's call graph, and propagates PAC provenance across its
+       internal calls; calls into kernel exports resolve to addresses
+       outside the decoded region and fall back to the conservative
+       clobber. Errors reject the object; warnings ride along on
+       [placed]. *)
     let policy = C.Verifier.policy ~allowed:env.allowed_key_writer config in
-    let diags =
-      Paclint.Lint.lint_region ~policy ~read32:env.read32 ~base:text_base
+    let code =
+      Paclint.Lint.decode_region ~read32:env.read32 ~base:text_base
         ~size:layout.Asm.size
-        ~entries:(List.map snd layout.Asm.symbols)
     in
+    let report =
+      Paclint.Summary.analyze_image ~symbols:layout.Asm.symbols ~policy code
+    in
+    let diags = report.Paclint.Summary.diags in
     let errors, lint_warnings = List.partition Paclint.Diag.is_error diags in
     if errors <> [] then Error (Verification_failed errors)
     else begin

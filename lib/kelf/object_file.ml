@@ -35,3 +35,33 @@ let blob_bytes blobs =
 
 let data_size_bytes t = blob_bytes t.data
 let rodata_size_bytes t = blob_bytes t.rodata
+
+(* On-disk .kelf form: magic line + Marshal with closures (fixup items
+   carry relocation functions). Closure marshalling is only valid
+   within the binary that wrote it — exactly the modgen/lint --module
+   workflow — so the magic names the format, not an ABI promise. *)
+let magic = "CAMOKELF1\n"
+
+let write_file path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc magic;
+      Marshal.to_channel oc t [ Marshal.Closures ])
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (String.length magic) with
+          | exception End_of_file -> Error (path ^ ": not a .kelf object (truncated)")
+          | m when m <> magic -> Error (path ^ ": not a .kelf object (bad magic)")
+          | _ -> (
+              match (Marshal.from_channel ic : t) with
+              | t -> Ok t
+              | exception _ ->
+                  Error (path ^ ": corrupt .kelf object (marshal payload unreadable)")))

@@ -49,3 +49,13 @@ val text_instruction_count : t -> int
 val data_size_bytes : t -> int
 
 val rodata_size_bytes : t -> int
+
+(** [write_file path t] — serialize to a [.kelf] file (magic line +
+    marshalled object). Function items carry relocation closures, so a
+    [.kelf] file is only readable by the binary that wrote it (the
+    [camouflage modgen] / [camouflage lint --module] workflow). *)
+val write_file : string -> t -> unit
+
+(** [read_file path] — load a [.kelf] file; [Error] carries a
+    human-readable reason (missing file, bad magic, corrupt payload). *)
+val read_file : string -> (t, string) result

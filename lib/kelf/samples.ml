@@ -1,0 +1,56 @@
+open Aarch64
+module C = Camouflage
+
+(* Fixture modules for the lint --module workflow. Both are built with
+   the real instrumentation pass, so whatever the configuration promises
+   (prologue signing, epilogue authentication) is present — the
+   interesting properties live in the bodies and across the call
+   edges. *)
+
+let clean config =
+  let helper =
+    C.Instrument.wrap config ~name:"mod_helper"
+      [ Asm.ins (Insn.Movz (Insn.R 0, 7, 0)) ]
+  in
+  let entry =
+    C.Instrument.wrap config ~name:"mod_entry"
+      [
+        Asm.ins (Insn.Movz (Insn.R 19, 1, 0));
+        Asm.bl_to "mod_helper";
+        Asm.ins (Insn.Add_imm (Insn.R 0, Insn.R 0, 1));
+      ]
+  in
+  let obj = Object_file.empty "sample_clean" in
+  let obj = Object_file.add_function obj ~name:helper.C.Instrument.name helper.C.Instrument.items in
+  Object_file.add_function obj ~name:entry.C.Instrument.name entry.C.Instrument.items
+
+(* The cross-function signing oracle: cap_sign signs whatever its caller
+   hands over; cap_make feeds it a word loaded from writable memory.
+   Each function in isolation is unremarkable — cap_sign's x0 is just an
+   argument (Top), cap_make never signs — so the intraprocedural lint
+   passes both. Only the interprocedural flow (cap_make's Raw x0
+   reaching cap_sign's PAC) exposes the oracle.
+
+   The same pair doubles as the modifier-collision fixture: under a
+   scheme whose return modifier is not address-diversified (sp-only,
+   PARTS with its fixed image id), both prologues sign LR in the same
+   (key, class) — a cross-function substitution pair no single-function
+   region lint can see. *)
+let oracle config =
+  let cap_sign =
+    C.Instrument.wrap config ~name:"cap_sign"
+      [ Asm.ins (Insn.Pac (Sysreg.DA, Insn.R 0, Insn.R 1)) ]
+  in
+  let cap_make =
+    C.Instrument.wrap config ~name:"cap_make"
+      [
+        Asm.ins (Insn.Ldr (Insn.R 0, Insn.Off (Insn.R 2, 0)));
+        Asm.ins (Insn.Movz (Insn.R 1, 0x11, 0));
+        Asm.bl_to "cap_sign";
+      ]
+  in
+  let obj = Object_file.empty "sample_oracle" in
+  let obj = Object_file.add_function obj ~name:cap_sign.C.Instrument.name cap_sign.C.Instrument.items in
+  Object_file.add_function obj ~name:cap_make.C.Instrument.name cap_make.C.Instrument.items
+
+let all config = [ ("clean", clean config); ("oracle", oracle config) ]

@@ -780,7 +780,13 @@ let exported_symbols =
     "table_mac";
   ]
 
-let lint config =
+type lint_report = {
+  diags : Paclint.Diag.t list;
+  summary : Paclint.Summary.report;
+  census : Paclint.Census.t;
+}
+
+let lint_report ?(par = Paclint.Lint.seq_par) ?scheme config =
   let registry = C.Pointer_integrity.create_registry () in
   Kobject.register_protected_members registry;
   let obj = build config registry in
@@ -811,7 +817,20 @@ let lint config =
   let layout =
     Asm.assemble prog ~base:Layout.text_base ~extra_symbols:(blob_symbols @ xom_symbols)
   in
-  let image = Paclint.Lint.lint_layout ~policy:(C.Verifier.policy config) layout in
+  (* Whole-image interprocedural pass: call graph, per-function
+     summaries to fixpoint, gadget census, then the scheme's rule pack.
+     Only text-resident symbols partition functions; blob and XOM
+     symbols lie outside the code array and are ignored by Callgraph. *)
+  let policy = C.Verifier.policy config in
+  let summary =
+    Paclint.Summary.analyze_image ~par ~symbols:layout.Asm.symbols ~policy
+      layout.Asm.code
+  in
+  let census = Paclint.Census.run ~par summary.Paclint.Summary.cg in
+  let scheme =
+    match scheme with Some s -> s | None -> C.Verifier.rules_scheme config
+  in
+  let rules = Paclint.Rules.run { Paclint.Rules.scheme; summary; census } in
   (* Reserved-register convention over the raw bodies (the instrumented
      stream legitimately uses the scratch registers). Body diagnostics
      are re-based onto the function's image address, shifted by the
@@ -827,4 +846,60 @@ let lint config =
         List.map rebase (Paclint.Lint.check_body body))
       (kernel_bodies config registry)
   in
-  image @ bodies
+  {
+    diags = Paclint.Diag.normalize (summary.Paclint.Summary.diags @ rules @ bodies);
+    summary;
+    census;
+  }
+
+let lint ?par ?scheme config = (lint_report ?par ?scheme config).diags
+
+(* Lint a standalone module object against the kernel export surface:
+   the module's text is assembled at the module area base, its own blobs
+   right after, and every kernel export resolves to its conventional
+   text-area slot. Export addresses lie outside the decoded module
+   region, so calls into the kernel fall back to the lint's conservative
+   clobber — exactly how the loader's gate treats them. No raw bodies
+   exist for a serialized object, so the reserved-register body check
+   does not apply here (the loader never ran it either). *)
+let lint_module ?(par = Paclint.Lint.seq_par) ?scheme config (obj : O.t) =
+  let text_bytes = 4 * O.text_instruction_count obj in
+  let blob_base area blobs =
+    let addr = ref area in
+    List.map
+      (fun b ->
+        let this = !addr in
+        addr := Int64.add !addr (Int64.of_int (8 * List.length b.O.words));
+        (b.O.blob_name, this))
+      blobs
+  in
+  let text_base = Layout.module_area_base in
+  let data_area =
+    Int64.add text_base (Int64.of_int (Layout.round_pages text_bytes + 4096))
+  in
+  let blob_symbols = blob_base data_area (obj.O.rodata @ obj.O.data) in
+  let export_symbols =
+    List.mapi
+      (fun i s -> (s, Int64.add Layout.text_base (Int64.of_int (i * 0x40))))
+      exported_symbols
+  in
+  let prog = Asm.create () in
+  List.iter (fun (name, items) -> Asm.add_function prog ~name items) obj.O.functions;
+  let layout =
+    Asm.assemble prog ~base:text_base ~extra_symbols:(blob_symbols @ export_symbols)
+  in
+  let policy = C.Verifier.policy config in
+  let summary =
+    Paclint.Summary.analyze_image ~par ~symbols:layout.Asm.symbols ~policy
+      layout.Asm.code
+  in
+  let census = Paclint.Census.run ~par summary.Paclint.Summary.cg in
+  let scheme =
+    match scheme with Some s -> s | None -> C.Verifier.rules_scheme config
+  in
+  let rules = Paclint.Rules.run { Paclint.Rules.scheme; summary; census } in
+  {
+    diags = Paclint.Diag.normalize (summary.Paclint.Summary.diags @ rules);
+    summary;
+    census;
+  }

@@ -52,10 +52,47 @@ val build : Camouflage.Config.t -> Camouflage.Pointer_integrity.registry -> Kelf
 (** Kernel symbols exported to loadable modules. *)
 val exported_symbols : string list
 
-(** [lint config] — build the kernel image, assemble it at its boot
-    addresses, and run the full PAC-state lint ({!Paclint.Lint}) under
-    the policy [config] promises ({!Camouflage.Verifier.policy}), plus
-    the reserved-register check over every raw function body. This is
-    the same gate {!Kelf.Loader} applies when {!System.boot} loads the
+(** Everything the whole-image static pass produces: normalized
+    diagnostics (interprocedural lint + scheme rule pack + raw-body
+    reserved-register check), the per-function summaries with the call
+    graph, and the modifier-collision gadget census. *)
+type lint_report = {
+  diags : Paclint.Diag.t list;
+  summary : Paclint.Summary.report;
+  census : Paclint.Census.t;
+}
+
+(** [lint_report ?par ?scheme config] — build the kernel image, assemble
+    it at its boot addresses, and run the whole-image interprocedural
+    analysis under the policy [config] promises
+    ({!Camouflage.Verifier.policy}) and the scheme's rule pack
+    ([scheme], default {!Camouflage.Verifier.rules_scheme}). [par]
+    (e.g. [Fleet.Pool.map] wrapped in a {!Paclint.Lint.par})
+    parallelizes the per-function summary rounds and the census; output
+    is byte-identical for any worker count. *)
+val lint_report :
+  ?par:Paclint.Lint.par ->
+  ?scheme:Paclint.Rules.scheme ->
+  Camouflage.Config.t ->
+  lint_report
+
+(** [lint config] — just the diagnostics of {!lint_report}. This is the
+    same gate {!Kelf.Loader} applies when {!System.boot} loads the
     image; the CLI's [lint] subcommand and CI run it without booting. *)
-val lint : Camouflage.Config.t -> Paclint.Diag.t list
+val lint :
+  ?par:Paclint.Lint.par ->
+  ?scheme:Paclint.Rules.scheme ->
+  Camouflage.Config.t ->
+  Paclint.Diag.t list
+
+(** [lint_module ?par ?scheme config obj] — the whole-image analysis
+    over a standalone module object ([camouflage lint --module]): text
+    assembled at the module area base, blobs placed after it, kernel
+    exports resolved to out-of-module addresses (so calls into the
+    kernel take the conservative clobber, as in {!Kelf.Loader}). *)
+val lint_module :
+  ?par:Paclint.Lint.par ->
+  ?scheme:Paclint.Rules.scheme ->
+  Camouflage.Config.t ->
+  Kelf.Object_file.t ->
+  lint_report

@@ -26,7 +26,16 @@ let flow = function
       ([], false)
   | _ -> ([], true)
 
-let build ?(entries = []) code =
+(* [flow] plus resolved-target hints: a BR/BRA with hints becomes a
+   real multi-way edge; a BLR/BLRA keeps call semantics (hints become
+   entries, handled by the caller). *)
+let flow_hinted hints va insn =
+  let targets, fall = flow insn in
+  match insn with
+  | Insn.Br _ | Insn.Bra _ -> (targets @ hints va, fall)
+  | _ -> (targets, fall)
+
+let build ?(entries = []) ?(hints = fun _ -> []) code =
   let n = Array.length code in
   let idx = Hashtbl.create (max 16 (2 * n)) in
   Array.iteri (fun i (va, _) -> Hashtbl.replace idx va i) code;
@@ -43,12 +52,15 @@ let build ?(entries = []) code =
       (if i + 1 < n then
          let next_va, _ = code.(i + 1) in
          if is_terminator insn || Int64.add va 4L <> next_va then leader.(i + 1) <- true);
-      let targets, _ = flow insn in
+      let targets, _ = flow_hinted hints va insn in
       List.iter
         (fun t ->
           match Hashtbl.find_opt idx t with Some j -> leader.(j) <- true | None -> ())
         targets;
-      match insn with Insn.Bl t -> add_entry t | _ -> ())
+      match insn with
+      | Insn.Bl t -> add_entry t
+      | Insn.Blr _ | Insn.Blra _ -> List.iter add_entry (hints va)
+      | _ -> ())
     code;
   List.iter (fun va -> leader.(Hashtbl.find idx va) <- true) !entry_vas;
   let starts = ref [] in
@@ -65,7 +77,7 @@ let build ?(entries = []) code =
         let e = if b + 1 < nb then starts.(b + 1) else n in
         let insns = Array.sub code s (e - s) in
         let last_va, last = insns.(Array.length insns - 1) in
-        let targets, fall = flow last in
+        let targets, fall = flow_hinted hints last_va last in
         let falls = if is_terminator last then fall else true in
         let succ_vas =
           let ft = Int64.add last_va 4L in

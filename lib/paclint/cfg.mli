@@ -21,10 +21,16 @@ type t = {
   entries : int list;  (** analysis entry blocks: given entries + BL targets *)
 }
 
-(** [build ~entries code] — [code] must be sorted by ascending address
-    with no duplicates; gaps are allowed. Entry addresses outside [code]
-    and branch targets outside [code] are ignored. *)
-val build : ?entries:int64 list -> (int64 * Insn.t) array -> t
+(** [build ~entries ~hints code] — [code] must be sorted by ascending
+    address with no duplicates; gaps are allowed. Entry addresses
+    outside [code] and branch targets outside [code] are ignored.
+    [hints va] supplies statically resolved targets for the indirect
+    branch at [va] (from {!Callgraph}): BR/BRA hints become real CFG
+    edges, BLR/BLRA hints become function entries (call semantics, like
+    BL). Unhinted indirect branches still terminate their block with no
+    successors — the lint reports those as unresolved. *)
+val build :
+  ?entries:int64 list -> ?hints:(int64 -> int64 list) -> (int64 * Insn.t) array -> t
 
 (** [reachable t b] — per-block reachability from block [b] along CFG
     edges (calls excluded, as in {!build}). *)

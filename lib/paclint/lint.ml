@@ -17,6 +17,14 @@ let policy_none =
 
 let reserved_registers = [ Insn.R 15; Insn.ip0; Insn.ip1 ]
 
+(* Parallel-map capability. paclint sits below lib/fleet in the library
+   order, so it cannot name Fleet.Pool; callers that want parallelism
+   plug Fleet.Pool.map in through this record. Results must land at
+   their job index (byte-stable merges rely on it). *)
+type par = { pmap : 'a. jobs:int -> (int -> 'a) -> 'a array }
+
+let seq_par = { pmap = (fun ~jobs f -> Array.init jobs f) }
+
 (* ----- flow-insensitive key-access rule (Core.Verifier's contract) ----- *)
 
 let key_access ~allowed va insn =
@@ -128,6 +136,14 @@ type hooks = {
   emit : Diag.t -> unit;
   sign_site : int64 -> Insn.t -> int option -> unit;
   auth_site : int64 -> Insn.t -> int option -> unit;
+  call : int64 -> Insn.t -> state -> bool;
+      (** interprocedural call transfer: return [true] if the hook
+          applied a callee summary to [state]; [false] falls back to the
+          conservative clobber (x0-x18 and LR to [Top]) *)
+  indirect_resolved : int64 -> bool;
+      (** [true] when the BR/BRA at this address has statically resolved
+          targets (Callgraph hints made them CFG edges), suppressing the
+          unresolved-indirect diagnostic *)
 }
 
 let no_hooks =
@@ -135,6 +151,8 @@ let no_hooks =
     emit = (fun _ -> ());
     sign_site = (fun _ _ _ -> ());
     auth_site = (fun _ _ _ -> ());
+    call = (fun _ _ _ -> false);
+    indirect_resolved = (fun _ -> false);
   }
 
 let step policy hooks st (va, insn) =
@@ -195,20 +213,25 @@ let step policy hooks st (va, insn) =
       writeback st m
   | Insn.B _ | Insn.Bcond _ | Insn.Cbz _ | Insn.Cbnz _ -> ()
   | Insn.Bl _ ->
-      clobber_call st;
-      st.regs.(30) <- Top
+      if not (hooks.call va insn st) then begin
+        clobber_call st;
+        st.regs.(30) <- Top
+      end
   | Insn.Br rn ->
-      if policy.protect_pointers then (
-        match get st rn with
-        | Raw | Stripped -> emit (Diag.Unauthenticated_branch rn)
-        | _ -> ())
+      (if policy.protect_pointers then
+         match get st rn with
+         | Raw | Stripped -> emit (Diag.Unauthenticated_branch rn)
+         | _ -> ());
+      if not (hooks.indirect_resolved va) then emit (Diag.Unresolved_indirect rn)
   | Insn.Blr rn ->
       (if policy.protect_pointers then
          match get st rn with
          | Raw | Stripped -> emit (Diag.Unauthenticated_branch rn)
          | _ -> ());
-      clobber_call st;
-      st.regs.(30) <- Top
+      if not (hooks.call va insn st) then begin
+        clobber_call st;
+        st.regs.(30) <- Top
+      end
   | Insn.Ret -> (
       if policy.protect_return then
         match get st Insn.lr with
@@ -236,9 +259,12 @@ let step policy hooks st (va, insn) =
   | Insn.Pacga (rd, _, _) -> set st rd Const
   | Insn.Blra (_, _, _) ->
       (* authenticates its own target; traps on a bad PAC *)
-      clobber_call st;
-      st.regs.(30) <- Top
-  | Insn.Bra (_, _, _) -> ()
+      if not (hooks.call va insn st) then begin
+        clobber_call st;
+        st.regs.(30) <- Top
+      end
+  | Insn.Bra (_, rn, _) ->
+      if not (hooks.indirect_resolved va) then emit (Diag.Unresolved_indirect rn)
   | Insn.Reta _ ->
       (* implicit AUT of LR with SP as the modifier *)
       if policy.sp_modifier then hooks.auth_site va insn st.delta
@@ -249,14 +275,16 @@ let step policy hooks st (va, insn) =
 
 (* ----- driver ----- *)
 
-let analyze policy code ~entries =
-  let cfg = Cfg.build ~entries code in
+let analyze ?hints ?(call = no_hooks.call) ?(indirect_resolved = no_hooks.indirect_resolved)
+    ?(entry = entry_state) policy code ~entries =
+  let cfg = Cfg.build ~entries ?hints code in
+  let quiet = { no_hooks with call; indirect_resolved } in
   let nb = Array.length cfg.Cfg.blocks in
   let instate = Array.make nb None in
   let work = Queue.create () in
   List.iter
     (fun e ->
-      instate.(e) <- Some (entry_state ());
+      instate.(e) <- Some (entry ());
       Queue.add e work)
     cfg.Cfg.entries;
   while not (Queue.is_empty work) do
@@ -265,7 +293,7 @@ let analyze policy code ~entries =
     | None -> ()
     | Some st0 ->
         let st = copy st0 in
-        Array.iter (step policy no_hooks st) cfg.Cfg.blocks.(b).Cfg.insns;
+        Array.iter (step policy quiet st) cfg.Cfg.blocks.(b).Cfg.insns;
         List.iter
           (fun s ->
             let joined =
@@ -290,6 +318,8 @@ let analyze policy code ~entries =
       emit = (fun d -> diags := d :: !diags);
       sign_site = (fun va insn d -> signs := (!current_block, va, insn, d) :: !signs);
       auth_site = (fun va insn d -> auths := (!current_block, va, insn, d) :: !auths);
+      call;
+      indirect_resolved;
     }
   in
   Array.iteri
@@ -330,7 +360,7 @@ let analyze policy code ~entries =
             auths_e)
       cfg.Cfg.entries
   end;
-  List.stable_sort (fun a b -> Int64.compare a.Diag.va b.Diag.va) (List.rev !diags)
+  Diag.normalize !diags
 
 (* ----- entry points ----- *)
 

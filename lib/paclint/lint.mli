@@ -42,6 +42,76 @@ val policy_none : policy
     body must not write: x15 ([Core.Instrument.scratch]), x16, x17. *)
 val reserved_registers : Insn.reg list
 
+(** Parallel-map capability. paclint sits below [lib/fleet] in the
+    library order, so it cannot name [Fleet.Pool]; callers that want
+    parallel whole-image analysis plug [Fleet.Pool.map] in through this
+    record. The function must place result [i] at slot [i] — index
+    merging is what makes reports byte-identical for any worker count. *)
+type par = { pmap : 'a. jobs:int -> (int -> 'a) -> 'a array }
+
+(** Sequential {!par}: a plain [Array.init]. *)
+val seq_par : par
+
+(** {1 Abstract domain}
+
+    Exposed so {!Summary} and {!Census} can reuse the transfer function
+    across call boundaries. *)
+
+(** Provenance of a register value. The join order is by attacker reach:
+    [Raw] (loaded from writable memory, never authenticated) dominates
+    [Stripped] (had its PAC removed) dominates [Signed] (carries a PAC
+    that was never checked) dominates everything code-controlled
+    ([Const], [Sp_snap], [Authenticated], [Top]); unequal
+    code-controlled values join to [Top]. *)
+type pv =
+  | Const
+  | Sp_snap of int  (** SP + delta snapshot, for modifier tracking *)
+  | Raw
+  | Signed of Sysreg.pauth_key
+  | Authenticated
+  | Stripped
+  | Top
+
+type state = { regs : pv array; (* x0..x30 *) mutable delta : int option }
+
+(** Fresh function-entry state: every register [Top], SP delta 0. *)
+val entry_state : unit -> state
+
+val copy : state -> state
+val equal_state : state -> state -> bool
+val join_pv : pv -> pv -> pv
+val join_state : state -> state -> state
+val get : state -> Insn.reg -> pv
+val set : state -> Insn.reg -> pv -> unit
+
+(** Conservative call effect: x0-x18 to [Top] (the procedure-call
+    standard's caller-saved set); the caller must clobber LR itself. *)
+val clobber_call : state -> unit
+
+(** Analysis callbacks. [emit] receives diagnostics; [sign_site] and
+    [auth_site] fire at PAC/AUT instructions with the modifier's SP
+    delta when known; [call] and [indirect_resolved] are the
+    interprocedural extension points (see each field). *)
+type hooks = {
+  emit : Diag.t -> unit;
+  sign_site : int64 -> Insn.t -> int option -> unit;
+  auth_site : int64 -> Insn.t -> int option -> unit;
+  call : int64 -> Insn.t -> state -> bool;
+      (** fired at BL/BLR/BLRA before the conservative clobber; return
+          [true] after applying a callee summary to the state to
+          suppress the clobber *)
+  indirect_resolved : int64 -> bool;
+      (** [true] when the BR/BRA at this address has statically resolved
+          targets, suppressing the unresolved-indirect diagnostic *)
+}
+
+(** Inert hooks: drop diagnostics, no summaries, nothing resolved. *)
+val no_hooks : hooks
+
+(** [step policy hooks st (va, insn)] — one instruction of the abstract
+    transfer function, mutating [st]. *)
+val step : policy -> hooks -> state -> int64 * Insn.t -> unit
+
 (** [key_access ~allowed va insn] — the flow-insensitive key-register
     rule on one instruction; exactly [Core.Verifier]'s historical
     contract (key reads always flagged; key/SCTLR writes flagged outside

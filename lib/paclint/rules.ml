@@ -1,0 +1,158 @@
+open Aarch64
+
+type scheme = Generic | Sp_only | Parts | Camouflage | Chained
+
+let scheme_name = function
+  | Generic -> "generic"
+  | Sp_only -> "sp-only"
+  | Parts -> "parts"
+  | Camouflage -> "camouflage"
+  | Chained -> "chained"
+
+let scheme_of_string = function
+  | "generic" -> Some Generic
+  | "sp-only" | "sp_only" -> Some Sp_only
+  | "parts" -> Some Parts
+  | "camouflage" -> Some Camouflage
+  | "chained" -> Some Chained
+  | _ -> None
+
+type ctx = { scheme : scheme; summary : Summary.report; census : Census.t }
+
+type rule = { name : string; describes : string; check : ctx -> Diag.t list }
+
+let collision_rule =
+  {
+    name = "modifier-collision";
+    describes =
+      "cross-function (key, modifier-class) collisions are substitution gadgets";
+    check = (fun ctx -> Census.to_diags ctx.census);
+  }
+
+(* Return-key (IA/IB) sign sites, the sites return-protection disciplines
+   constrain. Data keys (DA/DB) belong to the pointer-integrity getters
+   and are judged by the collision rule alone. *)
+let return_sign_sites ctx =
+  List.filter
+    (fun s ->
+      s.Census.dir = Census.Sign
+      && (s.Census.skey = Sysreg.IA || s.Census.skey = Sysreg.IB))
+    ctx.census.Census.sites
+
+let violation va insn msg = { Diag.va; insn; kind = Diag.Scheme_violation msg }
+
+let rec mentions_addr = function
+  | Census.Addr _ -> true
+  | Census.Bfi_of (b, s, _, _) -> mentions_addr b || mentions_addr s
+  | _ -> false
+
+let rec mentions_sp = function
+  | Census.Sp -> true
+  | Census.Bfi_of (b, s, _, _) -> mentions_sp b || mentions_sp s
+  | _ -> false
+
+(* Camouflage's Listing-3 discipline applies to frame-bound (SP-bearing)
+   modifiers: those must also embed the function address, or frames at
+   congruent stack depths collide across functions. Object-bound
+   modifiers (pointer-integrity getters) are diversified by the object
+   address instead and are judged by the collision rule. *)
+let address_diversity_rule =
+  {
+    name = "address-diversity";
+    describes =
+      "camouflage frame-bound modifiers must embed the function address (Listing 3)";
+    check =
+      (fun ctx ->
+        List.filter_map
+          (fun s ->
+            if mentions_sp s.Census.modifier && not (mentions_addr s.Census.modifier)
+            then
+              Some
+                (violation s.Census.va s.Census.insn
+                   (Printf.sprintf
+                      "return-key sign site uses frame-bound modifier class %s without \
+                       a function address; camouflage requires address diversity"
+                      s.Census.cls))
+            else None)
+          (return_sign_sites ctx));
+  }
+
+let parts_shape_rule =
+  {
+    name = "parts-shape";
+    describes = "PARTS return modifiers are bfi(function-id, sp, 48, 16)";
+    check =
+      (fun ctx ->
+        List.filter_map
+          (fun s ->
+            match s.Census.modifier with
+            | Census.Bfi_of (Census.Imm _, Census.Sp, 48, 16) -> None
+            | _ ->
+                Some
+                  (violation s.Census.va s.Census.insn
+                     (Printf.sprintf
+                        "return-key sign site uses modifier class %s; PARTS expects the \
+                         48-bit function id with SP's low 16 bits inserted"
+                        s.Census.cls)))
+          (return_sign_sites ctx));
+  }
+
+let sp_shape_rule =
+  {
+    name = "sp-shape";
+    describes = "sp-only return modifiers are exactly SP";
+    check =
+      (fun ctx ->
+        List.filter_map
+          (fun s ->
+            match s.Census.modifier with
+            | Census.Sp -> None
+            | _ ->
+                Some
+                  (violation s.Census.va s.Census.insn
+                     (Printf.sprintf
+                        "return-key sign site uses modifier class %s; the sp-only scheme \
+                         signs against SP alone"
+                        s.Census.cls)))
+          (return_sign_sites ctx));
+  }
+
+let chain_integrity_rule =
+  {
+    name = "chain-register-integrity";
+    describes = "only functions participating in the chain may write x27";
+    check =
+      (fun ctx ->
+        let has_return_sign fn_entry =
+          List.exists
+            (fun s -> s.Census.fn = fn_entry && s.Census.dir = Census.Sign)
+            ctx.census.Census.sites
+        in
+        Array.to_list ctx.summary.Summary.summaries
+        |> List.filter_map (fun (s : Summary.fn_summary) ->
+               if s.Summary.writes.(27) && not (has_return_sign s.Summary.entry) then
+                 let cg = ctx.summary.Summary.cg in
+                 match Callgraph.fn_index cg s.Summary.entry with
+                 | Some i ->
+                     let _, insn = cg.Callgraph.code.(cg.Callgraph.fns.(i).Callgraph.lo) in
+                     Some
+                       (violation s.Summary.entry insn
+                          (Printf.sprintf
+                             "function %s may write the chain register x27 without \
+                              signing a return"
+                             (match s.Summary.name with
+                             | Some n -> n
+                             | None -> Printf.sprintf "0x%Lx" s.Summary.entry)))
+                 | None -> None
+               else None));
+  }
+
+let pack = function
+  | Generic -> [ collision_rule ]
+  | Sp_only -> [ collision_rule; sp_shape_rule ]
+  | Parts -> [ collision_rule; parts_shape_rule ]
+  | Camouflage -> [ collision_rule; address_diversity_rule ]
+  | Chained -> [ collision_rule; chain_integrity_rule ]
+
+let run ctx =
+  Diag.normalize (List.concat_map (fun r -> r.check ctx) (pack ctx.scheme))
