@@ -661,11 +661,92 @@ let e10 () =
     (armed_wall *. 1e3)
     (if plain_wall > 0.0 then armed_wall /. plain_wall else 0.0);
 
+  (* Fork-vs-boot: the same trial indices, once via a snapshot session
+     (boot once, restore per trial) and once via boot-per-trial. The
+     trial records are bit-identical (the fleet test pins this); only
+     the wall clock is allowed to differ. *)
+  let fork_trials = 16 in
+  let golden = Faultinj.Campaign.golden_run ~seed () in
+  let t0 = Unix.gettimeofday () in
+  for index = 0 to fork_trials - 1 do
+    ignore (Faultinj.Campaign.run_random_trial ~golden ~seed ~index ())
+  done;
+  let boot_wall = Unix.gettimeofday () -. t0 in
+  let ses = Faultinj.Campaign.create_session ~seed () in
+  let t0 = Unix.gettimeofday () in
+  for index = 0 to fork_trials - 1 do
+    ignore (Faultinj.Campaign.run_random_trial_in ses ~index ())
+  done;
+  let fork_wall = Unix.gettimeofday () -. t0 in
+  let fork_speedup = if fork_wall > 0.0 then boot_wall /. fork_wall else 0.0 in
+  row "\nboot-once-fork-N vs boot-per-trial (%d trials):\n" fork_trials;
+  row "  boot-per-trial: %.1f ms   snapshot-forked: %.1f ms   speedup %.2fx\n"
+    (boot_wall *. 1e3) (fork_wall *. 1e3) fork_speedup;
+  metric ~experiment:"e10" ~name:"fork-speedup" ~value:fork_speedup
+    ~unit_:"ratio";
+  metric ~experiment:"e10" ~name:"fork-trials-per-sec"
+    ~value:(if fork_wall > 0.0 then float_of_int fork_trials /. fork_wall else 0.0)
+    ~unit_:"trials/s";
+
   row "\n";
   print_string (Faultinj.Campaign.demo_to_string (Faultinj.Campaign.quarantine_demo ~seed ()));
   row "\nthe baseline run crosses the brute-force threshold and halts; with\n";
   row "quarantine the kernel offlines the faulty core, migrates its queue and\n";
   row "keeps serving the surviving tasks on the healthy core.\n"
+
+(* SNAPSHOT: the copy-on-write capture/restore primitive behind fleet
+   sessions and record-replay. Three numbers: the cost of capturing a
+   booted machine, the clean-restore rate (nothing dirtied — the CoW
+   fast path), and the dirty-restore rate after a full workload run
+   (every touched frame blitted back). *)
+let snapshot_bench () =
+  header "SNAPSHOT copy-on-write capture and restore throughput";
+  let seed = 42L in
+  let boot () =
+    let sys = K.System.boot ~config:C.Config.full ~seed ~cpus:2 () in
+    let layout =
+      K.System.map_user_program sys (Faultinj.Campaign.workload_program ~rounds:8)
+    in
+    let entry = Asm.symbol layout "main" in
+    let tasks = List.init 4 (fun _ -> K.System.spawn_user_task sys ~entry) in
+    (sys, tasks)
+  in
+  let sys, tasks = boot () in
+  let mem = Machine.mem (K.System.machine sys) in
+  let t0 = Unix.gettimeofday () in
+  let snap = K.System.snapshot sys in
+  let capture_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  row "post-boot machine: %d memory frames allocated\n" (Mem.frames_allocated mem);
+  row "capture: %.3f ms (full machine: frames, MMU, CPUs, sysregs, keys)\n"
+    capture_ms;
+  metric ~experiment:"snapshot" ~name:"frames"
+    ~value:(float_of_int (Mem.frames_allocated mem)) ~unit_:"count";
+  metric ~experiment:"snapshot" ~name:"capture-ms" ~value:capture_ms ~unit_:"ms";
+  let rate n f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do f () done;
+    float_of_int n /. (Unix.gettimeofday () -. t0)
+  in
+  (* clean restores: nothing dirtied, the write-hook dirty set is empty *)
+  K.System.restore sys snap;
+  let clean_rate = rate 500 (fun () -> K.System.restore sys snap) in
+  row "clean restore: %.0f restores/sec (empty dirty set)\n" clean_rate;
+  metric ~experiment:"snapshot" ~name:"clean-restores-per-sec" ~value:clean_rate
+    ~unit_:"ops/s";
+  (* dirty restores: a full workload run between restores, so every
+     frame the run touched is blitted back from the pristine copy *)
+  ignore (K.System.run_smp ~quantum:400 sys ~tasks);
+  let dirty_rate =
+    rate 20 (fun () ->
+        K.System.restore sys snap;
+        ignore (K.System.run_smp ~quantum:400 sys ~tasks))
+  in
+  row "restore + full workload re-run: %.1f forks/sec\n" dirty_rate;
+  metric ~experiment:"snapshot" ~name:"fork-run-per-sec" ~value:dirty_rate
+    ~unit_:"ops/s";
+  row "\ncapture copies every frame eagerly; restore pays only for frames\n";
+  row "dirtied since the snapshot (write hooks track them), which is what\n";
+  row "makes boot-once-fork-N campaigns cheap.\n"
 
 (* Parallel mode: N independent single-core systems on real OCaml 5
    domains — wall-clock scaling of the simulator itself. Unlike E9
@@ -1010,6 +1091,7 @@ let experiments =
     ("e9", e9);
     ("e10", e10);
     ("sim", sim);
+    ("snapshot", snapshot_bench);
     ("fleet", fleet);
     ("lint", lint_bench);
     ("parallel", parallel);

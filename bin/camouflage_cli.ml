@@ -501,7 +501,22 @@ let faults_cmd =
     in
     Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
   in
-  let run config seed cpus trials json quarantine workers demo =
+  let retries_arg =
+    let doc =
+      "Re-attempts granted to a raising trial job before it is quarantined \
+       and reported as failed."
+    in
+    Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let record_arg =
+    let doc =
+      "Write a deterministic record-replay log of the campaign into $(docv) \
+       (as faults-<seed>-<trials>.replay), re-runnable bit-for-bit with \
+       $(b,camouflage replay)."
+    in
+    Arg.(value & opt (some string) None & info [ "record-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run config seed cpus trials json quarantine workers retries record_dir demo =
     if demo then print_string (Faultinj.Campaign.demo_to_string (Faultinj.Campaign.quarantine_demo ~seed ()))
     else begin
       (* the sequential path is just the fleet engine at --workers 1 *)
@@ -509,11 +524,23 @@ let faults_cmd =
         Option.get
           (Fleet.Campaign.run ~config ~config_name:(C.Config.name config)
              ~cpus:(max cpus 2) ?quarantine_after:quarantine
-             ~workers:(max 1 workers) ~seed ~trials ())
+             ~workers:(max 1 workers) ?retries ?record_dir ~seed ~trials ())
       in
       let report = result.Fleet.Campaign.report in
       if json then print_string (Faultinj.Campaign.report_to_json report)
-      else print_string (Faultinj.Campaign.report_to_string report)
+      else print_string (Faultinj.Campaign.report_to_string report);
+      (* side-channel notes go to stderr: stdout stays a clean report *)
+      (match result.Fleet.Campaign.record_path with
+      | Some path -> Printf.eprintf "replay log written to %s\n" path
+      | None -> ());
+      match result.Fleet.Campaign.failures with
+      | [] -> ()
+      | fs ->
+          List.iter
+            (fun f ->
+              Printf.eprintf "warning: trial %d failed after %d attempts: %s\n"
+                f.Fleet.Pool.job f.Fleet.Pool.attempts f.Fleet.Pool.error)
+            fs
     end
   in
   let doc =
@@ -524,7 +551,49 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run $ config_arg $ seed_arg $ cpus_arg $ trials_arg $ json_arg
-      $ quarantine_arg $ workers_arg $ demo_arg)
+      $ quarantine_arg $ workers_arg $ retries_arg $ record_arg $ demo_arg)
+
+let replay_cmd =
+  let log_arg =
+    let doc = "Replay log written by $(b,camouflage faults --record-dir)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG" ~doc)
+  in
+  let trial_arg =
+    let doc = "Replay only trial $(docv) instead of every recorded trial." in
+    Arg.(value & opt (some int) None & info [ "trial" ] ~docv:"N" ~doc)
+  in
+  let run log_path trial =
+    match Snapshot.Log.read ~path:log_path with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" log_path e;
+        exit 2
+    | Ok log -> (
+        match Faultinj.Replay.replay ?index:trial log with
+        | Error e ->
+            Printf.eprintf "replay failed: %s\n" e;
+            exit 2
+        | Ok verdicts ->
+            List.iter
+              (fun v -> print_endline (Faultinj.Replay.verdict_to_string v))
+              verdicts;
+            let diverged =
+              List.filter (fun v -> not (Faultinj.Replay.verdict_ok v)) verdicts
+            in
+            Printf.printf
+              "replayed %d trial(s) against golden fingerprint %s: %s\n"
+              (List.length verdicts)
+              log.Snapshot.Log.header.Snapshot.Log.h_golden_fingerprint
+              (if diverged = [] then "all byte-identical"
+               else Printf.sprintf "%d DIVERGED" (List.length diverged));
+            if diverged <> [] then exit 1)
+  in
+  let doc =
+    "Re-execute trials from a recorded fault campaign and hard-assert that \
+     every replayed entry — fault spec, outcome, makespan and post-trial \
+     state fingerprint — is byte-identical to the recording. Exits non-zero \
+     on any divergence."
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ log_arg $ trial_arg)
 
 let sweep_cmd =
   let machines_arg =
@@ -548,13 +617,18 @@ let sweep_cmd =
     Arg.(value & flag & info [ "json" ] ~doc)
   in
   let run config seed machines attempts threshold workers json =
-    let report, _ =
+    let report, _, failures =
       Option.get
         (Fleet.Sweep.run ~config ?threshold ~workers:(max 1 workers) ~seed
            ~machines ~attempts ())
     in
     if json then print_string (Fleet.Sweep.report_to_json report)
-    else print_string (Fleet.Sweep.report_to_string report)
+    else print_string (Fleet.Sweep.report_to_string report);
+    List.iter
+      (fun f ->
+        Printf.eprintf "warning: machine %d failed after %d attempts: %s\n"
+          f.Fleet.Pool.job f.Fleet.Pool.attempts f.Fleet.Pool.error)
+      failures
   in
   let doc =
     "Run the PAC brute-force attack and accounting audit across a fleet of \
@@ -580,7 +654,8 @@ let main =
   Cmd.group (Cmd.info "camouflage" ~version:"1.0.0" ~doc)
     [
       boot_cmd; attack_cmd; census_cmd; disasm_cmd; integrity_cmd; trace_cmd;
-      stats_cmd; lint_cmd; modgen_cmd; faults_cmd; sweep_cmd; serve_cmd;
+      stats_cmd; lint_cmd; modgen_cmd; faults_cmd; replay_cmd; sweep_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

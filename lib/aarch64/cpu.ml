@@ -187,6 +187,12 @@ let set_sysreg t sr v =
   if Sysreg.is_mmu_control sr || sr = Sysreg.CONTEXTIDR_EL1 then
     Icache.flush t.icache
 
+let flags_bits t =
+  (if t.flags.n then 8 else 0)
+  lor (if t.flags.z then 4 else 0)
+  lor (if t.flags.c then 2 else 0)
+  lor if t.flags.v then 1 else 0
+
 let pc t = t.pc
 let set_pc t v = t.pc <- v
 let el t = t.el
@@ -638,6 +644,86 @@ let recent_trace ?(limit = 16) t =
         (idx - 1) (remaining - 1)
   in
   collect [] (t.trace_pos - 1) (min limit valid)
+
+let fold_sysregs t f acc =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.sysregs [] in
+  let keys = List.sort compare keys in
+  List.fold_left (fun acc k -> f acc k (Hashtbl.find t.sysregs k)) acc keys
+
+(* Per-core state capture for machine snapshots. Everything mutable is
+   copied, including host-side attachment state (step hook, sysreg lock,
+   telemetry sink binding): a restore must drop hooks installed after
+   the capture — fault injectors armed for one trial must not leak into
+   the next. The sysreg table is written back directly rather than
+   through [set_sysreg]; {!Machine.restore} performs one icache flush at
+   the end instead of one per MMU-control register. *)
+type captured = {
+  c_regs : int64 array;
+  c_sp_el0 : int64;
+  c_sp_el1 : int64;
+  c_sp_el2 : int64;
+  c_pc : int64;
+  c_el : El.t;
+  c_n : bool;
+  c_z : bool;
+  c_v : bool;
+  c_c : bool;
+  c_sysregs : (Sysreg.t, int64) Hashtbl.t;
+  c_cycles : int;
+  c_insns_retired : int;
+  c_sysreg_locked : Sysreg.t -> bool;
+  c_trace_pc : int64 array;
+  c_trace_insn : Insn.t array;
+  c_trace_pos : int;
+  c_step_hook : (t -> pc:int64 -> Insn.t -> hook_action) option;
+  c_last_run_fast : bool;
+}
+
+let capture t =
+  {
+    c_regs = Array.copy t.regs;
+    c_sp_el0 = t.sp_el0;
+    c_sp_el1 = t.sp_el1;
+    c_sp_el2 = t.sp_el2;
+    c_pc = t.pc;
+    c_el = t.el;
+    c_n = t.flags.n;
+    c_z = t.flags.z;
+    c_v = t.flags.v;
+    c_c = t.flags.c;
+    c_sysregs = Hashtbl.copy t.sysregs;
+    c_cycles = t.cycles;
+    c_insns_retired = t.insns_retired;
+    c_sysreg_locked = t.sysreg_locked;
+    c_trace_pc =
+      Array.init (Bigarray.Array1.dim t.trace_pc) (Bigarray.Array1.get t.trace_pc);
+    c_trace_insn = Array.copy t.trace_insn;
+    c_trace_pos = t.trace_pos;
+    c_step_hook = t.step_hook;
+    c_last_run_fast = t.last_run_fast;
+  }
+
+let restore t c =
+  Array.blit c.c_regs 0 t.regs 0 (Array.length t.regs);
+  t.sp_el0 <- c.c_sp_el0;
+  t.sp_el1 <- c.c_sp_el1;
+  t.sp_el2 <- c.c_sp_el2;
+  t.pc <- c.c_pc;
+  t.el <- c.c_el;
+  t.flags.n <- c.c_n;
+  t.flags.z <- c.c_z;
+  t.flags.v <- c.c_v;
+  t.flags.c <- c.c_c;
+  Hashtbl.reset t.sysregs;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.sysregs k v) c.c_sysregs;
+  t.cycles <- c.c_cycles;
+  t.insns_retired <- c.c_insns_retired;
+  t.sysreg_locked <- c.c_sysreg_locked;
+  Array.iteri (fun i v -> Bigarray.Array1.set t.trace_pc i v) c.c_trace_pc;
+  Array.blit c.c_trace_insn 0 t.trace_insn 0 (Array.length t.trace_insn);
+  t.trace_pos <- c.c_trace_pos;
+  t.step_hook <- c.c_step_hook;
+  t.last_run_fast <- c.c_last_run_fast
 
 let fault_to_string = function
   | Mmu_fault f -> Mmu.fault_to_string f

@@ -102,6 +102,10 @@ val set_sp_of : t -> El.t -> int64 -> unit
 val cycles : t -> int64
 val insns_retired : t -> int64
 
+(** [flags_bits t] — the NZCV flags packed as [N:3 Z:2 C:1 V:0], for
+    state fingerprints. *)
+val flags_bits : t -> int
+
 (** [charge t n] adds [n] cycles of orchestrator-accounted cost (e.g.
     exception entry performed by the host-side kernel layer). *)
 val charge : t -> int -> unit
@@ -185,3 +189,22 @@ val dump_state : ?trace_limit:int -> t -> string
 
 val fault_to_string : fault -> string
 val stop_to_string : stop -> string
+
+(** [fold_sysregs t f acc] folds over every system register that has
+    been written, in a deterministic (sorted) order — the fingerprint
+    enumeration. Registers never written (which read as 0 or are
+    synthesized from counters) are not visited. *)
+val fold_sysregs : t -> ('a -> Sysreg.t -> int64 -> 'a) -> 'a -> 'a
+
+(** Full per-core mutable state capture for {!Machine} snapshots:
+    registers, banked SPs, PC, EL, flags, system registers (PAuth keys
+    included), cycle/retirement counters, the trace ring, and host-side
+    attachments (step hook, hypervisor lock predicate, fast-path flag).
+    [restore] writes the sysreg table back directly without the
+    per-write icache flush of {!set_sysreg} — callers restoring a whole
+    machine must flush the shared icache once afterwards, which is what
+    {!Machine.restore} does. *)
+type captured
+
+val capture : t -> captured
+val restore : t -> captured -> unit

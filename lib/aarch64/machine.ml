@@ -131,3 +131,45 @@ let max_cycles t =
 
 let total_cycles t =
   Array.fold_left (fun acc c -> Int64.add acc (Cpu.cycles c)) 0L t.cores
+
+(* Whole-machine snapshots: CoW memory + translation tables + every
+   core's mutable state + the GIC doorbell + telemetry (captured so an
+   observed restore is bit-identical to an observed boot). The icache is
+   deliberately NOT captured — it is a host-speed cache, never
+   guest-visible; restore just flushes it once after all state is back
+   (Mmu.restore also advances the generation, so stale micro-TLB
+   entries self-discard). *)
+type snapshot = {
+  s_mem : Mem.snapshot;
+  s_mmu : Mmu.snapshot;
+  s_cores : Cpu.captured array;
+  s_pending : int array;
+  s_senders : int array array;
+  s_ipis_sent : int;
+  s_hub : Telemetry.Hub.captured option;
+}
+
+let snapshot t =
+  {
+    s_mem = Mem.snapshot t.mem;
+    s_mmu = Mmu.snapshot t.mmu;
+    s_cores = Array.map Cpu.capture t.cores;
+    s_pending = Array.copy t.gic.pending;
+    s_senders = Array.map Array.copy t.gic.senders;
+    s_ipis_sent = t.gic.ipis_sent;
+    s_hub = Option.map Telemetry.Hub.capture t.hub;
+  }
+
+let restore t s =
+  Mem.restore t.mem s.s_mem;
+  Mmu.restore t.mmu s.s_mmu;
+  Array.iteri (fun i c -> Cpu.restore t.cores.(i) c) s.s_cores;
+  Array.blit s.s_pending 0 t.gic.pending 0 (Array.length t.gic.pending);
+  Array.iteri
+    (fun i row -> Array.blit row 0 t.gic.senders.(i) 0 (Array.length row))
+    s.s_senders;
+  t.gic.ipis_sent <- s.s_ipis_sent;
+  (match (t.hub, s.s_hub) with
+  | Some hub, Some c -> Telemetry.Hub.restore hub c
+  | _ -> ());
+  Icache.flush t.icache

@@ -77,3 +77,19 @@ val max_cycles : t -> int64
 
 (** [total_cycles t] — summed cycles across cores (aggregate work). *)
 val total_cycles : t -> int64
+
+(** Whole-machine snapshots.
+
+    [snapshot t] captures memory (copy-on-write; see {!Mem.snapshot}),
+    both translation stages, every core's full mutable state (registers,
+    PAuth keys, counters, trace ring, step hooks), the GIC doorbell, and
+    — when the machine was created with [~telemetry:true] — the
+    telemetry hub, so a restored-and-observed run is bit-identical to a
+    booted-and-observed one. The decoded-instruction cache is not
+    captured: it is host-speed state, invisible to the guest; [restore]
+    flushes it once after all architectural state is back. One snapshot
+    supports any number of successive restores. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

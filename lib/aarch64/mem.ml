@@ -128,3 +128,49 @@ let read_string t pa len =
   String.init len (fun i -> Char.chr (read8 t (Int64.add pa (Int64.of_int i))))
 
 let frames_allocated t = Hashtbl.length t.frames
+
+let fold_frames t f acc =
+  (* deterministic order: sort the indices so folds (fingerprints) are
+     independent of hash-table iteration order *)
+  let idxs = Hashtbl.fold (fun idx _ acc -> idx :: acc) t.frames [] in
+  let idxs = List.sort compare idxs in
+  List.fold_left (fun acc idx -> f acc idx (Hashtbl.find t.frames idx)) acc idxs
+
+(* Copy-on-write snapshots.
+
+   [notify] fires *after* the bytes land, so there is no pre-write
+   window in which a lazily-copying snapshot could save the pristine
+   frame. Instead [snapshot] copies every allocated frame eagerly (the
+   post-boot image is small — a few hundred 4 KiB frames) and registers
+   a write hook that records dirtied frame indices from that point on.
+   [restore] then touches only the dirty set: it blits the pristine
+   bytes back in place (or zero-fills frames that did not exist at
+   snapshot time), so restore cost is proportional to what the run
+   actually wrote, not to total memory. Blitting in place preserves the
+   "frames are never replaced" contract the micro-TLB relies on. *)
+type snapshot = {
+  pristine : (int, Bytes.t) Hashtbl.t;
+  dirty : (int, unit) Hashtbl.t;
+}
+
+let snapshot t =
+  let pristine = Hashtbl.create (Hashtbl.length t.frames) in
+  Hashtbl.iter (fun idx b -> Hashtbl.replace pristine idx (Bytes.copy b)) t.frames;
+  let s = { pristine; dirty = Hashtbl.create 64 } in
+  add_write_hook t (fun idx -> Hashtbl.replace s.dirty idx ());
+  s
+
+let restore t s =
+  let idxs = Hashtbl.fold (fun idx () acc -> idx :: acc) s.dirty [] in
+  List.iter
+    (fun idx ->
+      let frame = frame_at t idx in
+      (match Hashtbl.find_opt s.pristine idx with
+      | Some b -> Bytes.blit b 0 frame 0 frame_size
+      | None -> Bytes.fill frame 0 frame_size '\000');
+      notify t idx)
+    idxs;
+  Hashtbl.reset s.dirty
+
+let snapshot_frames s = Hashtbl.length s.pristine
+let snapshot_dirty s = Hashtbl.length s.dirty

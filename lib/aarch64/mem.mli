@@ -42,3 +42,29 @@ val notify_store : t -> int -> unit
 
 (** Number of frames currently allocated (for memory-use reporting). *)
 val frames_allocated : t -> int
+
+(** [fold_frames t f acc] folds over every allocated frame in ascending
+    frame-index order (deterministic — used for state fingerprints). *)
+val fold_frames : t -> ('a -> int -> Bytes.t -> 'a) -> 'a -> 'a
+
+(** Copy-on-write memory snapshots.
+
+    [snapshot t] captures the current contents of every allocated frame
+    and begins tracking dirtied frames via a write hook. [restore t s]
+    blits the captured bytes back into exactly the frames written since
+    the snapshot (zero-filling frames that did not exist then), firing
+    the write hooks for each restored frame so instruction-cache
+    invalidation sees the restore like any other store. Restores are
+    therefore proportional to the dirty set, and one snapshot supports
+    any number of successive restores. Frames are mutated in place —
+    the frame-pointer contract of {!frame_bytes} survives a restore. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+(** Frames captured at snapshot time. *)
+val snapshot_frames : snapshot -> int
+
+(** Frames currently marked dirty (diagnostic; reset by [restore]). *)
+val snapshot_dirty : snapshot -> int

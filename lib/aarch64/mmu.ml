@@ -97,6 +97,38 @@ let probe t ~el va_page =
       in
       Some (entry.pa_page, { r = s1.r && s2.r; w = s1.w && s2.w; x = s1.x && s2.x })
 
+type snapshot = {
+  s_stage1 : (int64, s1_entry) Hashtbl.t;
+  s_stage2 : (int64, perm) Hashtbl.t;
+}
+
+let snapshot t =
+  { s_stage1 = Hashtbl.copy t.stage1; s_stage2 = Hashtbl.copy t.stage2 }
+
+(* Restore refills the tables but *advances* the generation rather than
+   restoring it: a micro-TLB entry filled after the snapshot must not
+   find its fill-time generation current again. *)
+let restore t s =
+  Hashtbl.reset t.stage1;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.stage1 k v) s.s_stage1;
+  Hashtbl.reset t.stage2;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.stage2 k v) s.s_stage2;
+  t.generation <- t.generation + 1
+
+let fold_stage1 t f acc =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.stage1 [] in
+  let keys = List.sort compare keys in
+  List.fold_left
+    (fun acc k ->
+      let e = Hashtbl.find t.stage1 k in
+      f acc k (e.pa_page, e.el0, e.el1))
+    acc keys
+
+let fold_stage2 t f acc =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.stage2 [] in
+  let keys = List.sort compare keys in
+  List.fold_left (fun acc k -> f acc k (Hashtbl.find t.stage2 k)) acc keys
+
 let access_name = function Read -> "read" | Write -> "write" | Exec -> "exec"
 
 let fault_to_string f =

@@ -70,3 +70,20 @@ val probe : t -> el:El.t -> int64 -> (int64 * perm) option
 val translate : t -> el:El.t -> access:access -> int64 -> (int64, fault) result
 
 val fault_to_string : fault -> string
+
+(** Translation-state snapshots.
+
+    [snapshot] copies both translation tables; [restore] refills them
+    and {e advances} the generation counter (it never rewinds it), so
+    generation-checked caches filled after the snapshot correctly
+    discard their entries on restore. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+(** Deterministic (key-sorted) folds over the two stages, for state
+    fingerprints. *)
+val fold_stage1 : t -> ('a -> int64 -> int64 * perm * perm -> 'a) -> 'a -> 'a
+
+val fold_stage2 : t -> ('a -> int64 -> perm -> 'a) -> 'a -> 'a

@@ -30,6 +30,21 @@ let failures_on t ~cpu = Option.value ~default:0 (Hashtbl.find_opt t.per_cpu cpu
 let log t = List.rev t.events
 let threshold t = t.threshold
 
+type captured = {
+  c_count : int;
+  c_events : event list;
+  c_per_cpu : (int, int) Hashtbl.t;
+}
+
+let capture t =
+  { c_count = t.count; c_events = t.events; c_per_cpu = Hashtbl.copy t.per_cpu }
+
+let restore t c =
+  t.count <- c.c_count;
+  t.events <- c.c_events;
+  Hashtbl.reset t.per_cpu;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.per_cpu k v) c.c_per_cpu
+
 (* SMP invariant: every failure is accounted exactly once, whichever
    core observed it. The global counter, the event log and the per-CPU
    tallies are all bumped in the single [record_failure] above, so they

@@ -33,6 +33,13 @@ val failures_on : t -> cpu:int -> int
 val log : t -> event list
 val threshold : t -> int
 
+(** Accounting-state capture for system snapshots (threshold is fixed
+    at creation and not part of the capture). *)
+type captured
+
+val capture : t -> captured
+val restore : t -> captured -> unit
+
 (** [audit t] checks the SMP accounting invariant: the global counter
     equals the sum of the per-CPU tallies, equals the event-log length,
     and the event ordinals are the contiguous sequence 1..count — i.e.

@@ -342,6 +342,98 @@ let run_random_trial ?(config = C.Config.full) ?(cpus = 2) ?(tasks = 4)
   in
   (trial_of ~golden ~index outcome, harvest_telemetry sys)
 
+(* --- snapshot-forked sessions ------------------------------------
+   Booting and mapping the workload dominates a trial's cost, yet every
+   trial starts from the identical post-setup state. A session does the
+   setup once, snapshots it, runs the golden workload in place, and then
+   serves each trial by restoring the snapshot instead of re-booting.
+   Because [System.restore] returns the machine to the exact captured
+   state (and clears trial-armed step hooks with it), a forked trial is
+   bit-identical to a booted one — the equivalence the snapshot tests
+   pin down. *)
+
+type session = {
+  ses_sys : K.System.t;
+  ses_layout : Asm.layout;
+  ses_spawned : K.System.task list;
+  ses_base : K.System.snapshot;
+  ses_golden : golden;
+  ses_golden_fingerprint : string;
+  ses_seed : int64;
+  ses_tasks : int;
+  ses_quantum : int;
+}
+
+let session_golden s = s.ses_golden
+let session_golden_fingerprint s = s.ses_golden_fingerprint
+let session_system s = s.ses_sys
+
+let create_session ?(config = C.Config.full) ?(cpus = 2) ?(tasks = 4)
+    ?(rounds = 8) ?(quantum = 400) ?(telemetry = false) ~seed () =
+  let sys, layout, spawned = setup ~telemetry ~config ~seed ~cpus ~tasks ~rounds () in
+  let base = K.System.snapshot sys in
+  let stats =
+    K.System.run_smp ~quantum ~max_slices:(max_slices ~tasks) sys ~tasks:spawned
+  in
+  let golden =
+    {
+      g_exits = sorted_exits stats;
+      g_console = K.System.console_output sys;
+      g_makespan = stats.K.System.makespan;
+    }
+  in
+  let fp = Snapshot.Fingerprint.of_system sys in
+  K.System.restore sys base;
+  {
+    ses_sys = sys;
+    ses_layout = layout;
+    ses_spawned = spawned;
+    ses_base = base;
+    ses_golden = golden;
+    ses_golden_fingerprint = fp;
+    ses_seed = seed;
+    ses_tasks = tasks;
+    ses_quantum = quantum;
+  }
+
+type trial_result = {
+  tr_trial : trial;
+  tr_telemetry : job_telemetry option;
+  tr_fingerprint : string;
+}
+
+(* Restore, arm, run: the forked counterpart of [run_one]. *)
+let run_one_in ses ?quarantine_after spec_fn =
+  let sys = ses.ses_sys in
+  K.System.restore sys ses.ses_base;
+  let spec = spec_fn sys ses.ses_layout ses.ses_spawned in
+  let inj = Injector.create spec in
+  Injector.arm_all inj (K.System.machine sys);
+  let result =
+    try
+      Result.Ok
+        (K.System.run_smp ~quantum:ses.ses_quantum
+           ~max_slices:(max_slices ~tasks:ses.ses_tasks) ?quarantine_after sys
+           ~tasks:ses.ses_spawned)
+    with Failure m -> Result.Error m
+  in
+  (sys, inj, spec, result)
+
+let run_random_trial_in ses ?quarantine_after ~index () =
+  let rng =
+    Rng.create
+      (Int64.add ses.ses_seed (Int64.mul golden_mix (Int64.of_int (index + 1))))
+  in
+  let ((sys, _, _, _) as outcome) =
+    run_one_in ses ?quarantine_after
+      (random_spec rng ~golden_makespan:ses.ses_golden.g_makespan)
+  in
+  {
+    tr_trial = trial_of ~golden:ses.ses_golden ~index outcome;
+    tr_telemetry = harvest_telemetry sys;
+    tr_fingerprint = Snapshot.Fingerprint.of_system sys;
+  }
+
 let report_of_trials ?(config_name = "full") ?(cpus = 2) ?(tasks = 4)
     ?(rounds = 8) ?(quantum = 400) ?quarantine_after ~seed ~golden trial_list =
   let trials = List.length trial_list in

@@ -123,6 +123,48 @@ val run_random_trial :
   unit ->
   trial * job_telemetry option
 
+(** A snapshot-forked campaign session: one boot + workload setup,
+    captured with {!Kernel.System.snapshot}, plus the golden run. Each
+    trial restores the post-setup snapshot instead of re-booting, which
+    is bit-identical to a fresh boot (restore also clears trial-armed
+    injector hooks) but an order of magnitude cheaper. A session wraps
+    one mutable system: callers must not share it across domains —
+    fleet workers each create their own. *)
+type session
+
+val create_session :
+  ?config:Camouflage.Config.t ->
+  ?cpus:int ->
+  ?tasks:int ->
+  ?rounds:int ->
+  ?quantum:int ->
+  ?telemetry:bool ->
+  seed:int64 ->
+  unit ->
+  session
+
+val session_golden : session -> golden
+
+(** State fingerprint ({!Snapshot.Fingerprint.of_system}) taken right
+    after the golden run — the replay log's identity anchor. *)
+val session_golden_fingerprint : session -> string
+
+val session_system : session -> Kernel.System.t
+
+type trial_result = {
+  tr_trial : trial;
+  tr_telemetry : job_telemetry option;
+  tr_fingerprint : string;  (** post-trial system state *)
+}
+
+(** [run_random_trial_in ses ~index ()] — the session-forked equivalent
+    of {!run_random_trial}: restores the base snapshot, draws the
+    [(seed, index)]-keyed spec, arms it and runs. Produces the identical
+    trial record, plus the post-trial state fingerprint that record mode
+    writes into the replay log. *)
+val run_random_trial_in :
+  session -> ?quarantine_after:int -> index:int -> unit -> trial_result
+
 (** [report_of_trials ~seed ~golden trials] — aggregate classified
     trials into a campaign report. All aggregates (counts, rates, mean
     makespan) are computed from the list in the order given; pass trials

@@ -1,4 +1,5 @@
 module FC = Faultinj.Campaign
+module L = Snapshot.Log
 
 type telemetry_summary = {
   counters : Telemetry.Counters.snapshot;
@@ -10,6 +11,8 @@ type result = {
   report : FC.report;
   telemetry : telemetry_summary option;
   stats : Pool.stats;
+  failures : Pool.job_failure list;
+  record_path : string option;
 }
 
 let empty_telemetry =
@@ -22,21 +25,68 @@ let merge_telemetry a b =
     dropped = a.dropped + b.dropped;
   }
 
+(* Boot-once, fork-per-trial: every worker domain keeps one campaign
+   session (boot + workload setup + golden run, snapshotted) in
+   domain-local storage and serves its trials by restoring the snapshot.
+   The cache is keyed by the full parameter tuple, so interleaved
+   campaigns with different shapes each get their own session; a repeat
+   campaign on the same domain (the serve control plane, test suites)
+   reuses the session outright. *)
+type session_params = {
+  sp_config : Camouflage.Config.t;
+  sp_cpus : int;
+  sp_tasks : int;
+  sp_rounds : int;
+  sp_quantum : int;
+  sp_telemetry : bool;
+  sp_seed : int64;
+}
+
+let session_key : (session_params * FC.session) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let session_for p =
+  match Domain.DLS.get session_key with
+  | Some (q, ses) when q = p -> ses
+  | _ ->
+      let ses =
+        FC.create_session ~config:p.sp_config ~cpus:p.sp_cpus ~tasks:p.sp_tasks
+          ~rounds:p.sp_rounds ~quantum:p.sp_quantum ~telemetry:p.sp_telemetry
+          ~seed:p.sp_seed ()
+      in
+      Domain.DLS.set session_key (Some (p, ses));
+      ses
+
 let run ?(config = Camouflage.Config.full) ?(config_name = "full") ?(cpus = 2)
     ?(tasks = 4) ?(rounds = 8) ?(quantum = 400) ?quarantine_after ?workers
-    ?(telemetry = false) ?progress ?should_stop ~seed ~trials () =
-  let golden = FC.golden_run ~config ~cpus ~tasks ~rounds ~quantum ~seed () in
-  let outcome =
-    Pool.run ?workers ?progress ?should_stop ~jobs:trials (fun index ->
-        FC.run_random_trial ~config ~cpus ~tasks ~rounds ~quantum
-          ?quarantine_after ~telemetry ~golden ~seed ~index ())
+    ?retries ?(telemetry = false) ?record_dir ?job_hook ?progress ?should_stop
+    ~seed ~trials () =
+  let params =
+    {
+      sp_config = config;
+      sp_cpus = cpus;
+      sp_tasks = tasks;
+      sp_rounds = rounds;
+      sp_quantum = quantum;
+      sp_telemetry = telemetry;
+      sp_seed = seed;
+    }
   in
-  if Array.exists Option.is_none outcome.Pool.results then None
+  (* the calling domain is pool worker 0: its DLS session doubles as
+     the golden-run provider, so the boot is not paid twice *)
+  let ses0 = session_for params in
+  let golden = FC.session_golden ses0 in
+  let golden_fingerprint = FC.session_golden_fingerprint ses0 in
+  let outcome =
+    Pool.run ?workers ?retries ?progress ?should_stop ~jobs:trials
+      (fun index ->
+        (match job_hook with Some h -> h index | None -> ());
+        FC.run_random_trial_in (session_for params) ?quarantine_after ~index ())
+  in
+  if outcome.Pool.stats.Pool.stopped then None
   else
-    let jobs =
-      Array.to_list (Array.map Option.get outcome.Pool.results)
-    in
-    let trial_list = List.map fst jobs in
+    let jobs = List.filter_map Fun.id (Array.to_list outcome.Pool.results) in
+    let trial_list = List.map (fun tr -> tr.FC.tr_trial) jobs in
     let telemetry_summary =
       if not telemetry then None
       else
@@ -44,8 +94,8 @@ let run ?(config = Camouflage.Config.full) ?(config_name = "full") ?(cpus = 2)
            property (tested) makes any other order equivalent anyway *)
         Some
           (List.fold_left
-             (fun acc (_, jt) ->
-               match jt with
+             (fun acc tr ->
+               match tr.FC.tr_telemetry with
                | None -> acc
                | Some jt ->
                    merge_telemetry acc
@@ -60,4 +110,44 @@ let run ?(config = Camouflage.Config.full) ?(config_name = "full") ?(cpus = 2)
       FC.report_of_trials ~config_name ~cpus ~tasks ~rounds ~quantum
         ?quarantine_after ~seed ~golden trial_list
     in
-    Some { report; telemetry = telemetry_summary; stats = outcome.Pool.stats }
+    let record_path =
+      match record_dir with
+      | None -> None
+      | Some dir ->
+          let header =
+            {
+              L.h_kind = "faults";
+              h_seed = seed;
+              h_trials = trials;
+              h_config = config_name;
+              h_cpus = cpus;
+              h_tasks = tasks;
+              h_rounds = rounds;
+              h_quantum = quantum;
+              h_quarantine_after = quarantine_after;
+              h_golden_makespan = golden.FC.g_makespan;
+              h_golden_fingerprint = golden_fingerprint;
+            }
+          in
+          let entries =
+            List.map
+              (fun tr ->
+                Faultinj.Replay.entry_of_trial
+                  ~fingerprint:tr.FC.tr_fingerprint tr.FC.tr_trial)
+              jobs
+          in
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "faults-%Ld-%d.replay" seed trials)
+          in
+          L.write ~path { L.header; entries };
+          Some path
+    in
+    Some
+      {
+        report;
+        telemetry = telemetry_summary;
+        stats = outcome.Pool.stats;
+        failures = outcome.Pool.failures;
+        record_path;
+      }

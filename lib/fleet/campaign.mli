@@ -1,13 +1,25 @@
 (** Sharded fault-injection campaigns over the {!Pool} (PR 6 tentpole,
-    layer 3).
+    layer 3; snapshot forking and record mode added in PR 8).
 
-    The golden run is computed once on the calling domain and shared
-    read-only; each trial is one pool job keyed by [(seed, index)], so
-    the work-stealing schedule cannot change which faults are drawn.
-    Trials are merged {e by job index, not completion order}, making the
-    report — and its JSON — byte-identical to the sequential
+    Every worker domain boots {e once}: it creates a campaign session
+    ({!Faultinj.Campaign.create_session} — boot, workload setup, golden
+    run, post-setup snapshot) in domain-local storage, then serves each
+    trial by restoring the snapshot. Restoring is bit-identical to
+    re-booting (pinned by the snapshot test suite), so the report — and
+    its JSON — is byte-identical to the sequential
     {!Faultinj.Campaign.run} for every worker count. The single-run path
-    is literally [~workers:1].
+    is literally [~workers:1]. Trials are merged {e by job index, not
+    completion order}; the per-trial RNG stream is keyed by
+    [(seed, index)], so the work-stealing schedule cannot change which
+    faults are drawn.
+
+    A trial job that raises is retried and then quarantined by the pool
+    ({!Pool.job_failure}): the campaign completes, the failed trial is
+    absent from the report, and the failure is surfaced in [failures].
+
+    With [record_dir] the campaign writes a deterministic replay log
+    ({!Snapshot.Log}) of every trial — spec, outcome and post-trial
+    state fingerprint — replayable with [camouflage replay].
 
     With [telemetry] every trial machine boots with telemetry (pure
     observation: the report bytes do not change) and the per-job counter
@@ -25,15 +37,23 @@ type result = {
   report : Faultinj.Campaign.report;
   telemetry : telemetry_summary option;  (** with [~telemetry:true] *)
   stats : Pool.stats;
+  failures : Pool.job_failure list;
+      (** trial jobs quarantined after exhausting their retries *)
+  record_path : string option;
+      (** the replay log written when [record_dir] was given *)
 }
 
 val merge_telemetry : telemetry_summary -> telemetry_summary -> telemetry_summary
 
-(** [run ~seed ~trials ()] — golden run, then [trials] pool jobs.
-    Returns [None] only when [should_stop] fired before every trial
-    completed (the cancelled-campaign path of [camouflage serve]).
-    [progress] is called once per finished trial from worker domains.
-    Defaults mirror {!Faultinj.Campaign.run}. *)
+(** [run ~seed ~trials ()] — golden run, then [trials] pool jobs forked
+    from per-worker snapshots. Returns [None] only when [should_stop]
+    fired before every trial completed (the cancelled-campaign path of
+    [camouflage serve]). [progress] is called once per finished trial
+    from worker domains. [record_dir] names an existing directory; the
+    log lands in [<record_dir>/faults-<seed>-<trials>.replay].
+    [job_hook] is a test-only hook invoked with the trial index at the
+    start of every job attempt; raising from it simulates a worker
+    failure. Defaults mirror {!Faultinj.Campaign.run}. *)
 val run :
   ?config:Camouflage.Config.t ->
   ?config_name:string ->
@@ -43,7 +63,10 @@ val run :
   ?quantum:int ->
   ?quarantine_after:int ->
   ?workers:int ->
+  ?retries:int ->
   ?telemetry:bool ->
+  ?record_dir:string ->
+  ?job_hook:(int -> unit) ->
   ?progress:(unit -> unit) ->
   ?should_stop:(unit -> bool) ->
   seed:int64 ->

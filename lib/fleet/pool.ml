@@ -5,15 +5,31 @@ type stats = {
   stopped : bool;
 }
 
-type 'a outcome = { results : 'a option array; stats : stats }
+type job_failure = { job : int; attempts : int; error : string }
+
+type 'a outcome = {
+  results : 'a option array;
+  failures : job_failure list;
+  stats : stats;
+}
 
 let default_workers () = min 8 (max 1 (Domain.recommended_domain_count ()))
+let default_retries = 2
+
+(* Bounded backoff between attempts: 1ms, 2ms, 4ms ... capped at 50ms.
+   Transient host trouble (fd exhaustion, allocation spikes) gets room
+   to clear; a deterministic bug burns at most ~100ms before the job is
+   quarantined. *)
+let backoff attempt =
+  Unix.sleepf (min 0.05 (0.001 *. float_of_int (1 lsl min attempt 6)))
 
 (* Each results slot is written by exactly one worker (each index is
    handed out once by the deques) and read only after every worker has
-   joined, so the plain array needs no synchronisation of its own. *)
-let run ?workers ?progress ?should_stop ~jobs f =
+   joined, so the plain array needs no synchronisation of its own. The
+   same argument covers the per-worker failure lists. *)
+let run ?workers ?(retries = default_retries) ?progress ?should_stop ~jobs f =
   if jobs < 0 then invalid_arg "Pool.run: negative job count";
+  if retries < 0 then invalid_arg "Pool.run: negative retry count";
   let workers =
     match workers with
     | Some w when w < 1 -> invalid_arg "Pool.run: worker count must be >= 1"
@@ -29,8 +45,8 @@ let run ?workers ?progress ?should_stop ~jobs f =
   done;
   let jobs_run = Array.make workers 0 in
   let steals = Array.make workers 0 in
+  let failures_per = Array.make workers [] in
   let stop = Atomic.make false in
-  let failed : exn option Atomic.t = Atomic.make None in
   let stopping () =
     Atomic.get stop
     ||
@@ -40,11 +56,24 @@ let run ?workers ?progress ?should_stop ~jobs f =
         true
     | _ -> false
   in
+  (* A job that keeps raising is retried with backoff, then quarantined:
+     recorded as a failure, its slot left None, and the pool moves on —
+     one poisoned job cannot take the whole campaign down with it. *)
   let exec w i =
-    (try results.(i) <- Some (f i)
-     with e ->
-       ignore (Atomic.compare_and_set failed None (Some e));
-       Atomic.set stop true);
+    let rec attempt n =
+      match f i with
+      | v -> results.(i) <- Some v
+      | exception e ->
+          if n > retries then
+            failures_per.(w) <-
+              { job = i; attempts = n; error = Printexc.to_string e }
+              :: failures_per.(w)
+          else begin
+            backoff n;
+            attempt (n + 1)
+          end
+    in
+    attempt 1;
     jobs_run.(w) <- jobs_run.(w) + 1;
     match progress with Some p -> p () | None -> ()
   in
@@ -77,11 +106,25 @@ let run ?workers ?progress ?should_stop ~jobs f =
   in
   worker 0;
   List.iter Domain.join spawned;
-  (match Atomic.get failed with Some e -> raise e | None -> ());
-  { results; stats = { workers; jobs_run; steals; stopped = Atomic.get stop } }
+  let failures =
+    List.sort
+      (fun a b -> compare a.job b.job)
+      (List.concat (Array.to_list failures_per))
+  in
+  {
+    results;
+    failures;
+    stats = { workers; jobs_run; steals; stopped = Atomic.get stop };
+  }
 
-let map ?workers ~jobs f =
-  let o = run ?workers ~jobs f in
+let map ?workers ?retries ~jobs f =
+  let o = run ?workers ?retries ~jobs f in
+  (match o.failures with
+  | [] -> ()
+  | { job; attempts; error } :: _ ->
+      failwith
+        (Printf.sprintf "Pool.map: job %d failed after %d attempts: %s" job
+           attempts error));
   Array.map
     (function
       | Some x -> x

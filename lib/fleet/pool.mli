@@ -1,5 +1,6 @@
-(** Domain-pool executor with per-worker deques and work-stealing
-    (PR 6 tentpole, layer 2).
+(** Domain-pool executor with per-worker deques, work-stealing and
+    fault-tolerant job execution (PR 6 tentpole, layer 2; retry and
+    quarantine added in PR 8).
 
     [run ~jobs f] evaluates [f i] for every [i] in [0 .. jobs-1] across
     a pool of OCaml domains. Job indices are block-partitioned onto
@@ -10,9 +11,12 @@
     byte-stable regardless of parallelism.
 
     [f] runs on worker domains: it must not share mutable state across
-    jobs (each fleet job boots its own machine). A raised exception
-    stops the pool and is re-raised in the caller after all workers
-    join.
+    jobs (each fleet job boots — or snapshot-forks — its own machine).
+    A job that raises is retried up to [retries] times with bounded
+    exponential backoff; a job still raising after that is
+    {e quarantined}: recorded in [failures], its slot left [None], and
+    the rest of the pool keeps running. Exceptions are never re-raised
+    into the caller by {!run} — inspect [failures].
 
     [workers = 1] degenerates to a plain sequential loop on the calling
     domain — no domain is spawned; the single-run paths of the CLI are
@@ -25,10 +29,18 @@ type stats = {
   stopped : bool;  (** [should_stop] fired before every job ran *)
 }
 
+(** One quarantined job: it raised on every attempt. *)
+type job_failure = {
+  job : int;  (** job index *)
+  attempts : int;  (** total attempts made (1 + retries) *)
+  error : string;  (** [Printexc.to_string] of the last exception *)
+}
+
 type 'a outcome = {
   results : 'a option array;
-      (** slot [i] holds [f i]; [None] only when the pool was stopped
-          before job [i] was reached *)
+      (** slot [i] holds [f i]; [None] when the pool was stopped before
+          job [i] was reached, or job [i] was quarantined *)
+  failures : job_failure list;  (** quarantined jobs, sorted by index *)
   stats : stats;
 }
 
@@ -36,20 +48,27 @@ type 'a outcome = {
     domain count, clamped to [1 .. 8]. *)
 val default_workers : unit -> int
 
-(** [run ?workers ?progress ?should_stop ~jobs f] — execute the job
-    stream. [progress] is invoked once per completed job {e from worker
-    domains} (it must be thread-safe; an [Atomic] counter is the
-    intended use). [should_stop] is polled by every worker between jobs;
-    once it returns [true] no further job starts, in-flight jobs finish,
-    and unreached slots stay [None]. *)
+(** Re-attempts granted to a raising job before quarantine (2). *)
+val default_retries : int
+
+(** [run ?workers ?retries ?progress ?should_stop ~jobs f] — execute
+    the job stream. [progress] is invoked once per completed job — also
+    for quarantined ones — {e from worker domains} (it must be
+    thread-safe; an [Atomic] counter is the intended use). [should_stop]
+    is polled by every worker between jobs; once it returns [true] no
+    further job starts, in-flight jobs finish, and unreached slots stay
+    [None]. [retries] is the number of re-attempts after a first
+    failure; [retries = 0] quarantines on the first raise. *)
 val run :
   ?workers:int ->
+  ?retries:int ->
   ?progress:(unit -> unit) ->
   ?should_stop:(unit -> bool) ->
   jobs:int ->
   (int -> 'a) ->
   'a outcome
 
-(** [map ?workers ~jobs f] — {!run} without cancellation: every slot is
-    filled, returned as a plain array in index order. *)
-val map : ?workers:int -> jobs:int -> (int -> 'a) -> 'a array
+(** [map ?workers ?retries ~jobs f] — {!run} without cancellation:
+    every slot is filled, returned as a plain array in index order.
+    Raises [Failure] if any job was quarantined. *)
+val map : ?workers:int -> ?retries:int -> jobs:int -> (int -> 'a) -> 'a array

@@ -13,6 +13,7 @@ type entry = {
   e_completed : int Atomic.t;
   e_stop : bool Atomic.t;
   e_state : job_state Atomic.t;
+  e_failures : string Atomic.t;  (* rendered JSON array of quarantined jobs *)
   e_domain : unit Domain.t;
   mutable e_joined : bool;
 }
@@ -64,6 +65,16 @@ let config_of_name = function
   | "none" -> Some C.Config.none
   | _ -> None
 
+let failures_json fs =
+  "["
+  ^ String.concat ", "
+      (List.map
+         (fun f ->
+           Printf.sprintf "{\"job\": %d, \"attempts\": %d, \"error\": \"%s\"}"
+             f.Pool.job f.Pool.attempts (escape f.Pool.error))
+         fs)
+  ^ "]"
+
 exception Bad_request of string
 
 let bad fmt = Printf.ksprintf (fun m -> raise (Bad_request m)) fmt
@@ -88,7 +99,8 @@ let register t ~kind ~total spawn =
   let completed = Atomic.make 0 in
   let stop = Atomic.make false in
   let state = Atomic.make Running in
-  let domain = spawn ~completed ~stop ~state in
+  let failures = Atomic.make "[]" in
+  let domain = spawn ~completed ~stop ~state ~failures in
   Hashtbl.replace t.entries id
     {
       e_id = id;
@@ -97,11 +109,40 @@ let register t ~kind ~total spawn =
       e_completed = completed;
       e_stop = stop;
       e_state = state;
+      e_failures = failures;
       e_domain = domain;
       e_joined = false;
     };
   Printf.sprintf "{\"ok\": true, \"id\": %d, \"kind\": \"%s\", \"total\": %d}" id
     kind total
+
+(* A submit-time deadline folds into the campaign's stop predicate:
+   once it passes, no further trial starts and the job lands in Failed
+   (a timed-out campaign is an error, not a user cancellation). *)
+let deadline_stop ~stop timeout_ms =
+  let timed_out = Atomic.make false in
+  let deadline =
+    Option.map
+      (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
+      timeout_ms
+  in
+  let should_stop () =
+    Atomic.get stop
+    ||
+    match deadline with
+    | Some d when Unix.gettimeofday () > d ->
+        Atomic.set timed_out true;
+        true
+    | _ -> false
+  in
+  (should_stop, timed_out)
+
+let cancelled_state ~timed_out timeout_ms =
+  if Atomic.get timed_out then
+    Failed
+      (Printf.sprintf "timeout after %d ms: campaign cancelled"
+         (Option.value ~default:0 timeout_ms))
+  else Cancelled
 
 let submit_faults t obj =
   let config, config_name = parse_config obj in
@@ -117,22 +158,28 @@ let submit_faults t obj =
   let quarantine_after =
     Option.map (bounded "quarantine" 1 1_000_000) (int_field obj "quarantine")
   in
-  register t ~kind:"faults" ~total:trials (fun ~completed ~stop ~state ->
+  let retries = Option.map (bounded "retries" 0 100) (int_field obj "retries") in
+  let timeout_ms =
+    Option.map (bounded "timeout_ms" 1 86_400_000) (int_field obj "timeout_ms")
+  in
+  register t ~kind:"faults" ~total:trials
+    (fun ~completed ~stop ~state ~failures ->
       Domain.spawn (fun () ->
+          let should_stop, timed_out = deadline_stop ~stop timeout_ms in
           match
             Campaign.run ~config ~config_name ~cpus ~tasks ~rounds ~quantum
-              ?quarantine_after ~workers ~telemetry:true
+              ?quarantine_after ~workers ?retries ~telemetry:true
               ~progress:(fun () -> Atomic.incr completed)
-              ~should_stop:(fun () -> Atomic.get stop)
-              ~seed ~trials ()
+              ~should_stop ~seed ~trials ()
           with
           | Some result ->
+              Atomic.set failures (failures_json result.Campaign.failures);
               Atomic.set state
                 (Done
                    (single_line
                       (Faultinj.Campaign.report_to_json
                          result.Campaign.report)))
-          | None -> Atomic.set state Cancelled
+          | None -> Atomic.set state (cancelled_state ~timed_out timeout_ms)
           | exception e -> Atomic.set state (Failed (Printexc.to_string e))))
 
 let submit_bruteforce t obj =
@@ -146,17 +193,23 @@ let submit_bruteforce t obj =
     bounded "workers" 1 64 (dflt (Pool.default_workers ()) (int_field obj "workers"))
   in
   let threshold = Option.map (bounded "threshold" 1 1_000_000) (int_field obj "threshold") in
-  register t ~kind:"bruteforce" ~total:machines (fun ~completed ~stop ~state ->
+  let retries = Option.map (bounded "retries" 0 100) (int_field obj "retries") in
+  let timeout_ms =
+    Option.map (bounded "timeout_ms" 1 86_400_000) (int_field obj "timeout_ms")
+  in
+  register t ~kind:"bruteforce" ~total:machines
+    (fun ~completed ~stop ~state ~failures ->
       Domain.spawn (fun () ->
+          let should_stop, timed_out = deadline_stop ~stop timeout_ms in
           match
-            Sweep.run ~config ?threshold ~workers
+            Sweep.run ~config ?threshold ~workers ?retries
               ~progress:(fun () -> Atomic.incr completed)
-              ~should_stop:(fun () -> Atomic.get stop)
-              ~seed ~machines ~attempts ()
+              ~should_stop ~seed ~machines ~attempts ()
           with
-          | Some (report, _) ->
+          | Some (report, _, fs) ->
+              Atomic.set failures (failures_json fs);
               Atomic.set state (Done (single_line (Sweep.report_to_json report)))
-          | None -> Atomic.set state Cancelled
+          | None -> Atomic.set state (cancelled_state ~timed_out timeout_ms)
           | exception e -> Atomic.set state (Failed (Printexc.to_string e))))
 
 let find t obj =
@@ -176,10 +229,10 @@ let status_response e =
   in
   Printf.sprintf
     "{\"ok\": true, \"id\": %d, \"kind\": \"%s\", \"state\": \"%s\", \
-     \"completed\": %d, \"total\": %d%s}"
+     \"completed\": %d, \"total\": %d, \"failures\": %s%s}"
     e.e_id e.e_kind (state_name state)
     (min (Atomic.get e.e_completed) e.e_total)
-    e.e_total extra
+    e.e_total (Atomic.get e.e_failures) extra
 
 let report_response e =
   match Atomic.get e.e_state with
@@ -206,6 +259,14 @@ let drain t =
         Domain.join e.e_domain
       end)
     t.entries
+
+(* Cancel everything still running, then join: shutdown must not block
+   behind a campaign that would otherwise run for minutes. In-flight
+   trials finish (workers poll the stop flag between jobs); queued work
+   is shed. *)
+let shutdown t =
+  Hashtbl.iter (fun _ e -> Atomic.set e.e_stop true) t.entries;
+  drain t
 
 let handle t line =
   let continue = ref true in
@@ -236,15 +297,16 @@ let handle t line =
 
 let loop ?(input = stdin) ?(output = stdout) t =
   let rec go () =
+    (* EOF lets running jobs finish; an explicit shutdown cancels them
+       first so the exit cannot block behind a long campaign *)
     match input_line input with
-    | exception End_of_file -> ()
+    | exception End_of_file -> drain t
     | line when String.trim line = "" -> go ()
     | line ->
         let response, continue = handle t line in
         output_string output response;
         output_char output '\n';
         flush output;
-        if continue then go ()
+        if continue then go () else shutdown t
   in
-  go ();
-  drain t
+  go ()

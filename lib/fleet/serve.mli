@@ -12,16 +12,23 @@
     - [submit] — start a campaign. [kind] is ["faults"] (fields: seed,
       trials, workers, cpus, tasks, rounds, quantum, quarantine, config)
       or ["bruteforce"] (fields: seed, machines, attempts, workers,
-      threshold, config). Replies with a fresh job [id].
+      threshold, config). Both kinds also accept [retries] (per-job
+      pool retries before quarantine) and [timeout_ms] (a submit-time
+      deadline: once it passes no further trial starts and the job
+      finishes as [failed], distinct from a user [cancel]). Replies
+      with a fresh job [id].
     - [status] — [{"id": n}]: state (running / done / cancelled /
-      failed) plus completed/total job counts.
+      failed), completed/total job counts, and [failures] — the
+      per-job quarantine records ([job], [attempts], [error]) of the
+      completed campaign, [[]] while running or when everything
+      succeeded.
     - [report] — [{"id": n}]: the merged report as an embedded JSON
       object, available once state is done. Fault-campaign reports are
       the byte-stable {!Faultinj.Campaign.report_to_json} rendering
       (newlines folded, since the protocol is line-oriented).
     - [cancel] — [{"id": n}]: stop scheduling the job's remaining
       work; in-flight trials finish, the report is discarded.
-    - [shutdown] — drain running jobs and exit the loop.
+    - [shutdown] — cancel and drain running jobs, then exit the loop.
 
     Every malformed request (bad JSON, missing or unknown fields,
     unknown id, out-of-range parameters) gets a structured
@@ -37,9 +44,15 @@ val create : unit -> t
     channels. *)
 val handle : t -> string -> string * bool
 
-(** [drain t] — join every spawned campaign domain. Idempotent; called
-    by {!loop} on shutdown/EOF. *)
+(** [drain t] — join every spawned campaign domain, letting running
+    jobs finish. Idempotent; called by {!loop} on EOF. *)
 val drain : t -> unit
+
+(** [shutdown t] — set every job's stop flag, then {!drain}: in-flight
+    trials finish, queued work is shed, and the call returns without
+    waiting for any campaign to run to completion. Called by {!loop}
+    on an explicit [shutdown] request. *)
+val shutdown : t -> unit
 
 (** [loop t] — serve until [shutdown] or EOF on [input] (defaults:
     stdin/stdout). Responses are flushed per line. *)

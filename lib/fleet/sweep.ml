@@ -31,9 +31,34 @@ let seed_mix = 0x9e3779b97f4a7c15L
 let machine_seed seed index =
   Int64.add seed (Int64.mul seed_mix (Int64.of_int (index + 1)))
 
+(* Boot-once, fork-per-machine: each worker domain boots a single
+   system for the sweep's (config, seed), snapshots the post-boot
+   state, and serves every machine index by restoring it. Machines then
+   differ only in their attack-RNG stream — statistically equivalent to
+   booting fresh machines, because a random forgery guess is accepted
+   with probability 2^-pac_bits regardless of the key value, so sharing
+   one key schedule across machines does not bias acceptance,
+   detection or panic counts. Every worker boots the identical state,
+   which keeps per-index results worker-count-invariant. *)
+type sweep_params = { swp_config : C.Config.t; swp_seed : int64 }
+
+let machine_key : (sweep_params * (K.System.t * K.System.snapshot)) option
+                  Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let machine_for p =
+  match Domain.DLS.get machine_key with
+  | Some (q, m) when q = p -> m
+  | _ ->
+      let sys = K.System.boot ~config:p.swp_config ~seed:p.swp_seed () in
+      let m = (sys, K.System.snapshot sys) in
+      Domain.DLS.set machine_key (Some (p, m));
+      m
+
 let run_machine ~config ~seed ~attempts index =
   let mseed = machine_seed seed index in
-  let sys = K.System.boot ~config ~seed:mseed () in
+  let sys, base = machine_for { swp_config = config; swp_seed = seed } in
+  K.System.restore sys base;
   let r =
     Attacks.Bruteforce_attack.run sys ~attempts
       ~seed:(Int64.logxor mseed 0x5deece66d1ce4e5bL)
@@ -47,20 +72,22 @@ let run_machine ~config ~seed ~attempts index =
     m_audit_ok = C.Bruteforce.audit (K.System.bruteforce sys);
   }
 
-let run ?(config = C.Config.full) ?threshold ?workers ?progress ?should_stop
-    ~seed ~machines ~attempts () =
+let run ?(config = C.Config.full) ?threshold ?workers ?retries ?progress
+    ?should_stop ~seed ~machines ~attempts () =
   let config =
     match threshold with
     | None -> config
     | Some t -> { config with C.Config.bruteforce_threshold = t }
   in
   let outcome =
-    Pool.run ?workers ?progress ?should_stop ~jobs:machines
+    Pool.run ?workers ?retries ?progress ?should_stop ~jobs:machines
       (run_machine ~config ~seed ~attempts)
   in
-  if Array.exists Option.is_none outcome.Pool.results then None
+  if outcome.Pool.stats.Pool.stopped then None
   else
-    let list = Array.to_list (Array.map Option.get outcome.Pool.results) in
+    (* quarantined machines (if any) are simply absent from the list
+       and reported out-of-band in the returned failures *)
+    let list = List.filter_map Fun.id (Array.to_list outcome.Pool.results) in
     let sum f = List.fold_left (fun acc m -> acc + f m) 0 list in
     let count p = List.length (List.filter p list) in
     Some
@@ -77,7 +104,8 @@ let run ?(config = C.Config.full) ?threshold ?workers ?progress ?should_stop
           sw_audit_failures = count (fun m -> not m.m_audit_ok);
           sw_machine_list = list;
         },
-        outcome.Pool.stats )
+        outcome.Pool.stats,
+        outcome.Pool.failures )
 
 let report_to_json ?(machine_detail = true) r =
   let b = Buffer.create 1024 in
@@ -95,6 +123,9 @@ let report_to_json ?(machine_detail = true) r =
   add "  \"panicked_machines\": %d,\n" r.sw_panicked;
   add "  \"audit_failures\": %d,\n" r.sw_audit_failures;
   if machine_detail then begin
+    (* count from the list, not sw_machines: quarantined machines are
+       absent, and the last present row must not grow a comma *)
+    let rows = List.length r.sw_machine_list in
     add "  \"machine_list\": [\n";
     List.iteri
       (fun i m ->
@@ -103,7 +134,7 @@ let report_to_json ?(machine_detail = true) r =
            \"detected\": %d, \"panicked\": %b, \"audit_ok\": %b}%s\n"
           m.m_index m.m_attempts m.m_successes m.m_detected m.m_panicked
           m.m_audit_ok
-          (if i = r.sw_machines - 1 then "" else ","))
+          (if i = rows - 1 then "" else ","))
       r.sw_machine_list;
     add "  ]\n"
   end

@@ -1,13 +1,21 @@
 (** Fleet job kinds beyond fault campaigns: PAC brute-force sweeps and
     bench-style throughput sweeps.
 
-    A brute-force sweep boots [machines] independent systems, runs the
-    {!Attacks.Bruteforce_attack} guessing loop on each with a seed
-    derived from [(seed, index)], checks the kernel's SMP accounting
-    invariant ({!Camouflage.Bruteforce.audit}) on every machine, and
-    merges per-machine results by job index into a byte-stable report —
-    the paper's Section 5.4 mitigation measured across a fleet instead
-    of one box.
+    A brute-force sweep runs [machines] systems, each executing the
+    {!Attacks.Bruteforce_attack} guessing loop with a seed derived from
+    [(seed, index)], checks the kernel's SMP accounting invariant
+    ({!Camouflage.Bruteforce.audit}) on every machine, and merges
+    per-machine results by job index into a byte-stable report — the
+    paper's Section 5.4 mitigation measured across a fleet instead of
+    one box.
+
+    Since PR 8 the machines are snapshot-forked: each worker domain
+    boots one system for the sweep's [(config, seed)], snapshots the
+    post-boot state, and restores it per machine index. Machines differ
+    only in their attack-RNG stream, which is statistically equivalent
+    to independent boots — a random forgery is accepted with probability
+    2^-pac_bits regardless of the key value — and an order of magnitude
+    cheaper.
 
     A throughput sweep runs [jobs] independent
     {!Workloads.Smp.run_point} instances — the unit of work [bench
@@ -38,18 +46,21 @@ type report = {
 
 (** [run ~seed ~machines ~attempts ()] — the sweep. [threshold]
     overrides the config's brute-force panic threshold. Deterministic:
-    the same arguments give the same report for every worker count. *)
+    the same arguments give the same report for every worker count.
+    Machines whose job was quarantined by the pool (after [retries])
+    are absent from the report and listed in the returned failures. *)
 val run :
   ?config:Camouflage.Config.t ->
   ?threshold:int ->
   ?workers:int ->
+  ?retries:int ->
   ?progress:(unit -> unit) ->
   ?should_stop:(unit -> bool) ->
   seed:int64 ->
   machines:int ->
   attempts:int ->
   unit ->
-  (report * Pool.stats) option
+  (report * Pool.stats * Pool.job_failure list) option
 
 (** Deterministic JSON: fixed field order, byte-stable. *)
 val report_to_json : ?machine_detail:bool -> report -> string

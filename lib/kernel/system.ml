@@ -1363,3 +1363,75 @@ let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
         logf t "cpu%d online (idle pid %d)" cid idle.pid)
   done;
   t
+
+(* System snapshots: the machine snapshot (memory CoW + cores + GIC +
+   telemetry) plus every host-side kernel field the guest cannot see —
+   scheduler mirrors, task lists, the console/oops logs, the RNG stream
+   position, brute-force accounting, and the held-out attestation MACs.
+   Immutable-after-boot structures (config, registry, hypervisor, XOM
+   layout, per-CPU bases) are shared, not copied. *)
+type snapshot = {
+  snap_machine : Machine.snapshot;
+  snap_active : int;
+  snap_percpu : (task * task option) array;
+  snap_kernel : Kelf.Loader.placed;
+  snap_rng : int64;
+  snap_current : task;
+  snap_tasks : task list;
+  snap_next_pid : int;
+  snap_next_stack_slot : int;
+  snap_module_alloc : int64;
+  snap_log : (int64 * string) list;
+  snap_panicked : bool;
+  snap_oopses : oops list;
+  snap_table_mac_golden : int64;
+  snap_context_macs : (int, int64) Hashtbl.t;
+  snap_context_key : Pac.key;
+  snap_bruteforce : C.Bruteforce.captured;
+}
+
+let snapshot t =
+  {
+    snap_machine = Machine.snapshot t.machine;
+    snap_active = t.active;
+    snap_percpu = Array.map (fun st -> (st.cur, st.idle)) t.percpu;
+    snap_kernel = t.kernel;
+    snap_rng = Camo_util.Rng.state t.rng;
+    snap_current = t.current;
+    snap_tasks = t.tasks;
+    snap_next_pid = t.next_pid;
+    snap_next_stack_slot = t.next_stack_slot;
+    snap_module_alloc = t.module_alloc;
+    snap_log = t.log;
+    snap_panicked = t.panicked;
+    snap_oopses = t.oopses;
+    snap_table_mac_golden = t.table_mac_golden;
+    snap_context_macs = Hashtbl.copy t.context_macs;
+    snap_context_key = t.context_key;
+    snap_bruteforce = C.Bruteforce.capture t.bruteforce;
+  }
+
+let restore t s =
+  Machine.restore t.machine s.snap_machine;
+  t.active <- s.snap_active;
+  t.cpu <- Machine.core t.machine s.snap_active;
+  Array.iteri
+    (fun i (cur, idle) ->
+      t.percpu.(i).cur <- cur;
+      t.percpu.(i).idle <- idle)
+    s.snap_percpu;
+  t.kernel <- s.snap_kernel;
+  Camo_util.Rng.set_state t.rng s.snap_rng;
+  t.current <- s.snap_current;
+  t.tasks <- s.snap_tasks;
+  t.next_pid <- s.snap_next_pid;
+  t.next_stack_slot <- s.snap_next_stack_slot;
+  t.module_alloc <- s.snap_module_alloc;
+  t.log <- s.snap_log;
+  t.panicked <- s.snap_panicked;
+  t.oopses <- s.snap_oopses;
+  t.table_mac_golden <- s.snap_table_mac_golden;
+  Hashtbl.reset t.context_macs;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.context_macs k v) s.snap_context_macs;
+  t.context_key <- s.snap_context_key;
+  C.Bruteforce.restore t.bruteforce s.snap_bruteforce

@@ -266,3 +266,22 @@ val entry_overhead_cycles : int
 val exit_overhead_cycles : int
 val fork_vm_copy_cycles : int
 val sched_pick_cycles : int
+
+(** Whole-system snapshots — the boot-once / fork-many primitive.
+
+    [snapshot t] captures the machine ({!Aarch64.Machine.snapshot}:
+    copy-on-write memory, translation tables, every core's registers and
+    PAuth keys, the GIC, telemetry when enabled) plus all host-side
+    kernel state: scheduler mirrors, the task list and allocators, the
+    console and oops logs, RNG stream position, brute-force accounting
+    and the held-out attestation MACs. [restore t s] rewinds [t] to the
+    captured point; one snapshot supports any number of restores, each
+    proportional to what the intervening run dirtied. Restoring also
+    drops step hooks installed after the capture (a fault injector armed
+    for one trial does not leak into the next) and flushes the decoded-
+    instruction cache. A snapshot is tied to the system it was taken
+    from: restoring it into a different system is not supported. *)
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit

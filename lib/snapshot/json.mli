@@ -1,10 +1,13 @@
-(** Minimal JSON reader for the [camouflage serve] wire protocol.
+(** Minimal JSON reader shared by the replay log and the [camouflage
+    serve] wire protocol ([Fleet.Jsonin] is an alias of this module).
 
-    An alias of {!Snapshot.Json}, which also parses replay logs — see
-    there for the full story. Kept under its historical fleet name for
-    the serve control plane and its tests. *)
+    The repo's JSON {e writers} (campaign reports, counter files, bench
+    metrics, replay logs) are hand-rolled byte-stable serializers; this
+    is their missing inverse. Recursive descent, no dependencies;
+    numbers without a fraction or exponent are kept as exact [int64]s so
+    seeds survive the round trip. *)
 
-type t = Snapshot.Json.t =
+type t =
   | Null
   | Bool of bool
   | Int of int64
@@ -18,7 +21,8 @@ type t = Snapshot.Json.t =
     column (and byte offset) of the failure. *)
 val parse : string -> (t, string) result
 
-(** [line_col s pos] — 1-based (line, column) of byte offset [pos]. *)
+(** [line_col s pos] — 1-based (line, column) of byte offset [pos] in
+    [s]. *)
 val line_col : string -> int -> int * int
 
 (** [member name v] — field lookup in an [Obj]; [None] for absent

@@ -127,6 +127,18 @@ let snapshot (t : t) : snapshot =
     ipis_received = t.ipis_received;
   }
 
+let restore (t : t) (s : snapshot) =
+  t.retired <- s.retired;
+  t.cycles <- s.cycles;
+  Array.blit s.classes 0 t.classes 0 class_count;
+  t.auth_failures <- s.auth_failures;
+  t.key_installs <- s.key_installs;
+  t.exception_entries <- s.exception_entries;
+  t.exception_returns <- s.exception_returns;
+  t.mmu_walks <- s.mmu_walks;
+  t.ipis_sent <- s.ipis_sent;
+  t.ipis_received <- s.ipis_received
+
 let zero : snapshot =
   {
     retired = 0L;

@@ -64,6 +64,12 @@ val count_ipi_sent : t -> unit
 val count_ipi_received : t -> unit
 
 val snapshot : t -> snapshot
+
+(** [restore t s] overwrites the live counter file with [s] — the
+    inverse of {!snapshot}, used by machine state restore so an
+    observed forked run matches an observed booted one bit-for-bit. *)
+val restore : t -> snapshot -> unit
+
 val zero : snapshot
 
 (** [diff ~after ~before] — element-wise [after - before]. *)

@@ -28,3 +28,8 @@ let dropped t =
   Array.fold_left (fun acc s -> acc + Ring.dropped (Sink.ring s)) 0 t.sinks
 
 let reset t = Array.iter Sink.reset t.sinks
+
+type captured = { c_sinks : Sink.captured array }
+
+let capture t = { c_sinks = Array.map Sink.capture t.sinks }
+let restore t c = Array.iteri (fun i s -> Sink.restore t.sinks.(i) s) c.c_sinks

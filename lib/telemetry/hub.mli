@@ -21,3 +21,9 @@ val events : t -> Event.t list
 val dropped : t -> int
 
 val reset : t -> unit
+
+(** Whole-hub capture (every per-core sink), for machine snapshots. *)
+type captured
+
+val capture : t -> captured
+val restore : t -> captured -> unit

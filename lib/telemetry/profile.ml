@@ -36,6 +36,19 @@ let record t ~pc ~origin ~cycles =
   let i = origin_index origin in
   row.(i) <- Int64.add row.(i) (Int64.of_int cycles)
 
+type captured = { c_buckets : (int64, int64 array) Hashtbl.t }
+
+let capture t =
+  let c = Hashtbl.create (Hashtbl.length t.buckets) in
+  Hashtbl.iter (fun pc row -> Hashtbl.replace c pc (Array.copy row)) t.buckets;
+  { c_buckets = c }
+
+let restore t c =
+  Hashtbl.reset t.buckets;
+  Hashtbl.iter
+    (fun pc row -> Hashtbl.replace t.buckets pc (Array.copy row))
+    c.c_buckets
+
 let total t =
   Hashtbl.fold
     (fun _ row acc -> Array.fold_left Int64.add acc row)

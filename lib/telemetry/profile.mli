@@ -30,6 +30,13 @@ val create : unit -> t
 val reset : t -> unit
 val record : t -> pc:int64 -> origin:origin -> cycles:int -> unit
 
+(** Bucket-table capture for machine snapshots. Rows are copied both
+    ways, so a captured profile is immune to later mutation. *)
+type captured
+
+val capture : t -> captured
+val restore : t -> captured -> unit
+
 (** Total attributed cycles. *)
 val total : t -> int64
 

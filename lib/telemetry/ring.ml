@@ -35,3 +35,12 @@ let clear t =
   Array.fill t.buf 0 (Array.length t.buf) None;
   t.pos <- 0;
   t.total <- 0
+
+type captured = { c_buf : Event.t option array; c_pos : int; c_total : int }
+
+let capture t = { c_buf = Array.copy t.buf; c_pos = t.pos; c_total = t.total }
+
+let restore t c =
+  Array.blit c.c_buf 0 t.buf 0 (Array.length t.buf);
+  t.pos <- c.c_pos;
+  t.total <- c.c_total

@@ -21,3 +21,10 @@ val dropped : t -> int
 val to_list : t -> Event.t list
 
 val clear : t -> unit
+
+(** Ring-content capture for machine snapshots ([restore] requires the
+    same depth the capture was taken at). *)
+type captured
+
+val capture : t -> captured
+val restore : t -> captured -> unit

@@ -41,3 +41,24 @@ let reset t =
   Ring.clear t.ring;
   Profile.reset t.profile;
   t.origin_override <- None
+
+type captured = {
+  c_counters : Counters.snapshot;
+  c_ring : Ring.captured;
+  c_profile : Profile.captured;
+  c_origin_override : Profile.origin option;
+}
+
+let capture t =
+  {
+    c_counters = Counters.snapshot t.counters;
+    c_ring = Ring.capture t.ring;
+    c_profile = Profile.capture t.profile;
+    c_origin_override = t.origin_override;
+  }
+
+let restore t c =
+  Counters.restore t.counters c.c_counters;
+  Ring.restore t.ring c.c_ring;
+  Profile.restore t.profile c.c_profile;
+  t.origin_override <- c.c_origin_override

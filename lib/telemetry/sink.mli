@@ -32,3 +32,10 @@ val with_origin : t -> Profile.origin -> (unit -> 'a) -> 'a
 
 (** Reset counters, ring and profile (e.g. before a measured window). *)
 val reset : t -> unit
+
+(** Full endpoint capture (counters + ring + profile + origin
+    override), for machine snapshots. *)
+type captured
+
+val capture : t -> captured
+val restore : t -> captured -> unit

@@ -25,3 +25,11 @@ val key128 : t -> int64 * int64
 (** [split t] derives an independent generator, useful for giving each
     subsystem its own stream without cross-coupling. *)
 val split : t -> t
+
+(** [state t] reads the internal state, for snapshotting. Restoring the
+    same state with {!set_state} resumes the identical stream. *)
+val state : t -> int64
+
+(** [set_state t s] overwrites the internal state with a value obtained
+    from {!state}. *)
+val set_state : t -> int64 -> unit

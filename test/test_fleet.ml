@@ -66,10 +66,62 @@ let test_pool_cancellation () =
     true
     (ran >= 5 && ran < 100)
 
-let test_pool_propagates_exceptions () =
-  match F.Pool.run ~workers:3 ~jobs:12 (fun i -> if i = 7 then failwith "boom" else i) with
-  | exception Failure m -> Alcotest.(check string) "original exception" "boom" m
-  | _ -> Alcotest.fail "worker exception was swallowed"
+let test_pool_quarantines_poisoned_job () =
+  (* a job that always raises is retried, then quarantined: the pool
+     completes, every other slot is filled, nothing is re-raised *)
+  let attempts_seen = Atomic.make 0 in
+  let outcome =
+    F.Pool.run ~workers:3 ~retries:2 ~jobs:12 (fun i ->
+        if i = 7 then begin
+          Atomic.incr attempts_seen;
+          failwith "boom"
+        end
+        else i)
+  in
+  (match outcome.F.Pool.failures with
+  | [ f ] ->
+      Alcotest.(check int) "failed job index" 7 f.F.Pool.job;
+      Alcotest.(check int) "attempts = 1 + retries" 3 f.F.Pool.attempts;
+      let contains sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "error text preserved" true
+        (contains "boom" f.F.Pool.error)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 failure, got %d" (List.length fs)));
+  Alcotest.(check int) "job was attempted exactly 3 times" 3
+    (Atomic.get attempts_seen);
+  Alcotest.(check bool) "pool not stopped by the failure" false
+    outcome.F.Pool.stats.F.Pool.stopped;
+  Array.iteri
+    (fun i slot ->
+      if i = 7 then
+        Alcotest.(check (option int)) "poisoned slot stays empty" None slot
+      else
+        Alcotest.(check (option int))
+          (Printf.sprintf "slot %d unaffected" i)
+          (Some i) slot)
+    outcome.F.Pool.results
+
+let test_pool_retry_recovers_transient_failure () =
+  (* a job that fails twice then succeeds: retries absorb it *)
+  let tries = Atomic.make 0 in
+  let outcome =
+    F.Pool.run ~workers:1 ~retries:2 ~jobs:3 (fun i ->
+        if i = 1 && Atomic.fetch_and_add tries 1 < 2 then failwith "flaky"
+        else i * 10)
+  in
+  Alcotest.(check (list int)) "no failures recorded" []
+    (List.map (fun f -> f.F.Pool.job) outcome.F.Pool.failures);
+  Alcotest.(check (option int)) "flaky job eventually succeeded" (Some 10)
+    outcome.F.Pool.results.(1);
+  (* map raises when a job is quarantined for good *)
+  match F.Pool.map ~workers:1 ~retries:0 ~jobs:2 (fun i -> if i = 0 then failwith "dead" else i) with
+  | exception Failure m ->
+      Alcotest.(check bool) "map reports the quarantined job" true
+        (String.length m > 0)
+  | _ -> Alcotest.fail "map ignored a quarantined job"
 
 (* --- fleet campaign: byte-stable across worker counts -------------- *)
 
@@ -109,7 +161,7 @@ let test_campaign_telemetry_merge () =
 (* --- brute-force sweep -------------------------------------------- *)
 
 let sweep_json workers =
-  let report, _ =
+  let report, _, _ =
     Option.get (F.Sweep.run ~workers ~seed:9L ~machines:6 ~attempts:8 ())
   in
   report
@@ -128,7 +180,7 @@ let test_sweep_audits_and_threshold () =
   Alcotest.(check int) "every machine made its guesses" (6 * 8)
     r.F.Sweep.sw_total_attempts;
   (* a tight threshold must halt every machine before its budget *)
-  let tight, _ =
+  let tight, _, _ =
     Option.get
       (F.Sweep.run ~threshold:4 ~workers:2 ~seed:9L ~machines:6 ~attempts:8 ())
   in
@@ -283,8 +335,10 @@ let suite =
       test_pool_accounts_every_job;
     Alcotest.test_case "pool cancellation sheds queued jobs" `Quick
       test_pool_cancellation;
-    Alcotest.test_case "pool re-raises worker exceptions" `Quick
-      test_pool_propagates_exceptions;
+    Alcotest.test_case "pool quarantines a poisoned job" `Quick
+      test_pool_quarantines_poisoned_job;
+    Alcotest.test_case "pool retries recover transient failures" `Quick
+      test_pool_retry_recovers_transient_failure;
     Alcotest.test_case "campaign bytes: workers 1 = 2 = 8" `Quick
       test_campaign_workers_byte_identical;
     Alcotest.test_case "campaign bytes: fleet = legacy sequential" `Quick

@@ -25,5 +25,6 @@ let () =
       ("faultinj", Test_faultinj.suite);
       ("telemetry", Test_telemetry.suite);
       ("fleet", Test_fleet.suite);
+      ("snapshot", Test_snapshot.suite);
       ("misc", Test_misc.suite);
     ]
