@@ -180,7 +180,55 @@ let e2 () =
         ~name:(slug a.Workloads.Calls.attr_label ^ "-attributed-fraction")
         ~value:a.Workloads.Calls.attr_fraction ~unit_:"ratio")
     attrs;
-  row "every added cycle should carry a named origin (sign/auth/modifier/key)\n"
+  row "every added cycle should carry a named origin (sign/auth/modifier/key)\n";
+
+  (* Span latency (PR 9): the same schemes measured end-to-end instead
+     of per-call — syscall and context-switch latency distributions
+     from the telemetry span histograms of an SMP syscall workload.
+     Percentiles are HDR bucket lower bounds (exact to 1/32). *)
+  row "\nspan latency per scheme (8-task SMP syscall workload, 2 cores; cycles):\n";
+  row "%-16s %10s %8s %8s %12s %8s %8s\n" "scheme" "syscalls" "p50" "p99"
+    "ctx-switch" "p50" "p99";
+  List.iter
+    (fun (name, config) ->
+      let sys = K.System.boot ~config ~seed:11L ~cpus:2 ~telemetry:true () in
+      let layout =
+        K.System.map_user_program sys
+          (Workloads.Smp.throughput_program ~rounds:20)
+      in
+      let entry = Asm.symbol layout "throughput" in
+      let tasks = List.init 8 (fun _ -> K.System.spawn_user_task sys ~entry) in
+      let (_ : K.System.smp_stats) = K.System.run_smp ~quantum:500 sys ~tasks in
+      let hub =
+        match K.System.telemetry sys with
+        | Some h -> h
+        | None -> failwith "telemetry boot carries no hub"
+      in
+      let hists = Telemetry.Hub.histograms hub in
+      let h kind =
+        match List.assoc_opt kind hists with
+        | Some h -> h
+        | None -> Telemetry.Hist.create ()
+      in
+      let sy = h Telemetry.Span.Syscall in
+      let cs = h Telemetry.Span.Context_switch in
+      row "%-16s %10Ld %8Ld %8Ld %12Ld %8Ld %8Ld\n" name
+        (Telemetry.Hist.count sy) (Telemetry.Hist.p50 sy)
+        (Telemetry.Hist.p99 sy) (Telemetry.Hist.count cs)
+        (Telemetry.Hist.p50 cs) (Telemetry.Hist.p99 cs);
+      List.iter
+        (fun (metric_name, v) ->
+          metric ~experiment:"e2"
+            ~name:(slug name ^ "-" ^ metric_name)
+            ~value:(Int64.to_float v) ~unit_:"cycles")
+        [
+          ("syscall-p50", Telemetry.Hist.p50 sy);
+          ("syscall-p99", Telemetry.Hist.p99 sy);
+          ("context-switch-p50", Telemetry.Hist.p50 cs);
+          ("context-switch-p99", Telemetry.Hist.p99 cs);
+        ])
+    Workloads.Lmbench.configs;
+  row "the per-scheme ordering must match the per-call table above\n"
 
 (* E3: Figure 3 — lmbench relative latencies. *)
 let e3 () =
@@ -843,7 +891,57 @@ let fleet () =
     results;
   metric ~experiment:"fleet" ~name:"deterministic" ~value:1.0 ~unit_:"bool";
   row "\nevery worker count produced bit-identical simulated results; the\n";
-  row "speedup column is host-hardware-limited, like the parallel experiment.\n"
+  row "speedup column is host-hardware-limited, like the parallel experiment.\n";
+
+  (* Span histograms across the fleet (PR 9): a telemetry-enabled fault
+     campaign per scheme, with the merged histogram JSON hard-asserted
+     byte-identical for 1/2/8 workers — the exact-merge monoid folded
+     in trial-index order cannot see the work-stealing schedule. *)
+  let trials = 16 and hist_seed = 2026L in
+  let hist_json config workers =
+    let result =
+      Option.get
+        (Fleet.Campaign.run ~config ~config_name:(C.Config.name config)
+           ~workers ~telemetry:true ~seed:hist_seed ~trials ())
+    in
+    match result.Fleet.Campaign.telemetry with
+    | Some tel -> Telemetry.Span.histograms_to_json tel.Fleet.Campaign.hists
+    | None -> failwith "telemetry campaign returned no summary"
+  in
+  row "\nspan latency across a %d-trial fault campaign per scheme (cycles):\n"
+    trials;
+  row "%-16s %-16s %8s %8s %8s %8s\n" "scheme" "kind" "count" "p50" "p99" "max";
+  List.iter
+    (fun (name, config) ->
+      let result =
+        Option.get
+          (Fleet.Campaign.run ~config ~config_name:(C.Config.name config)
+             ~workers:2 ~telemetry:true ~seed:hist_seed ~trials ())
+      in
+      let tel = Option.get result.Fleet.Campaign.telemetry in
+      List.iter
+        (fun (kind, h) ->
+          if not (Telemetry.Hist.is_empty h) then begin
+            row "%-16s %-16s %8Ld %8Ld %8Ld %8Ld\n" name
+              (Telemetry.Span.kind_name kind) (Telemetry.Hist.count h)
+              (Telemetry.Hist.p50 h) (Telemetry.Hist.p99 h)
+              (Telemetry.Hist.max_value h);
+            metric ~experiment:"fleet"
+              ~name:
+                (Printf.sprintf "%s-%s-p99" (slug name)
+                   (Telemetry.Span.kind_name kind))
+              ~value:(Int64.to_float (Telemetry.Hist.p99 h))
+              ~unit_:"cycles"
+          end)
+        tel.Fleet.Campaign.hists)
+    Workloads.Lmbench.configs;
+  let h1 = hist_json C.Config.full 1 in
+  let h2 = hist_json C.Config.full 2 in
+  let h8 = hist_json C.Config.full 8 in
+  if h1 <> h2 || h1 <> h8 then
+    failwith "fleet bench: merged span histograms diverged across 1/2/8 workers";
+  row "\nmerged histogram JSON is byte-identical for 1/2/8 workers\n";
+  metric ~experiment:"fleet" ~name:"hist-deterministic" ~value:1.0 ~unit_:"bool"
 
 (* LINT: the whole-image interprocedural analyzer under the fleet
    engine. Two contracts: (1) determinism — diagnostics and gadget

@@ -270,19 +270,47 @@ let trace_cmd =
       const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg $ chrome_arg
       $ validate_arg $ text_arg)
 
+let print_hist_table hists =
+  Printf.printf "span latency (cycles, log-bucketed: values exact to 1/32)\n";
+  Printf.printf "  %-16s %8s %8s %8s %8s %8s\n" "kind" "count" "p50" "p90" "p99"
+    "max";
+  List.iter
+    (fun (kind, h) ->
+      if Telemetry.Hist.is_empty h then
+        Printf.printf "  %-16s %8s\n" (Telemetry.Span.kind_name kind) "-"
+      else
+        Printf.printf "  %-16s %8Ld %8Ld %8Ld %8Ld %8Ld\n"
+          (Telemetry.Span.kind_name kind) (Telemetry.Hist.count h)
+          (Telemetry.Hist.p50 h) (Telemetry.Hist.p90 h) (Telemetry.Hist.p99 h)
+          (Telemetry.Hist.max_value h))
+    hists
+
 let stats_cmd =
   let json_arg =
     let doc = "Emit the merged counter file as a JSON object." in
     Arg.(value & flag & info [ "json" ] ~doc)
   in
-  let run config seed cpus no_icache json =
+  let hist_arg =
+    let doc =
+      "Also print the span latency histograms (syscall, context switch, IPI, \
+       kernel-key residency) derived from the telemetry event rings; with \
+       $(b,--json), embed them as a span_hists object."
+    in
+    Arg.(value & flag & info [ "hist" ] ~doc)
+  in
+  let run config seed cpus no_icache json hist =
     let cpus = max cpus 2 in
     let _, hub, stats =
       telemetry_run ~config ~seed ~cpus ~icache:(not no_icache) ~tasks:8
         ~rounds:20
     in
     let merged = Telemetry.Hub.counters hub in
-    if json then print_string (Telemetry.Counters.to_json merged ^ "\n")
+    if json then
+      if hist then
+        Printf.printf "{\"counters\": %s, \"span_hists\": %s}\n"
+          (Telemetry.Counters.to_json merged)
+          (Telemetry.Span.histograms_to_json (Telemetry.Hub.histograms hub))
+      else print_string (Telemetry.Counters.to_json merged ^ "\n")
     else begin
       Printf.printf
         "PMU counter files after an 8-task syscall workload (%s, %d cores, \
@@ -293,15 +321,22 @@ let stats_cmd =
           Printf.printf "cpu%d:\n%s\n" cid (Telemetry.Counters.to_string snap))
         (Telemetry.Hub.per_cpu hub);
       Printf.printf "machine (all cores merged):\n%s"
-        (Telemetry.Counters.to_string merged)
+        (Telemetry.Counters.to_string merged);
+      if hist then begin
+        Printf.printf "\n";
+        print_hist_table (Telemetry.Hub.histograms hub)
+      end
     end
   in
   let doc =
     "Run an SMP syscall workload with telemetry enabled and print the \
-     per-core and merged PMU-style counter files."
+     per-core and merged PMU-style counter files (and, with $(b,--hist), \
+     the span latency histograms)."
   in
   Cmd.v (Cmd.info "stats" ~doc)
-    Term.(const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg $ json_arg)
+    Term.(
+      const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg $ json_arg
+      $ hist_arg)
 
 let lint_cmd =
   let json_arg =
@@ -516,19 +551,68 @@ let faults_cmd =
     in
     Arg.(value & opt (some string) None & info [ "record-dir" ] ~docv:"DIR" ~doc)
   in
-  let run config seed cpus trials json quarantine workers retries record_dir demo =
+  let chrome_arg =
+    let doc =
+      "Run the campaign under telemetry and write the merged multi-trial \
+       Chrome trace (one per-trial process lane, per-core thread tracks) to \
+       $(docv). Byte-identical for every worker count."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  let lanes_arg =
+    let doc = "Number of trial lanes kept for the $(b,--chrome) trace." in
+    Arg.(value & opt int 4 & info [ "lanes" ] ~docv:"N" ~doc)
+  in
+  let hist_json_arg =
+    let doc =
+      "Run the campaign under telemetry and write the merged span latency \
+       histograms to $(docv) as byte-stable JSON. Byte-identical for every \
+       worker count (the merge is an exact commutative monoid folded in \
+       trial-index order)."
+    in
+    Arg.(value & opt (some string) None & info [ "hist-json" ] ~docv:"FILE" ~doc)
+  in
+  let run config seed cpus trials json quarantine workers retries record_dir
+      chrome lanes hist_json demo =
     if demo then print_string (Faultinj.Campaign.demo_to_string (Faultinj.Campaign.quarantine_demo ~seed ()))
     else begin
       (* the sequential path is just the fleet engine at --workers 1 *)
+      let telemetry = chrome <> None || hist_json <> None in
       let result =
         Option.get
           (Fleet.Campaign.run ~config ~config_name:(C.Config.name config)
              ~cpus:(max cpus 2) ?quarantine_after:quarantine
-             ~workers:(max 1 workers) ?retries ?record_dir ~seed ~trials ())
+             ~workers:(max 1 workers) ?retries ?record_dir ~telemetry
+             ~lanes:(if chrome = None then 0 else max 0 lanes)
+             ~seed ~trials ())
       in
       let report = result.Fleet.Campaign.report in
       if json then print_string (Faultinj.Campaign.report_to_json report)
       else print_string (Faultinj.Campaign.report_to_string report);
+      (match (chrome, result.Fleet.Campaign.telemetry) with
+      | Some path, Some tel ->
+          let doc =
+            Telemetry.Chrome.serialize_lanes tel.Fleet.Campaign.lanes
+          in
+          (match Telemetry.Chrome.validate doc with
+          | Ok () -> ()
+          | Error e -> failwith ("fleet trace failed validation: " ^ e));
+          let oc = open_out path in
+          output_string oc doc;
+          close_out oc;
+          Printf.eprintf "chrome trace (%d lanes) written to %s\n"
+            (List.length tel.Fleet.Campaign.lanes)
+            path
+      | _ -> ());
+      (match (hist_json, result.Fleet.Campaign.telemetry) with
+      | Some path, Some tel ->
+          let oc = open_out path in
+          output_string oc
+            (Telemetry.Span.histograms_to_json tel.Fleet.Campaign.hists);
+          output_string oc "\n";
+          close_out oc;
+          Printf.eprintf "span histograms written to %s\n" path
+      | _ -> ());
       (* side-channel notes go to stderr: stdout stays a clean report *)
       (match result.Fleet.Campaign.record_path with
       | Some path -> Printf.eprintf "replay log written to %s\n" path
@@ -551,7 +635,8 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run $ config_arg $ seed_arg $ cpus_arg $ trials_arg $ json_arg
-      $ quarantine_arg $ workers_arg $ retries_arg $ record_arg $ demo_arg)
+      $ quarantine_arg $ workers_arg $ retries_arg $ record_arg $ chrome_arg
+      $ lanes_arg $ hist_json_arg $ demo_arg)
 
 let replay_cmd =
   let log_arg =

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Assert span-histogram JSON is byte-identical across worker counts.
+
+Usage: check_hist_determinism.py HIST1.json HIST2.json [HIST3.json ...]
+
+Each file is the merged span-latency histogram object written by
+`camouflage faults --hist-json` (or embedded in a sweep/serve report).
+All files must be byte-identical — the exact-merge monoid folded in
+trial-index order cannot see the work-stealing schedule — and the
+first file must be structurally sane: every span kind present, each
+histogram's bucket counts summing to its `count`, percentiles ordered
+and bounded by min/max.
+"""
+import json
+import sys
+
+KINDS = ["syscall", "context-switch", "ipi", "key-domain"]
+
+
+def check_shape(path):
+    with open(path) as f:
+        doc = json.load(f)
+    problems = []
+    for kind in KINDS:
+        if kind not in doc:
+            problems.append(f"kind {kind!r} missing")
+            continue
+        h = doc[kind]
+        for field in ("count", "sum", "min", "max", "p50", "p90", "p99",
+                      "p999", "buckets"):
+            if field not in h:
+                problems.append(f"{kind}: field {field!r} missing")
+        if problems:
+            continue
+        bucket_total = sum(c for _, c in h["buckets"])
+        if bucket_total != h["count"]:
+            problems.append(
+                f"{kind}: bucket counts sum to {bucket_total}, "
+                f"count says {h['count']}"
+            )
+        if h["count"] == 0:
+            if h["buckets"]:
+                problems.append(f"{kind}: empty histogram carries buckets")
+        else:
+            ps = [h["p50"], h["p90"], h["p99"], h["p999"]]
+            if ps != sorted(ps):
+                problems.append(f"{kind}: percentiles out of order: {ps}")
+            if not (h["min"] <= h["p50"] and h["p999"] <= h["max"]):
+                problems.append(
+                    f"{kind}: percentiles escape [min, max] = "
+                    f"[{h['min']}, {h['max']}]"
+                )
+            indices = [i for i, _ in h["buckets"]]
+            if indices != sorted(indices):
+                problems.append(f"{kind}: bucket indices not sorted")
+    return problems
+
+
+def main(paths):
+    if len(paths) < 2:
+        print("need at least two histogram files to compare", file=sys.stderr)
+        sys.exit(2)
+    blobs = {}
+    for path in paths:
+        with open(path, "rb") as f:
+            blobs[path] = f.read()
+    first = paths[0]
+    diverged = [p for p in paths[1:] if blobs[p] != blobs[first]]
+    problems = check_shape(first)
+    if diverged or problems:
+        if diverged:
+            print("histogram JSON diverged across worker counts:",
+                  file=sys.stderr)
+            for p in diverged:
+                print(f"  {p} != {first}", file=sys.stderr)
+        for line in problems:
+            print(f"shape: {line}", file=sys.stderr)
+        sys.exit(1)
+    kinds = json.loads(blobs[first])
+    total = sum(kinds[k]["count"] for k in KINDS)
+    print(f"{len(paths)} files byte-identical; {total} spans across "
+          f"{len(KINDS)} kinds")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

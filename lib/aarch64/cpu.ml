@@ -761,7 +761,27 @@ let dump_state ?trace_limit t =
   | Some s ->
       let snap = Telemetry.Counters.snapshot (Telemetry.Sink.counters s) in
       Buffer.add_string b
-        (Printf.sprintf "  counters: %s\n" (Telemetry.Counters.to_string snap)));
+        (Printf.sprintf "  counters: %s\n" (Telemetry.Counters.to_string snap));
+      (* span latency over whatever the event ring still holds — one
+         summary line next to the counter file, empty kinds elided *)
+      let hists =
+        Telemetry.Span.histograms
+          (Telemetry.Ring.to_list (Telemetry.Sink.ring s))
+      in
+      let cells =
+        List.filter_map
+          (fun (kind, h) ->
+            if Telemetry.Hist.is_empty h then None
+            else
+              Some
+                (Printf.sprintf "%s n=%Ld p50=%Ld p99=%Ld"
+                   (Telemetry.Span.kind_name kind) (Telemetry.Hist.count h)
+                   (Telemetry.Hist.p50 h) (Telemetry.Hist.p99 h)))
+          hists
+      in
+      if cells <> [] then
+        Buffer.add_string b
+          (Printf.sprintf "  latency: %s\n" (String.concat " | " cells)));
   (match recent_trace ~limit:trace_limit t with
   | [] -> Buffer.add_string b "  trace: (empty)\n"
   | entries ->

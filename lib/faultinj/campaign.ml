@@ -305,24 +305,33 @@ let random_spec rng ~golden_makespan sys (layout : Asm.layout)
       persistence = Injector.Transient;
     }
 
-(* Per-job telemetry harvest: the merged counter file plus a summary of
-   the machine's event rings, so a fleet of trials can fold thousands of
-   runs into one machine view with Telemetry.Counters.merge. *)
+(* Per-job telemetry harvest: the merged counter file, a summary of the
+   machine's event rings, and the per-kind span latency histograms, so
+   a fleet of trials can fold thousands of runs into one machine view
+   with Telemetry.Counters.merge / Telemetry.Span.merge_histograms.
+   [keep_events] additionally copies the raw event stream out of the
+   rings — only the handful of trials a caller renders as Chrome trace
+   lanes should pay for that. *)
 type job_telemetry = {
   jt_counters : Telemetry.Counters.snapshot;
   jt_events : int;
   jt_dropped : int;
+  jt_hists : (Telemetry.Span.kind * Telemetry.Hist.t) list;
+  jt_ring : Telemetry.Event.t list;  (* empty unless keep_events *)
 }
 
-let harvest_telemetry sys =
+let harvest_telemetry ?(keep_events = false) sys =
   match K.System.telemetry sys with
   | None -> None
   | Some hub ->
+      let events = Telemetry.Hub.events hub in
       Some
         {
           jt_counters = Telemetry.Hub.counters hub;
-          jt_events = List.length (Telemetry.Hub.events hub);
+          jt_events = List.length events;
           jt_dropped = Telemetry.Hub.dropped hub;
+          jt_hists = Telemetry.Span.histograms events;
+          jt_ring = (if keep_events then events else []);
         }
 
 (* One fleet-shardable unit of work: trial [index] of the campaign keyed
@@ -419,7 +428,7 @@ let run_one_in ses ?quarantine_after spec_fn =
   in
   (sys, inj, spec, result)
 
-let run_random_trial_in ses ?quarantine_after ~index () =
+let run_random_trial_in ses ?quarantine_after ?keep_events ~index () =
   let rng =
     Rng.create
       (Int64.add ses.ses_seed (Int64.mul golden_mix (Int64.of_int (index + 1))))
@@ -430,7 +439,7 @@ let run_random_trial_in ses ?quarantine_after ~index () =
   in
   {
     tr_trial = trial_of ~golden:ses.ses_golden ~index outcome;
-    tr_telemetry = harvest_telemetry sys;
+    tr_telemetry = harvest_telemetry ?keep_events sys;
     tr_fingerprint = Snapshot.Fingerprint.of_system sys;
   }
 

@@ -93,13 +93,18 @@ val golden_run :
   golden
 
 (** Telemetry harvested from one trial's machine when the trial booted
-    with [~telemetry:true]: the merged per-core counter file plus an
-    event-ring summary. Fold with {!Telemetry.Counters.merge} to build
-    fleet-wide views. *)
+    with [~telemetry:true]: the merged per-core counter file, an
+    event-ring summary, and the per-kind span latency histograms. Fold
+    with {!Telemetry.Counters.merge} / {!Telemetry.Span.merge_histograms}
+    to build fleet-wide views. [jt_ring] carries the raw event stream
+    only when the trial was harvested with [keep_events] (Chrome trace
+    lanes); it is [[]] otherwise so bulk campaigns stay lean. *)
 type job_telemetry = {
   jt_counters : Telemetry.Counters.snapshot;
   jt_events : int;
   jt_dropped : int;
+  jt_hists : (Telemetry.Span.kind * Telemetry.Hist.t) list;
+  jt_ring : Telemetry.Event.t list;
 }
 
 (** [run_random_trial ~golden ~seed ~index ()] — trial [index] of the
@@ -161,9 +166,15 @@ type trial_result = {
     of {!run_random_trial}: restores the base snapshot, draws the
     [(seed, index)]-keyed spec, arms it and runs. Produces the identical
     trial record, plus the post-trial state fingerprint that record mode
-    writes into the replay log. *)
+    writes into the replay log. [keep_events] (default [false]) copies
+    the trial's raw event stream into [jt_ring] for trace-lane capture. *)
 val run_random_trial_in :
-  session -> ?quarantine_after:int -> index:int -> unit -> trial_result
+  session ->
+  ?quarantine_after:int ->
+  ?keep_events:bool ->
+  index:int ->
+  unit ->
+  trial_result
 
 (** [report_of_trials ~seed ~golden trials] — aggregate classified
     trials into a campaign report. All aggregates (counts, rates, mean

@@ -5,6 +5,11 @@ type telemetry_summary = {
   counters : Telemetry.Counters.snapshot;
   events : int;
   dropped : int;
+  hists : (Telemetry.Span.kind * Telemetry.Hist.t) list;
+  (* Chrome trace lanes: (label, raw events) for the first [lanes]
+     trials *by index*, so the rendered fleet trace is byte-identical
+     however the work-stealing pool scattered those trials. *)
+  lanes : (string * Telemetry.Event.t list) list;
 }
 
 type result = {
@@ -16,13 +21,21 @@ type result = {
 }
 
 let empty_telemetry =
-  { counters = Telemetry.Counters.zero; events = 0; dropped = 0 }
+  {
+    counters = Telemetry.Counters.zero;
+    events = 0;
+    dropped = 0;
+    hists = Telemetry.Span.empty_histograms ();
+    lanes = [];
+  }
 
 let merge_telemetry a b =
   {
     counters = Telemetry.Counters.merge a.counters b.counters;
     events = a.events + b.events;
     dropped = a.dropped + b.dropped;
+    hists = Telemetry.Span.merge_histograms a.hists b.hists;
+    lanes = a.lanes @ b.lanes;
   }
 
 (* Boot-once, fork-per-trial: every worker domain keeps one campaign
@@ -59,8 +72,8 @@ let session_for p =
 
 let run ?(config = Camouflage.Config.full) ?(config_name = "full") ?(cpus = 2)
     ?(tasks = 4) ?(rounds = 8) ?(quantum = 400) ?quarantine_after ?workers
-    ?retries ?(telemetry = false) ?record_dir ?job_hook ?progress ?should_stop
-    ~seed ~trials () =
+    ?retries ?(telemetry = false) ?(lanes = 0) ?record_dir ?job_hook ?progress
+    ?should_stop ~seed ~trials () =
   let params =
     {
       sp_config = config;
@@ -81,7 +94,8 @@ let run ?(config = Camouflage.Config.full) ?(config_name = "full") ?(cpus = 2)
     Pool.run ?workers ?retries ?progress ?should_stop ~jobs:trials
       (fun index ->
         (match job_hook with Some h -> h index | None -> ());
-        FC.run_random_trial_in (session_for params) ?quarantine_after ~index ())
+        FC.run_random_trial_in (session_for params) ?quarantine_after
+          ~keep_events:(index < lanes) ~index ())
   in
   if outcome.Pool.stats.Pool.stopped then None
   else
@@ -103,6 +117,16 @@ let run ?(config = Camouflage.Config.full) ?(config_name = "full") ?(cpus = 2)
                        counters = jt.FC.jt_counters;
                        events = jt.FC.jt_events;
                        dropped = jt.FC.jt_dropped;
+                       hists = jt.FC.jt_hists;
+                       lanes =
+                         (match jt.FC.jt_ring with
+                         | [] -> []
+                         | ring ->
+                             [
+                               ( Printf.sprintf "trial %d"
+                                   tr.FC.tr_trial.FC.index,
+                                 ring );
+                             ]);
                      })
              empty_telemetry jobs)
     in

@@ -24,13 +24,24 @@
     With [telemetry] every trial machine boots with telemetry (pure
     observation: the report bytes do not change) and the per-job counter
     files are folded with {!Telemetry.Counters.merge} into one
-    fleet-wide view, alongside summed event-ring totals. *)
+    fleet-wide view, alongside summed event-ring totals and per-kind
+    span latency histograms folded with
+    {!Telemetry.Span.merge_histograms}. Both folds run in job-index
+    order, so the merged summary — and any JSON rendered from it — is
+    byte-identical for every worker count (the merges are commutative
+    monoids, so any other order would agree anyway). *)
 
 type telemetry_summary = {
   counters : Telemetry.Counters.snapshot;
       (** all cores of all trial machines, merged *)
   events : int;  (** events live in the rings at harvest, summed *)
   dropped : int;  (** ring overwrites, summed *)
+  hists : (Telemetry.Span.kind * Telemetry.Hist.t) list;
+      (** span latency per kind, merged over all trials *)
+  lanes : (string * Telemetry.Event.t list) list;
+      (** raw event streams of the first [lanes] trials by index, for
+          {!Telemetry.Chrome.serialize_lanes}; [[]] unless [run] was
+          given [~lanes] *)
 }
 
 type result = {
@@ -53,7 +64,9 @@ val merge_telemetry : telemetry_summary -> telemetry_summary -> telemetry_summar
     log lands in [<record_dir>/faults-<seed>-<trials>.replay].
     [job_hook] is a test-only hook invoked with the trial index at the
     start of every job attempt; raising from it simulates a worker
-    failure. Defaults mirror {!Faultinj.Campaign.run}. *)
+    failure. [lanes] (default 0) keeps the raw event streams of the
+    first [lanes] trials by index for fleet Chrome traces. Defaults
+    mirror {!Faultinj.Campaign.run}. *)
 val run :
   ?config:Camouflage.Config.t ->
   ?config_name:string ->
@@ -65,6 +78,7 @@ val run :
   ?workers:int ->
   ?retries:int ->
   ?telemetry:bool ->
+  ?lanes:int ->
   ?record_dir:string ->
   ?job_hook:(int -> unit) ->
   ?progress:(unit -> unit) ->

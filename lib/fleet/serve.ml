@@ -14,13 +14,25 @@ type entry = {
   e_stop : bool Atomic.t;
   e_state : job_state Atomic.t;
   e_failures : string Atomic.t;  (* rendered JSON array of quarantined jobs *)
+  (* metrics plane: all written by the campaign domain, sampled by the
+     server loop without touching the workers *)
+  e_started : float;
+  e_finished : float Atomic.t;  (* 0.0 while running *)
+  e_retries : int Atomic.t;  (* attempts burned by quarantined jobs *)
+  e_quarantined : int Atomic.t;
+  e_hists : (Telemetry.Span.kind * Telemetry.Hist.t) list Atomic.t;
   e_domain : unit Domain.t;
   mutable e_joined : bool;
 }
 
-type t = { mutable next_id : int; entries : (int, entry) Hashtbl.t }
+type t = {
+  mutable next_id : int;
+  entries : (int, entry) Hashtbl.t;
+  created : float;
+}
 
-let create () = { next_id = 1; entries = Hashtbl.create 16 }
+let create () =
+  { next_id = 1; entries = Hashtbl.create 16; created = Unix.gettimeofday () }
 
 (* --- response rendering: tiny, single-line, deterministic field order *)
 
@@ -93,23 +105,58 @@ let parse_config obj =
 
 (* --- job bookkeeping *)
 
+(* The mutable cells one campaign domain reports through; [register]
+   wires them into the entry the server samples. *)
+type cells = {
+  c_completed : int Atomic.t;
+  c_stop : bool Atomic.t;
+  c_state : job_state Atomic.t;
+  c_failures : string Atomic.t;
+  c_finished : float Atomic.t;
+  c_retries : int Atomic.t;
+  c_quarantined : int Atomic.t;
+  c_hists : (Telemetry.Span.kind * Telemetry.Hist.t) list Atomic.t;
+}
+
+(* Campaign epilogue shared by both kinds: failure bookkeeping,
+   retry/quarantine counts and the finish timestamp. *)
+let finish_job cells fs =
+  Atomic.set cells.c_failures (failures_json fs);
+  Atomic.set cells.c_quarantined (List.length fs);
+  Atomic.set cells.c_retries
+    (List.fold_left (fun acc f -> acc + max 0 (f.Pool.attempts - 1)) 0 fs);
+  Atomic.set cells.c_finished (Unix.gettimeofday ())
+
 let register t ~kind ~total spawn =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let completed = Atomic.make 0 in
-  let stop = Atomic.make false in
-  let state = Atomic.make Running in
-  let failures = Atomic.make "[]" in
-  let domain = spawn ~completed ~stop ~state ~failures in
+  let cells =
+    {
+      c_completed = Atomic.make 0;
+      c_stop = Atomic.make false;
+      c_state = Atomic.make Running;
+      c_failures = Atomic.make "[]";
+      c_finished = Atomic.make 0.0;
+      c_retries = Atomic.make 0;
+      c_quarantined = Atomic.make 0;
+      c_hists = Atomic.make (Telemetry.Span.empty_histograms ());
+    }
+  in
+  let domain = spawn cells in
   Hashtbl.replace t.entries id
     {
       e_id = id;
       e_kind = kind;
       e_total = total;
-      e_completed = completed;
-      e_stop = stop;
-      e_state = state;
-      e_failures = failures;
+      e_completed = cells.c_completed;
+      e_stop = cells.c_stop;
+      e_state = cells.c_state;
+      e_failures = cells.c_failures;
+      e_started = Unix.gettimeofday ();
+      e_finished = cells.c_finished;
+      e_retries = cells.c_retries;
+      e_quarantined = cells.c_quarantined;
+      e_hists = cells.c_hists;
       e_domain = domain;
       e_joined = false;
     };
@@ -162,25 +209,31 @@ let submit_faults t obj =
   let timeout_ms =
     Option.map (bounded "timeout_ms" 1 86_400_000) (int_field obj "timeout_ms")
   in
-  register t ~kind:"faults" ~total:trials
-    (fun ~completed ~stop ~state ~failures ->
+  register t ~kind:"faults" ~total:trials (fun cells ->
       Domain.spawn (fun () ->
-          let should_stop, timed_out = deadline_stop ~stop timeout_ms in
+          let should_stop, timed_out =
+            deadline_stop ~stop:cells.c_stop timeout_ms
+          in
           match
             Campaign.run ~config ~config_name ~cpus ~tasks ~rounds ~quantum
               ?quarantine_after ~workers ?retries ~telemetry:true
-              ~progress:(fun () -> Atomic.incr completed)
+              ~progress:(fun () -> Atomic.incr cells.c_completed)
               ~should_stop ~seed ~trials ()
           with
           | Some result ->
-              Atomic.set failures (failures_json result.Campaign.failures);
-              Atomic.set state
+              finish_job cells result.Campaign.failures;
+              (match result.Campaign.telemetry with
+              | Some ts -> Atomic.set cells.c_hists ts.Campaign.hists
+              | None -> ());
+              Atomic.set cells.c_state
                 (Done
                    (single_line
                       (Faultinj.Campaign.report_to_json
                          result.Campaign.report)))
-          | None -> Atomic.set state (cancelled_state ~timed_out timeout_ms)
-          | exception e -> Atomic.set state (Failed (Printexc.to_string e))))
+          | None ->
+              Atomic.set cells.c_state (cancelled_state ~timed_out timeout_ms)
+          | exception e ->
+              Atomic.set cells.c_state (Failed (Printexc.to_string e))))
 
 let submit_bruteforce t obj =
   let config, _ = parse_config obj in
@@ -197,20 +250,25 @@ let submit_bruteforce t obj =
   let timeout_ms =
     Option.map (bounded "timeout_ms" 1 86_400_000) (int_field obj "timeout_ms")
   in
-  register t ~kind:"bruteforce" ~total:machines
-    (fun ~completed ~stop ~state ~failures ->
+  register t ~kind:"bruteforce" ~total:machines (fun cells ->
       Domain.spawn (fun () ->
-          let should_stop, timed_out = deadline_stop ~stop timeout_ms in
+          let should_stop, timed_out =
+            deadline_stop ~stop:cells.c_stop timeout_ms
+          in
           match
-            Sweep.run ~config ?threshold ~workers ?retries
-              ~progress:(fun () -> Atomic.incr completed)
+            Sweep.run ~config ?threshold ~workers ?retries ~telemetry:true
+              ~progress:(fun () -> Atomic.incr cells.c_completed)
               ~should_stop ~seed ~machines ~attempts ()
           with
           | Some (report, _, fs) ->
-              Atomic.set failures (failures_json fs);
-              Atomic.set state (Done (single_line (Sweep.report_to_json report)))
-          | None -> Atomic.set state (cancelled_state ~timed_out timeout_ms)
-          | exception e -> Atomic.set state (Failed (Printexc.to_string e))))
+              finish_job cells fs;
+              Atomic.set cells.c_hists report.Sweep.sw_hists;
+              Atomic.set cells.c_state
+                (Done (single_line (Sweep.report_to_json report)))
+          | None ->
+              Atomic.set cells.c_state (cancelled_state ~timed_out timeout_ms)
+          | exception e ->
+              Atomic.set cells.c_state (Failed (Printexc.to_string e))))
 
 let find t obj =
   match int_field obj "id" with
@@ -243,6 +301,59 @@ let report_response e =
         e.e_id e.e_kind report
   | state ->
       error "job %d is %s, no report available" e.e_id (state_name state)
+
+(* Live metrics, sampled purely from atomics: the campaign domains and
+   their worker pools are never interrupted or locked. Entries are
+   aggregated in id order so the response layout is stable. *)
+let metrics_response t =
+  let now = Unix.gettimeofday () in
+  let entries =
+    Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+    |> List.sort (fun a b -> compare a.e_id b.e_id)
+  in
+  let state_count want =
+    List.length
+      (List.filter
+         (fun e ->
+           match (Atomic.get e.e_state, want) with
+           | Running, `Running | Done _, `Done | Cancelled, `Cancelled
+           | Failed _, `Failed ->
+               true
+           | _ -> false)
+         entries)
+  in
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 entries in
+  let completed = sum (fun e -> min (Atomic.get e.e_completed) e.e_total) in
+  let total = sum (fun e -> e.e_total) in
+  (* job runtimes, not wall uptime: jobs overlap, so this is aggregate
+     throughput over busy time *)
+  let busy =
+    List.fold_left
+      (fun acc e ->
+        let fin = Atomic.get e.e_finished in
+        acc +. ((if fin > 0.0 then fin else now) -. e.e_started))
+      0.0 entries
+  in
+  let per_sec = if busy > 0.0 then float_of_int completed /. busy else 0.0 in
+  let hists =
+    List.fold_left
+      (fun acc e -> Telemetry.Span.merge_histograms acc (Atomic.get e.e_hists))
+      (Telemetry.Span.empty_histograms ())
+      entries
+  in
+  Printf.sprintf
+    "{\"ok\": true, \"reply\": \"metrics\", \"uptime_ms\": %d, \
+     \"jobs\": {\"submitted\": %d, \"running\": %d, \"done\": %d, \
+     \"cancelled\": %d, \"failed\": %d}, \
+     \"trials\": {\"completed\": %d, \"total\": %d, \"per_sec\": %.1f}, \
+     \"retries\": %d, \"quarantined\": %d, \"span_hists\": %s}"
+    (int_of_float ((now -. t.created) *. 1000.0))
+    (List.length entries)
+    (state_count `Running) (state_count `Done) (state_count `Cancelled)
+    (state_count `Failed) completed total per_sec
+    (sum (fun e -> Atomic.get e.e_retries))
+    (sum (fun e -> Atomic.get e.e_quarantined))
+    (Telemetry.Span.histograms_to_json hists)
 
 let cancel_response e =
   Atomic.set e.e_stop true;
@@ -284,6 +395,7 @@ let handle t line =
               | Some "bruteforce" -> submit_bruteforce t obj
               | Some other -> error "unknown kind %S (try: faults, bruteforce)" other
               | None -> error "submit needs a \"kind\" field")
+          | Some "metrics" -> metrics_response t
           | Some "status" -> status_response (find t obj)
           | Some "report" -> report_response (find t obj)
           | Some "cancel" -> cancel_response (find t obj)

@@ -9,6 +9,12 @@
 
     Requests ([{"req": ...}]):
     - [ping] — liveness check.
+    - [metrics] — live server metrics (PR 9): uptime, job counts per
+      state, trials completed/total and aggregate trials/sec over job
+      runtimes, retry and quarantine counts, and the merged span
+      latency histograms of every finished campaign as JSON. Sampled
+      purely from atomics — worker domains are never interrupted, so
+      polling metrics cannot perturb a campaign.
     - [submit] — start a campaign. [kind] is ["faults"] (fields: seed,
       trials, workers, cpus, tasks, rounds, quantum, quarantine, config)
       or ["bruteforce"] (fields: seed, machines, attempts, workers,

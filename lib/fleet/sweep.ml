@@ -22,6 +22,8 @@ type report = {
   sw_panicked : int;
   sw_audit_failures : int;
   sw_machine_list : machine_report list;
+  sw_hists : (Telemetry.Span.kind * Telemetry.Hist.t) list;
+      (* merged in machine-index order; all-empty without telemetry *)
 }
 
 (* The same odd multiplier the campaign uses to spread per-index seeds
@@ -40,7 +42,11 @@ let machine_seed seed index =
    one key schedule across machines does not bias acceptance,
    detection or panic counts. Every worker boots the identical state,
    which keeps per-index results worker-count-invariant. *)
-type sweep_params = { swp_config : C.Config.t; swp_seed : int64 }
+type sweep_params = {
+  swp_config : C.Config.t;
+  swp_seed : int64;
+  swp_telemetry : bool;
+}
 
 let machine_key : (sweep_params * (K.System.t * K.System.snapshot)) option
                   Domain.DLS.key =
@@ -50,30 +56,41 @@ let machine_for p =
   match Domain.DLS.get machine_key with
   | Some (q, m) when q = p -> m
   | _ ->
-      let sys = K.System.boot ~config:p.swp_config ~seed:p.swp_seed () in
+      let sys =
+        K.System.boot ~config:p.swp_config ~seed:p.swp_seed
+          ~telemetry:p.swp_telemetry ()
+      in
       let m = (sys, K.System.snapshot sys) in
       Domain.DLS.set machine_key (Some (p, m));
       m
 
-let run_machine ~config ~seed ~attempts index =
+let run_machine ~config ~seed ~telemetry ~attempts index =
   let mseed = machine_seed seed index in
-  let sys, base = machine_for { swp_config = config; swp_seed = seed } in
+  let sys, base =
+    machine_for { swp_config = config; swp_seed = seed; swp_telemetry = telemetry }
+  in
   K.System.restore sys base;
   let r =
     Attacks.Bruteforce_attack.run sys ~attempts
       ~seed:(Int64.logxor mseed 0x5deece66d1ce4e5bL)
   in
-  {
-    m_index = index;
-    m_attempts = r.Attacks.Bruteforce_attack.attempts;
-    m_successes = r.Attacks.Bruteforce_attack.successes;
-    m_detected = r.Attacks.Bruteforce_attack.detected;
-    m_panicked = r.Attacks.Bruteforce_attack.panicked;
-    m_audit_ok = C.Bruteforce.audit (K.System.bruteforce sys);
-  }
+  let hists =
+    match K.System.telemetry sys with
+    | Some hub when telemetry -> Telemetry.Hub.histograms hub
+    | _ -> Telemetry.Span.empty_histograms ()
+  in
+  ( {
+      m_index = index;
+      m_attempts = r.Attacks.Bruteforce_attack.attempts;
+      m_successes = r.Attacks.Bruteforce_attack.successes;
+      m_detected = r.Attacks.Bruteforce_attack.detected;
+      m_panicked = r.Attacks.Bruteforce_attack.panicked;
+      m_audit_ok = C.Bruteforce.audit (K.System.bruteforce sys);
+    },
+    hists )
 
-let run ?(config = C.Config.full) ?threshold ?workers ?retries ?progress
-    ?should_stop ~seed ~machines ~attempts () =
+let run ?(config = C.Config.full) ?threshold ?workers ?retries
+    ?(telemetry = false) ?progress ?should_stop ~seed ~machines ~attempts () =
   let config =
     match threshold with
     | None -> config
@@ -81,15 +98,24 @@ let run ?(config = C.Config.full) ?threshold ?workers ?retries ?progress
   in
   let outcome =
     Pool.run ?workers ?retries ?progress ?should_stop ~jobs:machines
-      (run_machine ~config ~seed ~attempts)
+      (run_machine ~config ~seed ~telemetry ~attempts)
   in
   if outcome.Pool.stats.Pool.stopped then None
   else
     (* quarantined machines (if any) are simply absent from the list
        and reported out-of-band in the returned failures *)
-    let list = List.filter_map Fun.id (Array.to_list outcome.Pool.results) in
+    let rows = List.filter_map Fun.id (Array.to_list outcome.Pool.results) in
+    let list = List.map fst rows in
     let sum f = List.fold_left (fun acc m -> acc + f m) 0 list in
     let count p = List.length (List.filter p list) in
+    let hists =
+      (* machine-index order (the results array is index-keyed), so
+         the merged histograms are worker-count-invariant *)
+      List.fold_left
+        (fun acc (_, h) -> Telemetry.Span.merge_histograms acc h)
+        (Telemetry.Span.empty_histograms ())
+        rows
+    in
     Some
       ( {
           sw_seed = seed;
@@ -103,6 +129,7 @@ let run ?(config = C.Config.full) ?threshold ?workers ?retries ?progress
           sw_panicked = count (fun m -> m.m_panicked);
           sw_audit_failures = count (fun m -> not m.m_audit_ok);
           sw_machine_list = list;
+          sw_hists = hists;
         },
         outcome.Pool.stats,
         outcome.Pool.failures )
@@ -136,9 +163,10 @@ let report_to_json ?(machine_detail = true) r =
           m.m_audit_ok
           (if i = rows - 1 then "" else ","))
       r.sw_machine_list;
-    add "  ]\n"
+    add "  ],\n"
   end
-  else add "  \"machine_list\": []\n";
+  else add "  \"machine_list\": [],\n";
+  add "  \"span_hists\": %s\n" (Telemetry.Span.histograms_to_json r.sw_hists);
   add "}\n";
   Buffer.contents b
 

@@ -42,18 +42,25 @@ type report = {
   sw_panicked : int;  (** machines that halted *)
   sw_audit_failures : int;  (** machines whose accounting broke — 0 or bug *)
   sw_machine_list : machine_report list;  (** in index order *)
+  sw_hists : (Telemetry.Span.kind * Telemetry.Hist.t) list;
+      (** span latency over all machines, merged in index order;
+          all-empty unless [run] was given [~telemetry:true] *)
 }
 
 (** [run ~seed ~machines ~attempts ()] — the sweep. [threshold]
     overrides the config's brute-force panic threshold. Deterministic:
     the same arguments give the same report for every worker count.
     Machines whose job was quarantined by the pool (after [retries])
-    are absent from the report and listed in the returned failures. *)
+    are absent from the report and listed in the returned failures.
+    [telemetry] boots the sweep machines with telemetry (pure
+    observation: attack outcomes are bit-identical) and fills
+    [sw_hists]. *)
 val run :
   ?config:Camouflage.Config.t ->
   ?threshold:int ->
   ?workers:int ->
   ?retries:int ->
+  ?telemetry:bool ->
   ?progress:(unit -> unit) ->
   ?should_stop:(unit -> bool) ->
   seed:int64 ->

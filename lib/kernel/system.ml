@@ -501,7 +501,15 @@ let switch_to t next =
     Cpu.charge t.cpu sched_pick_cycles;
     (* the switch runs on the previous task's current kernel stack *)
     let outcome = call_handler t (kernel_symbol t "cpu_switch_to") in
-    (match outcome with Ok _ -> t.current <- next | Killed _ | Panicked _ -> ());
+    (match outcome with
+    | Ok _ ->
+        t.current <- next;
+        (* closes the Context_switch marker above so the span layer can
+           derive the switch cost; pure observation, no cycles charged *)
+        emit_event t
+          (Telemetry.Event.Switch_done
+             { from_pid = prev.pid; to_pid = next.pid })
+    | Killed _ | Panicked _ -> ());
     outcome
   end
 

@@ -2,6 +2,7 @@ type payload =
   | Syscall_enter of { nr : int; name : string; pid : int }
   | Syscall_exit of { nr : int; name : string; pid : int; result : int64 }
   | Context_switch of { from_pid : int; to_pid : int }
+  | Switch_done of { from_pid : int; to_pid : int }
   | Key_switch of { domain : string; pid : int }
   | Ipi_send of { dst : int; kind : string }
   | Ipi_receive of { srcs : int list; kind : string }
@@ -17,6 +18,7 @@ let kind = function
   | Syscall_enter _ -> "syscall-enter"
   | Syscall_exit _ -> "syscall-exit"
   | Context_switch _ -> "context-switch"
+  | Switch_done _ -> "switch-done"
   | Key_switch _ -> "key-switch"
   | Ipi_send _ -> "ipi-send"
   | Ipi_receive _ -> "ipi-receive"
@@ -33,6 +35,8 @@ let describe = function
       Printf.sprintf "%s(#%d) pid %d -> %Ld" name nr pid result
   | Context_switch { from_pid; to_pid } ->
       Printf.sprintf "pid %d -> pid %d" from_pid to_pid
+  | Switch_done { from_pid; to_pid } ->
+      Printf.sprintf "pid %d -> pid %d done" from_pid to_pid
   | Key_switch { domain; pid } -> Printf.sprintf "%s keys (pid %d)" domain pid
   | Ipi_send { dst; kind } -> Printf.sprintf "%s -> cpu%d" kind dst
   | Ipi_receive { srcs; kind } ->
@@ -46,7 +50,7 @@ let describe = function
 
 let pid_of = function
   | Syscall_enter { pid; _ } | Syscall_exit { pid; _ } -> Some pid
-  | Context_switch { to_pid; _ } -> Some to_pid
+  | Context_switch { to_pid; _ } | Switch_done { to_pid; _ } -> Some to_pid
   | Key_switch { pid; _ } -> Some pid
   | Auth_failure { pid; _ } | Oops { pid; _ } -> Some pid
   | Ipi_send _ | Ipi_receive _ | Injected_fault _ | Quarantine _ | Log _ -> None

@@ -11,6 +11,10 @@ type payload =
   | Syscall_enter of { nr : int; name : string; pid : int }
   | Syscall_exit of { nr : int; name : string; pid : int; result : int64 }
   | Context_switch of { from_pid : int; to_pid : int }
+      (** emitted when the scheduler starts a switch *)
+  | Switch_done of { from_pid : int; to_pid : int }
+      (** emitted once [cpu_switch_to] lands on the incoming task, so
+          [Context_switch]/[Switch_done] bracket the switch cost *)
   | Key_switch of { domain : string; pid : int }  (** ["kernel"]/["user"] *)
   | Ipi_send of { dst : int; kind : string }
   | Ipi_receive of { srcs : int list; kind : string }

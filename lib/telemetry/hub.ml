@@ -24,6 +24,9 @@ let events t =
          | 0 -> compare a.cpu b.cpu
          | c -> c)
 
+let spans t = Span.of_events (events t)
+let histograms t = Span.histograms (events t)
+
 let dropped t =
   Array.fold_left (fun acc s -> acc + Ring.dropped (Sink.ring s)) 0 t.sinks
 

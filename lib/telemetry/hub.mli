@@ -17,6 +17,13 @@ val per_cpu : t -> Counters.snapshot array
 (** All live events, sorted by (ts, cpu, arrival) — deterministic. *)
 val events : t -> Event.t list
 
+(** Spans derived from {!events} (a pure fold; see {!Span}). *)
+val spans : t -> Span.t list
+
+(** Per-kind latency histograms over {!spans}, every {!Span.kind}
+    present in {!Span.all_kinds} order. *)
+val histograms : t -> (Span.kind * Hist.t) list
+
 (** Total events overwritten across all rings. *)
 val dropped : t -> int
 

@@ -6,6 +6,19 @@ type value =
   | List of value list
   | Obj of (string * value) list
 
+(* Position-annotated tree: [pos] is the byte offset of the value's
+   first character, so validators can blame the exact source location
+   of a semantic error (same idiom as [Snapshot.Json]). *)
+type located = { v : lvalue; pos : int }
+
+and lvalue =
+  | LNull
+  | LBool of bool
+  | LNum of float
+  | LStr of string
+  | LList of located list
+  | LObj of (string * located) list
+
 let escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -22,14 +35,32 @@ let escape s =
     s;
   Buffer.contents b
 
+(* 1-based line and column of a byte offset — the Snapshot.Json
+   convention, so every tool reports positions the same way. *)
+let line_col s pos =
+  let pos = max 0 (min pos (String.length s)) in
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to pos - 1 do
+    if s.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
+
+let position s pos =
+  let line, col = line_col s pos in
+  Printf.sprintf "line %d, column %d (offset %d)" line col pos
+
 exception Bad of string
 
-let parse text =
+let parse_located text =
   let pos = ref 0 in
   let len = String.length text in
   let peek () = if !pos < len then Some text.[!pos] else None in
   let advance () = incr pos in
-  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let fail msg = raise (Bad (Printf.sprintf "%s at %s" msg (position text !pos))) in
   let skip_ws () =
     while
       !pos < len
@@ -112,15 +143,17 @@ let parse text =
   in
   let rec parse_value () =
     skip_ws ();
+    let start = !pos in
+    let at v = { v; pos = start } in
     match peek () with
     | None -> fail "unexpected end of input"
-    | Some '"' -> Str (parse_string ())
+    | Some '"' -> at (LStr (parse_string ()))
     | Some '{' ->
         advance ();
         skip_ws ();
         if peek () = Some '}' then (
           advance ();
-          Obj [])
+          at (LObj []))
         else
           let rec members acc =
             skip_ws ();
@@ -138,13 +171,13 @@ let parse text =
                 List.rev ((key, v) :: acc)
             | _ -> fail "expected ',' or '}'"
           in
-          Obj (members [])
+          at (LObj (members []))
     | Some '[' ->
         advance ();
         skip_ws ();
         if peek () = Some ']' then (
           advance ();
-          List [])
+          at (LList []))
         else
           let rec elements acc =
             let v = parse_value () in
@@ -158,19 +191,34 @@ let parse text =
                 List.rev (v :: acc)
             | _ -> fail "expected ',' or ']'"
           in
-          List (elements [])
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> Num (parse_number ())
+          at (LList (elements []))
+    | Some 't' -> at (literal "true" (LBool true))
+    | Some 'f' -> at (literal "false" (LBool false))
+    | Some 'n' -> at (literal "null" LNull)
+    | Some _ -> at (LNum (parse_number ()))
   in
   try
     let v = parse_value () in
     skip_ws ();
-    if !pos <> len then Error (Printf.sprintf "trailing garbage at offset %d" !pos)
+    if !pos <> len then
+      Error (Printf.sprintf "trailing garbage at %s" (position text !pos))
     else Ok v
   with Bad msg -> Error msg
+
+let rec strip { v; _ } =
+  match v with
+  | LNull -> Null
+  | LBool b -> Bool b
+  | LNum f -> Num f
+  | LStr s -> Str s
+  | LList l -> List (List.map strip l)
+  | LObj kvs -> Obj (List.map (fun (k, v) -> (k, strip v)) kvs)
+
+let parse text = Result.map strip (parse_located text)
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None
+
+let lmember key { v; _ } =
+  match v with LObj fields -> List.assoc_opt key fields | _ -> None

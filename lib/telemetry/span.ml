@@ -1,0 +1,153 @@
+(* Spans are *derived*, never emitted: a pure pass over the event
+   stream pairs the begin/end markers the kernel and machine already
+   record, so observation stays bit-identical whether or not anyone
+   asks for latency. Pairing is first-in-first-out per key within one
+   core's clock domain (IPIs cross domains and are only paired when
+   the receive timestamp is not before the send, so durations are
+   always non-negative). *)
+
+type kind = Syscall | Context_switch | Ipi | Key_domain
+
+let all_kinds = [ Syscall; Context_switch; Ipi; Key_domain ]
+
+let kind_name = function
+  | Syscall -> "syscall"
+  | Context_switch -> "context-switch"
+  | Ipi -> "ipi"
+  | Key_domain -> "key-domain"
+
+type t = {
+  sp_kind : kind;
+  sp_cpu : int;  (* the core whose clock the span lives on (IPI: sender) *)
+  sp_start : int64;
+  sp_dur : int64;
+  sp_label : string;
+}
+
+(* FIFO pending-match queues keyed by an arbitrary key. *)
+module Pending = struct
+  type 'a t = (string, 'a list) Hashtbl.t
+
+  let create () : 'a t = Hashtbl.create 16
+  let push (q : 'a t) key v =
+    Hashtbl.replace q key (Hashtbl.find_opt q key |> Option.value ~default:[] |> fun l -> l @ [ v ])
+
+  (* pop the oldest entry satisfying [ok] *)
+  let pop (q : 'a t) key ok =
+    match Hashtbl.find_opt q key with
+    | None | Some [] -> None
+    | Some entries ->
+        let rec go acc = function
+          | [] -> None
+          | e :: rest when ok e ->
+              Hashtbl.replace q key (List.rev_append acc rest);
+              Some e
+          | e :: rest -> go (e :: acc) rest
+        in
+        go [] entries
+end
+
+let key_syscall cpu nr pid = Printf.sprintf "s:%d:%d:%d" cpu nr pid
+let key_switch cpu f t = Printf.sprintf "c:%d:%d:%d" cpu f t
+let key_keys cpu = Printf.sprintf "k:%d" cpu
+let key_ipi src dst k = Printf.sprintf "i:%d:%d:%s" src dst k
+
+(* One forward scan over the (already deterministically sorted) event
+   list. Spans come out in end-event order, which is itself
+   deterministic. *)
+let of_events events =
+  let pending : Event.t Pending.t = Pending.create () in
+  let spans = ref [] in
+  let emit sk (b : Event.t) ~cpu ~end_ts ~label =
+    spans :=
+      {
+        sp_kind = sk;
+        sp_cpu = cpu;
+        sp_start = b.Event.ts;
+        sp_dur = Int64.sub end_ts b.Event.ts;
+        sp_label = label;
+      }
+      :: !spans
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.payload with
+      | Event.Syscall_enter { nr; pid; _ } ->
+          Pending.push pending (key_syscall e.cpu nr pid) e
+      | Event.Syscall_exit { nr; pid; name; _ } -> (
+          match
+            Pending.pop pending (key_syscall e.cpu nr pid) (fun (b : Event.t) ->
+                Int64.compare b.ts e.ts <= 0)
+          with
+          | Some b -> emit Syscall b ~cpu:e.cpu ~end_ts:e.ts ~label:name
+          | None -> ())
+      | Event.Context_switch { from_pid; to_pid } ->
+          Pending.push pending (key_switch e.cpu from_pid to_pid) e
+      | Event.Switch_done { from_pid; to_pid } -> (
+          match
+            Pending.pop pending
+              (key_switch e.cpu from_pid to_pid)
+              (fun (b : Event.t) -> Int64.compare b.ts e.ts <= 0)
+          with
+          | Some b ->
+              emit Context_switch b ~cpu:e.cpu ~end_ts:e.ts
+                ~label:(Printf.sprintf "pid %d -> %d" from_pid to_pid)
+          | None -> ())
+      | Event.Key_switch { domain = "kernel"; _ } ->
+          Pending.push pending (key_keys e.cpu) e
+      | Event.Key_switch { domain = "user"; _ } -> (
+          (* kernel-key residency: the window the auth keys are live *)
+          match
+            Pending.pop pending (key_keys e.cpu) (fun (b : Event.t) ->
+                Int64.compare b.ts e.ts <= 0)
+          with
+          | Some b -> emit Key_domain b ~cpu:e.cpu ~end_ts:e.ts ~label:"kernel-keys"
+          | None -> ())
+      | Event.Key_switch _ -> ()
+      | Event.Ipi_send { dst; kind } ->
+          Pending.push pending (key_ipi e.cpu dst kind) e
+      | Event.Ipi_receive { srcs; kind } ->
+          (* one coalesced receive acknowledges every pending send whose
+             source it lists; cores have independent cycle counters, so
+             only sends not after the receive pair up (no negative dur) *)
+          List.iter
+            (fun src ->
+              match
+                Pending.pop pending (key_ipi src e.cpu kind)
+                  (fun (b : Event.t) -> Int64.compare b.ts e.ts <= 0)
+              with
+              | Some b -> emit Ipi b ~cpu:b.cpu ~end_ts:e.ts ~label:kind
+              | None -> ())
+            srcs
+      | _ -> ())
+    events;
+  List.rev !spans
+
+(* Per-kind histograms in the fixed [all_kinds] order — every kind is
+   present (possibly empty) so fleet merges line up bucket-for-bucket
+   without keying games. *)
+let histograms events =
+  let hists = List.map (fun k -> (k, Hist.create ())) all_kinds in
+  List.iter
+    (fun sp -> Hist.record (List.assoc sp.sp_kind hists) sp.sp_dur)
+    (of_events events);
+  hists
+
+let merge_histograms a b =
+  List.map
+    (fun k ->
+      let get l = try List.assoc k l with Not_found -> Hist.empty in
+      (k, Hist.merge (get a) (get b)))
+    all_kinds
+
+let empty_histograms () = List.map (fun k -> (k, Hist.empty)) all_kinds
+
+let histograms_to_json hists =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun k ->
+           let h = try List.assoc k hists with Not_found -> Hist.empty in
+           Printf.sprintf "\"%s\": %s" (kind_name k) (Hist.to_json h))
+         all_kinds)
+  ^ "}"

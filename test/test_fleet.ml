@@ -158,6 +158,41 @@ let test_campaign_telemetry_merge () =
         (Int64.compare t.F.Campaign.counters.Telemetry.Counters.retired 0L > 0);
       Alcotest.(check bool) "event rings observed" true (t.F.Campaign.events > 0)
 
+(* Merged histograms and fleet Chrome lanes must not see the
+   work-stealing schedule: byte-identical for 1/2/8 workers (PR 9). *)
+let test_campaign_hists_and_lanes_byte_identical () =
+  let artifacts workers =
+    let result =
+      Option.get
+        (F.Campaign.run ~telemetry:true ~lanes:3 ~workers ~seed:5L ~trials:6 ())
+    in
+    let t = Option.get result.F.Campaign.telemetry in
+    ( Telemetry.Span.histograms_to_json t.F.Campaign.hists,
+      Telemetry.Chrome.serialize_lanes t.F.Campaign.lanes )
+  in
+  let h1, c1 = artifacts 1 in
+  let h2, c2 = artifacts 2 in
+  let h8, c8 = artifacts 8 in
+  Alcotest.(check string) "hist JSON: 1 worker = 2 workers" h1 h2;
+  Alcotest.(check string) "hist JSON: 1 worker = 8 workers" h1 h8;
+  Alcotest.(check string) "chrome lanes: 1 worker = 2 workers" c1 c2;
+  Alcotest.(check string) "chrome lanes: 1 worker = 8 workers" c1 c8;
+  (match Telemetry.Chrome.validate c1 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fleet lane trace rejected: %s" e);
+  (* the campaign actually observed latency: syscall spans exist *)
+  match Telemetry.Json.parse h1 with
+  | Error e -> Alcotest.failf "hist JSON unparsable: %s" e
+  | Ok v -> (
+      match
+        Option.bind
+          (Telemetry.Json.member "syscall" v)
+          (Telemetry.Json.member "count")
+      with
+      | Some (Telemetry.Json.Num n) ->
+          Alcotest.(check bool) "merged syscall spans non-empty" true (n > 0.0)
+      | _ -> Alcotest.fail "hist JSON lacks a syscall count")
+
 (* --- brute-force sweep -------------------------------------------- *)
 
 let sweep_json workers =
@@ -279,6 +314,49 @@ let test_serve_round_trip () =
   Alcotest.(check (option int)) "served trials" (Some 4) (int_of report "trials");
   F.Serve.drain srv
 
+let test_serve_metrics () =
+  let srv = F.Serve.create () in
+  (* metrics on a fresh server: zeros across the board, valid JSON *)
+  let m0 = request srv {|{"req": "metrics"}|} in
+  Alcotest.(check bool) "metrics ok on idle server" true (is_ok m0);
+  Alcotest.(check (option string)) "reply tag" (Some "metrics")
+    (str_of m0 "reply");
+  Alcotest.(check bool) "uptime is reported" true
+    (match int_of m0 "uptime_ms" with Some n -> n >= 0 | None -> false);
+  let jobs0 = Option.get (F.Jsonin.member "jobs" m0) in
+  Alcotest.(check (option int)) "no jobs submitted yet" (Some 0)
+    (Option.bind (F.Jsonin.member "submitted" jobs0) F.Jsonin.to_int);
+  (* run a campaign to completion, then sample again *)
+  let sub =
+    request srv
+      {|{"req": "submit", "kind": "faults", "seed": 5, "trials": 4, "workers": 2}|}
+  in
+  let id = Option.get (int_of sub "id") in
+  let state, _ = poll srv id ~until:[ "done"; "failed" ] in
+  Alcotest.(check string) "campaign completes" "done" state;
+  let m = request srv {|{"req": "metrics"}|} in
+  let jobs = Option.get (F.Jsonin.member "jobs" m) in
+  Alcotest.(check (option int)) "one job submitted" (Some 1)
+    (Option.bind (F.Jsonin.member "submitted" jobs) F.Jsonin.to_int);
+  Alcotest.(check (option int)) "one job done" (Some 1)
+    (Option.bind (F.Jsonin.member "done" jobs) F.Jsonin.to_int);
+  let trials = Option.get (F.Jsonin.member "trials" m) in
+  Alcotest.(check (option int)) "all trials counted" (Some 4)
+    (Option.bind (F.Jsonin.member "completed" trials) F.Jsonin.to_int);
+  Alcotest.(check (option int)) "nothing quarantined" (Some 0)
+    (int_of m "quarantined");
+  (* the finished campaign contributed span histograms *)
+  (match
+     Option.bind
+       (Option.bind (F.Jsonin.member "span_hists" m) (F.Jsonin.member "syscall"))
+       (F.Jsonin.member "count")
+   with
+  | Some n ->
+      Alcotest.(check bool) "syscall spans surfaced in metrics" true
+        (match F.Jsonin.to_int n with Some c -> c > 0 | None -> false)
+  | None -> Alcotest.fail "metrics carry no span_hists.syscall.count");
+  F.Serve.drain srv
+
 let test_serve_rejects_malformed () =
   let srv = F.Serve.create () in
   let checks =
@@ -345,6 +423,8 @@ let suite =
       test_campaign_matches_legacy_sequential;
     Alcotest.test_case "campaign telemetry merges without perturbing" `Quick
       test_campaign_telemetry_merge;
+    Alcotest.test_case "campaign hists and lanes: workers 1 = 2 = 8" `Quick
+      test_campaign_hists_and_lanes_byte_identical;
     Alcotest.test_case "sweep bytes: workers 1 = 3" `Quick
       test_sweep_workers_byte_identical;
     Alcotest.test_case "sweep audits pass; tight threshold panics" `Quick
@@ -355,6 +435,8 @@ let suite =
       test_jsonin_reads_campaign_report;
     Alcotest.test_case "serve: submit, poll, fetch report" `Quick
       test_serve_round_trip;
+    Alcotest.test_case "serve: metrics sample the live plane" `Quick
+      test_serve_metrics;
     Alcotest.test_case "serve: malformed requests get errors" `Quick
       test_serve_rejects_malformed;
     Alcotest.test_case "serve: cancel and shutdown" `Quick

@@ -409,6 +409,237 @@ let prop_merge_monoid =
       && T.Counters.merge T.Counters.zero a = a
       && T.Counters.merge a T.Counters.zero = a)
 
+(* --- HDR histograms (PR 9 tentpole) --------------------------------
+   The percentile contract: the histogram reports the lower bound of
+   exactly the bucket holding the rank-th smallest sample, which bounds
+   the true sorted-sample percentile within one sub-bucket (1/32
+   relative error). Merge must be the same commutative monoid the fleet
+   fold relies on for Counters. *)
+
+let sample_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 300)
+      (oneof [ int_range 0 40; int_range 0 100_000; int_range 0 200_000_000 ]))
+
+let hist_of values =
+  let h = T.Hist.create () in
+  List.iter (fun v -> T.Hist.record h (Int64.of_int v)) values;
+  h
+
+let exact_percentile sorted q =
+  let n = List.length sorted in
+  let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+  List.nth sorted (rank - 1)
+
+let prop_hist_percentile_accuracy =
+  QCheck2.Test.make
+    ~name:"Hist percentiles: exact bucket of the sorted-sample rank" ~count:200
+    sample_gen
+    (fun values ->
+      let h = hist_of values in
+      let sorted = List.sort compare values in
+      List.for_all
+        (fun q ->
+          let exact = exact_percentile sorted q in
+          let p = T.Hist.percentile h q in
+          (* the reported value is the lower bound of the exact
+             percentile's own bucket... *)
+          p = T.Hist.bucket_low (T.Hist.index_of exact)
+          (* ...so it never exceeds the exact value and trails it by
+             less than one sub-bucket (width <= low/32, or 1 below 32) *)
+          && Int64.compare p (Int64.of_int exact) <= 0
+          && Int64.compare (Int64.of_int exact)
+               (Int64.add p (Int64.add (Int64.div p 32L) 1L))
+             < 0)
+        [ 0.5; 0.9; 0.99; 0.999 ])
+
+let prop_hist_merge_monoid =
+  QCheck2.Test.make ~name:"Hist.merge: commutative monoid with empty"
+    ~count:200
+    QCheck2.Gen.(triple sample_gen sample_gen sample_gen)
+    (fun (a, b, c) ->
+      let ha = hist_of a and hb = hist_of b and hc = hist_of c in
+      T.Hist.equal (T.Hist.merge ha hb) (T.Hist.merge hb ha)
+      && T.Hist.equal
+           (T.Hist.merge (T.Hist.merge ha hb) hc)
+           (T.Hist.merge ha (T.Hist.merge hb hc))
+      && T.Hist.equal (T.Hist.merge T.Hist.empty ha) ha
+      && T.Hist.equal (T.Hist.merge ha T.Hist.empty) ha
+      && T.Hist.count (T.Hist.merge ha hb)
+         = Int64.add (T.Hist.count ha) (T.Hist.count hb)
+      && T.Hist.sum (T.Hist.merge ha hb)
+         = Int64.add (T.Hist.sum ha) (T.Hist.sum hb))
+
+let test_hist_empty_edges () =
+  let h = T.Hist.create () in
+  Alcotest.(check bool) "fresh histogram is empty" true (T.Hist.is_empty h);
+  Alcotest.(check int64) "count 0" 0L (T.Hist.count h);
+  Alcotest.(check int64) "empty percentile is 0" 0L (T.Hist.p99 h);
+  Alcotest.(check int64) "empty min is 0" 0L (T.Hist.min_value h);
+  Alcotest.(check int64) "empty max is 0" 0L (T.Hist.max_value h);
+  Alcotest.(check string) "empty summary" "n=0" (T.Hist.to_string h);
+  Alcotest.(check bool) "empty equals the identity" true
+    (T.Hist.equal h T.Hist.empty);
+  Alcotest.(check bool) "merge of empties stays empty" true
+    (T.Hist.is_empty (T.Hist.merge h T.Hist.empty));
+  T.Hist.record h (-5L);
+  Alcotest.(check int64) "negative samples clamp to 0" 0L (T.Hist.min_value h);
+  Alcotest.(check int64) "clamped sample still counts" 1L (T.Hist.count h);
+  T.Hist.record h 1_000_000_000_000L;
+  Alcotest.(check int64) "huge values keep an exact max" 1_000_000_000_000L
+    (T.Hist.max_value h);
+  match T.Json.parse (T.Hist.to_json h) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "to_json unparsable: %s" e
+
+(* --- span derivation ----------------------------------------------- *)
+
+let ev ts cpu payload = { T.Event.ts; cpu; payload }
+
+let test_span_pairing () =
+  let events =
+    [
+      ev 100L 0 (T.Event.Syscall_enter { nr = 1; name = "sys_a"; pid = 7 });
+      (* same (cpu, nr, pid) nested again: FIFO pairing *)
+      ev 110L 1 (T.Event.Syscall_enter { nr = 1; name = "sys_a"; pid = 8 });
+      ev 150L 0 (T.Event.Syscall_exit { nr = 1; name = "sys_a"; pid = 7; result = 0L });
+      ev 180L 1 (T.Event.Syscall_exit { nr = 1; name = "sys_a"; pid = 8; result = 0L });
+      ev 200L 0 (T.Event.Context_switch { from_pid = 7; to_pid = 9 });
+      ev 224L 0 (T.Event.Switch_done { from_pid = 7; to_pid = 9 });
+      (* unmatched begin markers: no span *)
+      ev 300L 1 (T.Event.Syscall_enter { nr = 2; name = "sys_b"; pid = 8 });
+      ev 310L 1 (T.Event.Context_switch { from_pid = 8; to_pid = 3 });
+    ]
+  in
+  let spans = T.Span.of_events events in
+  let durs k =
+    List.filter_map
+      (fun s -> if s.T.Span.sp_kind = k then Some s.T.Span.sp_dur else None)
+      spans
+  in
+  Alcotest.(check (list int64)) "syscall durations, end order" [ 50L; 70L ]
+    (durs T.Span.Syscall);
+  Alcotest.(check (list int64)) "switch duration" [ 24L ]
+    (durs T.Span.Context_switch);
+  Alcotest.(check int) "unmatched begins produce no span" 3 (List.length spans)
+
+let test_span_ipi_cross_clock () =
+  (* the receive's core-local clock is BEHIND the sender's: the span
+     must live on the sender's clock and never go negative *)
+  let events =
+    [
+      ev 1000L 0 (T.Event.Ipi_send { dst = 1; kind = "reschedule" });
+      ev 40L 1 (T.Event.Ipi_receive { srcs = [ 0 ]; kind = "reschedule" });
+      ev 1100L 0 (T.Event.Ipi_send { dst = 1; kind = "reschedule" });
+      ev 1150L 1 (T.Event.Ipi_receive { srcs = [ 0 ]; kind = "reschedule" });
+    ]
+  in
+  let spans = T.Span.of_events events in
+  let ipis = List.filter (fun s -> s.T.Span.sp_kind = T.Span.Ipi) spans in
+  Alcotest.(check int) "early receive cannot close a later send" 1
+    (List.length ipis);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "non-negative duration" true
+        (Int64.compare s.T.Span.sp_dur 0L >= 0);
+      Alcotest.(check int) "span lives on the sender's core" 0 s.T.Span.sp_cpu)
+    ipis
+
+let test_span_histograms_deterministic () =
+  let hists () =
+    let sys, _ = smp_run ~seed:11L ~cpus:4 in
+    T.Hub.histograms (hub sys)
+  in
+  let a = hists () and b = hists () in
+  List.iter2
+    (fun (ka, ha) (kb, hb) ->
+      Alcotest.(check string) "kind order fixed" (T.Span.kind_name ka)
+        (T.Span.kind_name kb);
+      Alcotest.(check bool)
+        (T.Span.kind_name ka ^ ": same seed, equal histograms")
+        true (T.Hist.equal ha hb))
+    a b;
+  Alcotest.(check string) "same seed: byte-identical histogram JSON"
+    (T.Span.histograms_to_json a)
+    (T.Span.histograms_to_json b);
+  let syscalls = List.assoc T.Span.Syscall a in
+  Alcotest.(check bool) "workload produced syscall spans" true
+    (Int64.compare (T.Hist.count syscalls) 0L > 0);
+  let switches = List.assoc T.Span.Context_switch a in
+  Alcotest.(check bool) "workload produced switch spans" true
+    (Int64.compare (T.Hist.count switches) 0L > 0)
+
+let test_chrome_has_duration_events () =
+  let sys, _ = smp_run ~seed:7L ~cpus:4 in
+  let doc = T.Chrome.serialize (hub sys) in
+  (match T.Chrome.validate doc with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "trace with X events rejected: %s" e);
+  match T.Json.parse doc with
+  | Ok (T.Json.Obj kvs) -> (
+      match List.assoc_opt "traceEvents" kvs with
+      | Some (T.Json.List evs) ->
+          let durations =
+            List.filter
+              (fun e ->
+                match T.Json.member "ph" e with
+                | Some (T.Json.Str "X") -> true
+                | _ -> false)
+              evs
+          in
+          Alcotest.(check bool) "trace carries X duration events" true
+            (List.length durations > 0);
+          List.iter
+            (fun e ->
+              match T.Json.member "dur" e with
+              | Some (T.Json.Num d) ->
+                  Alcotest.(check bool) "dur >= 0" true (d >= 0.0)
+              | _ -> Alcotest.fail "X event without dur")
+            durations
+      | _ -> Alcotest.fail "no traceEvents array")
+  | _ -> Alcotest.fail "unparsable trace"
+
+(* --- validator: position-carrying rejections ----------------------- *)
+
+let test_chrome_validate_positions () =
+  let reject_with doc what needle =
+    match T.Chrome.validate doc with
+    | Ok () -> Alcotest.failf "accepted %s" what
+    | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: error %S names a position" what e)
+          true
+          (let has s sub =
+             let n = String.length sub in
+             let rec go i =
+               i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+             in
+             go 0
+           in
+           has e needle && has e "line ")
+  in
+  reject_with
+    {|{"traceEvents": [{"name":"a","ph":"X","ts":5,"dur":-2,"pid":0,"tid":0}]}|}
+    "negative dur" "negative dur";
+  reject_with
+    {|{"traceEvents": [{"name":"a","ph":"i","ts":5,"pid":0,"tid":0,"s":"t"},
+                       {"name":"b","ph":"i","ts":4,"pid":0,"tid":0,"s":"t"}]}|}
+    "non-monotone ts" "before";
+  match T.Json.parse_located "{\"a\": tru}" with
+  | Ok _ -> Alcotest.fail "parser accepted a bad literal"
+  | Error e ->
+      Alcotest.(check bool) "parse error carries line/column" true
+        (String.length e > 0
+        &&
+        let has sub =
+          let n = String.length sub in
+          let rec go i =
+            i + n <= String.length e && (String.sub e i n = sub || go (i + 1))
+          in
+          go 0
+        in
+        has "line 1" && has "column")
+
 let suite =
   [
     Alcotest.test_case "per-class counts sum to retired" `Quick
@@ -447,4 +678,18 @@ let suite =
     Alcotest.test_case "syscall numbers have names" `Quick test_syscall_names;
     Alcotest.test_case "profiler attributes the CFI overhead" `Quick
       test_attribution_accounts_for_overhead;
+    QCheck_alcotest.to_alcotest prop_hist_percentile_accuracy;
+    QCheck_alcotest.to_alcotest prop_hist_merge_monoid;
+    Alcotest.test_case "Hist: empty and clamping edge cases" `Quick
+      test_hist_empty_edges;
+    Alcotest.test_case "Span: FIFO pairing per (core, key)" `Quick
+      test_span_pairing;
+    Alcotest.test_case "Span: IPIs cross clock domains safely" `Quick
+      test_span_ipi_cross_clock;
+    Alcotest.test_case "Span histograms are deterministic" `Quick
+      test_span_histograms_deterministic;
+    Alcotest.test_case "Chrome trace carries X duration events" `Quick
+      test_chrome_has_duration_events;
+    Alcotest.test_case "validator errors carry positions" `Quick
+      test_chrome_validate_positions;
   ]
