@@ -49,10 +49,39 @@ let no_icache_arg =
   in
   Arg.(value & flag & info [ "no-icache" ] ~doc)
 
+let exec_tier_arg =
+  let parse s =
+    match Cpu.tier_of_string s with
+    | Some t -> Ok t
+    | None ->
+        Error (`Msg (Printf.sprintf "unknown tier %S (interp|icache|traces)" s))
+  in
+  let tconv =
+    Arg.conv (parse, fun fmt t -> Format.pp_print_string fmt (Cpu.tier_name t))
+  in
+  let doc =
+    "Execution tier: $(b,interp) (plain decode-and-dispatch), $(b,icache) \
+     (decoded-instruction cache and micro-TLB; the default), or $(b,traces) \
+     (superblock trace compilation on top of the icache). Host speed only: \
+     execution is bit-identical across tiers. Overrides the deprecated \
+     $(b,--no-icache)."
+  in
+  Arg.(value & opt (some tconv) None & info [ "exec-tier" ] ~docv:"TIER" ~doc)
+
+(* [--no-icache] is the deprecated spelling of [--exec-tier interp];
+   an explicit [--exec-tier] wins. *)
+let resolve_tier no_icache tier =
+  match tier with
+  | Some _ -> tier
+  | None -> if no_icache then Some Cpu.Interp else None
+
 let boot_cmd =
-  let run config seed cpus no_icache =
-    let sys = K.System.boot ~config ~seed ~cpus ~icache:(not no_icache) () in
+  let run config seed cpus no_icache tier =
+    let tier = resolve_tier no_icache tier in
+    let sys = K.System.boot ~config ~seed ~cpus ?tier () in
     Printf.printf "configuration : %s\n" (C.Config.name config);
+    Printf.printf "exec tier     : %s\n"
+      (Cpu.tier_name (Cpu.tier (K.System.cpu sys)));
     Printf.printf "cores         : %d\n" (K.System.cpus sys);
     (match K.System.unkeyed_cpus sys with
     | [] ->
@@ -85,7 +114,9 @@ let boot_cmd =
   in
   let doc = "Boot the protected kernel and print a system report." in
   Cmd.v (Cmd.info "boot" ~doc)
-    Term.(const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg)
+    Term.(
+      const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg
+      $ exec_tier_arg)
 
 let attack_names = [ "rop"; "fops"; "replay"; "temporal"; "bruteforce"; "cred"; "cred-replay" ]
 
@@ -94,8 +125,8 @@ let attack_cmd =
     let doc = Printf.sprintf "Attack to run: %s." (String.concat ", " attack_names) in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ATTACK" ~doc)
   in
-  let run config seed cpus no_icache name =
-    let sys = K.System.boot ~config ~seed ~cpus ~icache:(not no_icache) () in
+  let run config seed cpus no_icache tier name =
+    let sys = K.System.boot ~config ~seed ~cpus ?tier:(resolve_tier no_icache tier) () in
     Printf.printf "kernel build: %s (%d cores)\n" (C.Config.name config) cpus;
     (match name with
     | "rop" -> Printf.printf "%s\n" (Attacks.Rop.outcome_to_string (Attacks.Rop.run sys))
@@ -127,7 +158,9 @@ let attack_cmd =
   in
   let doc = "Run an attack scenario against the booted kernel." in
   Cmd.v (Cmd.info "attack" ~doc)
-    Term.(const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg $ attack_arg)
+    Term.(
+      const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg
+      $ exec_tier_arg $ attack_arg)
 
 let census_cmd =
   let run seed =
@@ -162,8 +195,8 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc) Term.(const run $ config_arg)
 
 let integrity_cmd =
-  let run config seed no_icache =
-    let sys = K.System.boot ~config ~seed ~icache:(not no_icache) () in
+  let run config seed no_icache tier =
+    let sys = K.System.boot ~config ~seed ?tier:(resolve_tier no_icache tier) () in
     Printf.printf "syscall-table PACGA attestation: %s\n"
       (if K.System.verify_syscall_table sys then "OK" else "MISMATCH");
     (* tamper (bypassing stage 2, modeling a protection lapse) and recheck *)
@@ -174,11 +207,11 @@ let integrity_cmd =
   in
   let doc = "Demonstrate the PACGA kernel integrity monitor." in
   Cmd.v (Cmd.info "integrity" ~doc)
-    Term.(const run $ config_arg $ seed_arg $ no_icache_arg)
+    Term.(const run $ config_arg $ seed_arg $ no_icache_arg $ exec_tier_arg)
 
 (* Boot with telemetry, run the SMP syscall workload, return the hub. *)
-let telemetry_run ~config ~seed ~cpus ~icache ~tasks ~rounds =
-  let sys = K.System.boot ~config ~seed ~cpus ~icache ~telemetry:true () in
+let telemetry_run ?tier ~config ~seed ~cpus ~tasks ~rounds () =
+  let sys = K.System.boot ~config ~seed ~cpus ?tier ~telemetry:true () in
   let layout =
     K.System.map_user_program sys (Workloads.Smp.throughput_program ~rounds)
   in
@@ -212,8 +245,8 @@ let trace_cmd =
     let doc = "Print the telemetry event timeline as text instead of JSON." in
     Arg.(value & flag & info [ "text" ] ~doc)
   in
-  let run config seed cpus no_icache chrome validate text =
-    let icache = not no_icache in
+  let run config seed cpus no_icache exec_tier chrome validate text =
+    let tier = resolve_tier no_icache exec_tier in
     match (chrome, validate, text) with
     | _, Some path, _ ->
         let ic = open_in_bin path in
@@ -227,8 +260,8 @@ let trace_cmd =
             exit 1)
     | Some path, _, _ ->
         let _, hub, stats =
-          telemetry_run ~config ~seed ~cpus:(max cpus 2) ~icache ~tasks:8
-            ~rounds:20
+          telemetry_run ~config ~seed ~cpus:(max cpus 2) ?tier ~tasks:8
+            ~rounds:20 ()
         in
         let doc = Telemetry.Chrome.serialize hub in
         (match Telemetry.Chrome.validate doc with
@@ -244,12 +277,12 @@ let trace_cmd =
           (Telemetry.Hub.cpus hub) path stats.K.System.makespan
     | None, None, true ->
         let _, hub, _ =
-          telemetry_run ~config ~seed ~cpus:(max cpus 2) ~icache ~tasks:8
-            ~rounds:20
+          telemetry_run ~config ~seed ~cpus:(max cpus 2) ?tier ~tasks:8
+            ~rounds:20 ()
         in
         print_string (Telemetry.Chrome.text ~limit:200 hub)
     | None, None, false ->
-        let sys = K.System.boot ~config ~seed ~icache () in
+        let sys = K.System.boot ~config ~seed ?tier () in
         Printf.printf "running the f_ops hijack to provoke a PAC failure...\n";
         Printf.printf "%s\n\n"
           (Attacks.Fptr_hijack.outcome_to_string (Attacks.Fptr_hijack.run sys));
@@ -267,8 +300,8 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg $ chrome_arg
-      $ validate_arg $ text_arg)
+      const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg
+      $ exec_tier_arg $ chrome_arg $ validate_arg $ text_arg)
 
 let print_hist_table hists =
   Printf.printf "span latency (cycles, log-bucketed: values exact to 1/32)\n";
@@ -298,11 +331,11 @@ let stats_cmd =
     in
     Arg.(value & flag & info [ "hist" ] ~doc)
   in
-  let run config seed cpus no_icache json hist =
+  let run config seed cpus no_icache tier json hist =
     let cpus = max cpus 2 in
     let _, hub, stats =
-      telemetry_run ~config ~seed ~cpus ~icache:(not no_icache) ~tasks:8
-        ~rounds:20
+      telemetry_run ~config ~seed ~cpus ?tier:(resolve_tier no_icache tier)
+        ~tasks:8 ~rounds:20 ()
     in
     let merged = Telemetry.Hub.counters hub in
     if json then
@@ -335,8 +368,8 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc)
     Term.(
-      const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg $ json_arg
-      $ hist_arg)
+      const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg
+      $ exec_tier_arg $ json_arg $ hist_arg)
 
 let lint_cmd =
   let json_arg =
@@ -572,8 +605,9 @@ let faults_cmd =
     in
     Arg.(value & opt (some string) None & info [ "hist-json" ] ~docv:"FILE" ~doc)
   in
-  let run config seed cpus trials json quarantine workers retries record_dir
-      chrome lanes hist_json demo =
+  let run config seed cpus no_icache tier trials json quarantine workers
+      retries record_dir chrome lanes hist_json demo =
+    let tier = resolve_tier no_icache tier in
     if demo then print_string (Faultinj.Campaign.demo_to_string (Faultinj.Campaign.quarantine_demo ~seed ()))
     else begin
       (* the sequential path is just the fleet engine at --workers 1 *)
@@ -582,7 +616,7 @@ let faults_cmd =
         Option.get
           (Fleet.Campaign.run ~config ~config_name:(C.Config.name config)
              ~cpus:(max cpus 2) ?quarantine_after:quarantine
-             ~workers:(max 1 workers) ?retries ?record_dir ~telemetry
+             ~workers:(max 1 workers) ?retries ?record_dir ~telemetry ?tier
              ~lanes:(if chrome = None then 0 else max 0 lanes)
              ~seed ~trials ())
       in
@@ -634,9 +668,10 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
-      const run $ config_arg $ seed_arg $ cpus_arg $ trials_arg $ json_arg
-      $ quarantine_arg $ workers_arg $ retries_arg $ record_arg $ chrome_arg
-      $ lanes_arg $ hist_json_arg $ demo_arg)
+      const run $ config_arg $ seed_arg $ cpus_arg $ no_icache_arg
+      $ exec_tier_arg $ trials_arg $ json_arg $ quarantine_arg $ workers_arg
+      $ retries_arg $ record_arg $ chrome_arg $ lanes_arg $ hist_json_arg
+      $ demo_arg)
 
 let replay_cmd =
   let log_arg =
@@ -647,13 +682,13 @@ let replay_cmd =
     let doc = "Replay only trial $(docv) instead of every recorded trial." in
     Arg.(value & opt (some int) None & info [ "trial" ] ~docv:"N" ~doc)
   in
-  let run log_path trial =
+  let run log_path trial tier =
     match Snapshot.Log.read ~path:log_path with
     | Error e ->
         Printf.eprintf "%s: %s\n" log_path e;
         exit 2
     | Ok log -> (
-        match Faultinj.Replay.replay ?index:trial log with
+        match Faultinj.Replay.replay ?index:trial ?tier log with
         | Error e ->
             Printf.eprintf "replay failed: %s\n" e;
             exit 2
@@ -678,7 +713,8 @@ let replay_cmd =
      state fingerprint — is byte-identical to the recording. Exits non-zero \
      on any divergence."
   in
-  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ log_arg $ trial_arg)
+  Cmd.v (Cmd.info "replay" ~doc)
+    Term.(const run $ log_arg $ trial_arg $ exec_tier_arg)
 
 let sweep_cmd =
   let machines_arg =

@@ -12,8 +12,8 @@ let map_region ?(el0 = Mmu.no_access) cpu ~base ~pages perm =
       ~el0 ~el1:perm
   done
 
-let machine ?(seed = 0xBA2EL) ?cost ?trace_depth ?(icache = true) () =
-  let cpu = Cpu.create ?cost ?trace_depth ~icache_enabled:icache () in
+(* Shared EL1 bring-up: mappings, stack, enable bits, random keys. *)
+let setup ?(seed = 0xBA2EL) cpu =
   map_region cpu ~base:code_base ~pages:16 Mmu.rx;
   map_region cpu ~base:(Int64.sub stack_top 0x20000L) ~pages:32 Mmu.rw;
   map_region cpu ~base:data_base ~pages:4 Mmu.rw;
@@ -34,6 +34,22 @@ let machine ?(seed = 0xBA2EL) ?cost ?trace_depth ?(icache = true) () =
       Cpu.set_sysreg cpu lo (Camo_util.Rng.next rng))
     Sysreg.[ IA; IB; DA; DB; GA ];
   cpu
+
+let machine ?seed ?cost ?trace_depth ?(icache = true) ?tier () =
+  let tier =
+    match tier with
+    | Some tr -> tr
+    | None -> if icache then Cpu.Icache else Cpu.Interp
+  in
+  setup ?seed (Cpu.create ?cost ?trace_depth ~tier ())
+
+(* Machine-based variant, for harnesses that need whole-machine
+   snapshots or Snapshot.Fingerprint.of_machine — notably the
+   three-tier differential fuzzer. *)
+let smp ?seed ?cost ?trace_depth ?tier ?(cpus = 1) () =
+  let m = Machine.create ?cost ?trace_depth ?tier ~cpus () in
+  ignore (setup ?seed (Machine.boot_core m) : Cpu.t);
+  m
 
 let load ?(base = code_base) cpu prog =
   let layout = Asm.assemble prog ~base in

@@ -17,10 +17,20 @@ val pa_of_va : int64 -> int64
     data (rw) regions mapped, SP at {!stack_top}, all four enable bits
     set and random keys installed. [trace_depth] is forwarded to
     {!Cpu.create}; [icache:false] disables the decoded-instruction
-    cache (bit-identical execution, host speed only). *)
+    cache (bit-identical execution, host speed only). [tier] selects
+    the execution tier and overrides [icache]. *)
 val machine :
   ?seed:int64 -> ?cost:Cost.profile -> ?trace_depth:int -> ?icache:bool ->
-  unit -> Cpu.t
+  ?tier:Cpu.tier -> unit -> Cpu.t
+
+(** [smp ?tier ()] — the same bring-up on a {!Machine} (boot core at
+    EL1 with mappings, stack and keys; secondary cores, if any, are
+    left untouched), for harnesses that need whole-machine snapshots or
+    [Snapshot.Fingerprint.of_machine] — the three-tier differential
+    fuzzer's entry point. Default [cpus] is 1. *)
+val smp :
+  ?seed:int64 -> ?cost:Cost.profile -> ?trace_depth:int -> ?tier:Cpu.tier ->
+  ?cpus:int -> unit -> Machine.t
 
 (** [map_region cpu ~base ~pages perm] — add an EL1 mapping. *)
 val map_region : ?el0:Mmu.perm -> Cpu.t -> base:int64 -> pages:int -> Mmu.perm -> unit

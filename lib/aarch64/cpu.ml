@@ -19,6 +19,24 @@ type flags = { mutable n : bool; mutable z : bool; mutable v : bool; mutable c :
 
 type hook_action = Exec | Skip
 
+(* The three execution tiers. All of them are bit-identical in guest
+   terms — the selector only decides how much host-side machinery sits
+   between fetch and retire. *)
+type tier = Interp | Icache | Traces
+
+let tier_name = function
+  | Interp -> "interp"
+  | Icache -> "icache"
+  | Traces -> "traces"
+
+let tier_of_string = function
+  | "interp" -> Some Interp
+  | "icache" -> Some Icache
+  | "traces" -> Some Traces
+  | _ -> None
+
+let all_tiers = [ Interp; Icache; Traces ]
+
 type t = {
   regs : int64 array;
   mutable sp_el0 : int64;
@@ -33,6 +51,13 @@ type t = {
   (* decoded-instruction cache + micro-TLB over (mem, mmu); possibly
      shared with sibling cores. Purely host-speed: never guest-visible. *)
   icache : Icache.t;
+  (* requested execution tier; fixed at creation *)
+  tier : tier;
+  (* superblock trace cache, present iff [tier = Traces]. Per-core,
+     unlike the shared icache: compiled blocks capture this core's
+     register file. Invalidation still crosses cores because every
+     trace cache hooks the one shared [Mem]. *)
+  traces : (unit -> unit) Traces.t option;
   cipher : Qarma.Block.t;
   cost : Cost.profile;
   (* native ints, not Int64: these are bumped once per retired
@@ -60,6 +85,10 @@ type t = {
   mutable sink : Telemetry.Sink.t option;
   (* whether the last [run] took the hook-free fast loop *)
   mutable last_run_fast : bool;
+  (* which tier the last [run] actually executed under: a hooked or
+     telemetry-observed run on a traces-tier core drops to the icache
+     path, and tests want to assert that *)
+  mutable last_run_tier : tier;
 }
 
 (* A canonical kernel address that is never mapped: it survives PAC/AUT
@@ -80,14 +109,22 @@ let[@inline] is_zero64 v = Int64.to_int v = 0 && Int64.equal v 0L
 
 let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linux_user)
     ?(kernel_cfg = Vaddr.linux_kernel) ?(cipher = Qarma.Block.create ()) ?mem ?mmu
-    ?icache ?(icache_enabled = true) ?(trace_depth = 32) ?(id = 0) () =
+    ?icache ?(icache_enabled = true) ?tier ?(trace_depth = 32) ?(id = 0) () =
   if trace_depth <= 0 then invalid_arg "Cpu.create: trace_depth";
+  let tier =
+    match tier with
+    | Some tr -> tr
+    | None -> if icache_enabled then Icache else Interp
+  in
   let mem = match mem with Some m -> m | None -> Mem.create () in
   let mmu = match mmu with Some m -> m | None -> Mmu.create () in
   let icache =
     match icache with
     | Some i -> i
-    | None -> Icache.create ~enabled:icache_enabled ~mem ~mmu ()
+    | None -> Icache.create ~enabled:(tier <> Interp) ~mem ~mmu ()
+  in
+  let traces =
+    match tier with Traces -> Some (Traces.create ~mem ~mmu ()) | _ -> None
   in
   {
     regs = Array.make 31 0L;
@@ -101,6 +138,8 @@ let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linu
     mem;
     mmu;
     icache;
+    tier;
+    traces;
     cipher;
     cost;
     cycles = 0;
@@ -119,11 +158,14 @@ let create ?(cost = Cost.cortex_a53) ?(has_pauth = true) ?(user_cfg = Vaddr.linu
     step_hook = None;
     sink = None;
     last_run_fast = false;
+    last_run_tier = tier;
   }
 
 let mem t = t.mem
 let mmu t = t.mmu
 let icache t = t.icache
+let tier t = t.tier
+let trace_stats t = Option.map Traces.stats t.traces
 let id t = t.id
 let cipher t = t.cipher
 let cost_profile t = t.cost
@@ -184,8 +226,10 @@ let sysreg t sr =
    kernel entry. *)
 let set_sysreg t sr v =
   Hashtbl.replace t.sysregs sr v;
-  if Sysreg.is_mmu_control sr || sr = Sysreg.CONTEXTIDR_EL1 then
-    Icache.flush t.icache
+  if Sysreg.is_mmu_control sr || sr = Sysreg.CONTEXTIDR_EL1 then begin
+    Icache.flush t.icache;
+    match t.traces with Some tr -> Traces.flush tr | None -> ()
+  end
 
 let flags_bits t =
   (if t.flags.n then 8 else 0)
@@ -553,7 +597,11 @@ let retire t insn cost =
   t.insns_retired <- t.insns_retired + 1;
   Bigarray.Array1.unsafe_set t.trace_pc t.trace_pos t.pc;
   Array.unsafe_set t.trace_insn t.trace_pos insn;
-  t.trace_pos <- (t.trace_pos + 1) mod Array.length t.trace_insn
+  (* compare-and-wrap instead of [mod]: the ring advance sits on every
+     retired instruction and an integer divide is the single most
+     expensive ALU op in the loop *)
+  let p = t.trace_pos + 1 in
+  t.trace_pos <- (if p = Array.length t.trace_insn then 0 else p)
 
 let step t =
   if is_sentinel t.pc then Some Sentinel_return
@@ -590,9 +638,654 @@ let step t =
                 Some (Fault { fault = Mmu_fault f; pc = t.pc })))
   end
 
-let run ?(max_insns = 10_000_000) t =
-  let fast = Option.is_none t.step_hook && Option.is_none t.sink in
-  t.last_run_fast <- fast;
+(* --- The traces tier: superblock compilation and dispatch. ---
+
+   Hot straight-line regions are compiled into arrays of pre-bound
+   closures ("ops") and driven by a tight loop — fetch, decode, the
+   cost match and the dispatch match all disappear from the hot path.
+   The contract is the same as the icache's, only stronger: guest
+   state, cycles, retirement counts, the trace ring, fault kinds and
+   stop reasons must be bit-identical to the interpreter.
+
+   Invariants that make that hold:
+   - at every op's start, [t.pc] is that op's instruction address (the
+     previous op's epilogue set it, and the dispatcher only enters a
+     block when [t.pc] equals its entry), so [retire]'s ring write and
+     a faulting access both see the exact PC;
+   - every op retires first and executes second, like [step], so a
+     faulting instruction is still retired and charged;
+   - blocks are cut at branches (compiled as terminators), PAC/AUT
+     boundaries and exception-raising instructions, so every compiled
+     instruction has a statically known cost and can never change EL;
+   - the driver re-checks [Traces.live] between ops: a store that lands
+     in the block's own code pages (the Bloom-screened [Mem] hook) kills
+     the block mid-flight and the remaining ops are abandoned, exactly
+     as the interpreter would re-fetch the patched word. *)
+
+(* Instructions that end a block *before* themselves: dynamic cost
+   (PAC family), EL/sysreg traffic, or a raise. They execute via the
+   single-step path. *)
+let is_cut = function
+  | Insn.Pac _ | Insn.Aut _ | Insn.Pac1716 _ | Insn.Aut1716 _ | Insn.Xpac _
+  | Insn.Pacga _ | Insn.Blra _ | Insn.Bra _ | Insn.Reta _ | Insn.Mrs _
+  | Insn.Msr _ | Insn.Svc _ | Insn.Eret | Insn.Brk _ | Insn.Hlt _ ->
+      true
+  | _ -> false
+
+(* Branches compile (as a block's last op) and seed chaining. *)
+let is_terminator = function
+  | Insn.B _ | Insn.Bl _ | Insn.Br _ | Insn.Blr _ | Insn.Ret | Insn.Cbz _
+  | Insn.Cbnz _ | Insn.Bcond _ ->
+      true
+  | _ -> false
+
+(* Compiled blocks are continuation-threaded: each op ends with a tail
+   call to the next op's closure, so a full block run is one indirect
+   call from the driver and a chain of tail calls — no per-op array
+   indexing, bounds check or loop counter. An op that must abandon the
+   block (a mispredicted inlined return, or a store that invalidated
+   the block under its own feet) simply returns without calling its
+   continuation; the driver recovers the retired count from the
+   [insns_retired] delta. [block_end] terminates every chain. *)
+let block_end () = ()
+
+(* Only compiled stores can flip [bk_live] mid-block (the [Mem] write
+   hook: self-modifying code, or data sharing a frame with block code);
+   everything else that invalidates — MSR flush matrix, MMU generation,
+   slot eviction — runs at block boundaries. So stores re-check
+   liveness before tail-calling the rest of the chain, and other ops
+   skip the check entirely. [self] is back-patched right after
+   [Traces.install]. *)
+let[@inline] block_alive self =
+  match !self with Some b -> b.Traces.bk_live | None -> true
+
+(* Compile-time operand accessors. A block executes entirely at its
+   compile-time EL (the cut set excludes every EL-changing instruction
+   and the dispatcher guards [bk_el] at entry), so the SP bank can be
+   selected when the closure is built instead of on every execution. *)
+let op_get t el = function
+  | Insn.R n ->
+      let regs = t.regs in
+      fun () -> Array.unsafe_get regs n
+  | Insn.XZR -> fun () -> 0L
+  | Insn.SP -> fun () -> sp_of t el
+
+let op_set t el = function
+  | Insn.R n ->
+      let regs = t.regs in
+      fun v -> Array.unsafe_set regs n v
+  | Insn.XZR -> fun _ -> ()
+  | Insn.SP -> fun v -> set_sp_of t el v
+
+(* Addressing-mode compiler: the mode dispatch and the offset boxing
+   happen once, the writeback order matches [effective_address]
+   exactly (writeback before the access, like the interpreter). The
+   common base kinds get flat single-closure arms — no inner accessor
+   call on the hot path. *)
+let op_addr t el m =
+  let regs = t.regs in
+  match m with
+  | Insn.Off (Insn.R b, off) ->
+      let o = Int64.of_int off in
+      fun () -> Int64.add (Array.unsafe_get regs b) o
+  | Insn.Pre (Insn.R b, off) ->
+      let o = Int64.of_int off in
+      fun () ->
+        let a = Int64.add (Array.unsafe_get regs b) o in
+        Array.unsafe_set regs b a;
+        a
+  | Insn.Post (Insn.R b, off) ->
+      let o = Int64.of_int off in
+      fun () ->
+        let a = Array.unsafe_get regs b in
+        Array.unsafe_set regs b (Int64.add a o);
+        a
+  | Insn.Off (Insn.SP, off) ->
+      let o = Int64.of_int off in
+      fun () -> Int64.add (sp_of t el) o
+  | Insn.Pre (Insn.SP, off) ->
+      let o = Int64.of_int off in
+      fun () ->
+        let a = Int64.add (sp_of t el) o in
+        set_sp_of t el a;
+        a
+  | Insn.Post (Insn.SP, off) ->
+      let o = Int64.of_int off in
+      fun () ->
+        let a = sp_of t el in
+        set_sp_of t el (Int64.add a o);
+        a
+  | Insn.Off (base, off) ->
+      let g = op_get t el base and o = Int64.of_int off in
+      fun () -> Int64.add (g ()) o
+  | Insn.Pre (base, off) ->
+      let g = op_get t el base
+      and s = op_set t el base
+      and o = Int64.of_int off in
+      fun () ->
+        let a = Int64.add (g ()) o in
+        s a;
+        a
+  | Insn.Post (base, off) ->
+      let g = op_get t el base
+      and s = op_set t el base
+      and o = Int64.of_int off in
+      fun () ->
+        let a = g () in
+        s (Int64.add a o);
+        a
+
+(* Per-op single-entry data TLB for compiled memory ops: caches the
+   frame bytes backing the last page the op touched, so the steady
+   state is an int compare plus a direct [Bytes] access — no hash, no
+   slot probe, no permission re-check. Sound because frame byte
+   buffers are stable for the life of a [Mem], the fill checks the
+   op's access kind against the page permissions, and any translation
+   or permission change advances the MMU generation, which kills the
+   owning block before its next dispatch. Stores still fire
+   [Mem.notify_store], so icache/trace invalidation and snapshot dirty
+   tracking observe them exactly as a [Mem.write64]. *)
+type page_cache = {
+  mutable pg_page : int;  (* VA page (63-bit), -1 when empty *)
+  mutable pg_bytes : Bytes.t;
+  mutable pg_frame : int;
+}
+
+let no_bytes = Bytes.create 0
+let fresh_page_cache () = { pg_page = -1; pg_bytes = no_bytes; pg_frame = 0 }
+
+let fill_page_cache t el access (c : page_cache) page va =
+  match Icache.data_page t.icache ~el ~access va with
+  | Some (fb, fi) ->
+      c.pg_page <- page;
+      c.pg_bytes <- fb;
+      c.pg_frame <- fi
+  | None -> ()
+
+(* Compile one instruction into an op that tail-calls [k]. The common
+   cases are specialized down to unsafe register-array accesses with
+   every immediate pre-bound (captured boxed int64 constants cost
+   nothing to reuse); everything else falls back to [execute], which
+   still skips fetch/decode/cost on re-execution. [cost_of] is constant
+   for every compilable class — the dynamic-cost instructions are all
+   in [is_cut]. *)
+let compile_op t insn ~next ~self k =
+  let cost = cost_of t insn in
+  let regs = t.regs in
+  let el = t.el in
+  match insn with
+  | Insn.Nop | Insn.Isb ->
+      fun () ->
+        retire t insn cost;
+        t.pc <- next;
+        k ()
+  | Insn.Movz (Insn.R d, imm, sh) ->
+      let v = Int64.shift_left (Int64.of_int imm) sh in
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d v;
+        t.pc <- next;
+        k ()
+  | Insn.Mov (Insn.R d, Insn.R n) ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d (Array.unsafe_get regs n);
+        t.pc <- next;
+        k ()
+  | Insn.Add_imm (Insn.R d, Insn.R n, imm) ->
+      let i = Int64.of_int imm in
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d (Int64.add (Array.unsafe_get regs n) i);
+        t.pc <- next;
+        k ()
+  | Insn.Sub_imm (Insn.R d, Insn.R n, imm) ->
+      let i = Int64.of_int imm in
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d (Int64.sub (Array.unsafe_get regs n) i);
+        t.pc <- next;
+        k ()
+  | Insn.Add_reg (Insn.R d, Insn.R n, Insn.R m) ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d
+          (Int64.add (Array.unsafe_get regs n) (Array.unsafe_get regs m));
+        t.pc <- next;
+        k ()
+  | Insn.Sub_reg (Insn.R d, Insn.R n, Insn.R m) ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d
+          (Int64.sub (Array.unsafe_get regs n) (Array.unsafe_get regs m));
+        t.pc <- next;
+        k ()
+  | Insn.And_reg (Insn.R d, Insn.R n, Insn.R m) ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d
+          (Int64.logand (Array.unsafe_get regs n) (Array.unsafe_get regs m));
+        t.pc <- next;
+        k ()
+  | Insn.Orr_reg (Insn.R d, Insn.R n, Insn.R m) ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d
+          (Int64.logor (Array.unsafe_get regs n) (Array.unsafe_get regs m));
+        t.pc <- next;
+        k ()
+  | Insn.Eor_reg (Insn.R d, Insn.R n, Insn.R m) ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d
+          (Int64.logxor (Array.unsafe_get regs n) (Array.unsafe_get regs m));
+        t.pc <- next;
+        k ()
+  | Insn.Subs_reg (Insn.R d, Insn.R n, Insn.R m) ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d
+          (set_flags_sub t (Array.unsafe_get regs n) (Array.unsafe_get regs m));
+        t.pc <- next;
+        k ()
+  | Insn.Subs_imm (Insn.R d, Insn.R n, imm) ->
+      let i = Int64.of_int imm in
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d (set_flags_sub t (Array.unsafe_get regs n) i);
+        t.pc <- next;
+        k ()
+  | Insn.Lsl_imm (Insn.R d, Insn.R n, sh) ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d (Int64.shift_left (Array.unsafe_get regs n) sh);
+        t.pc <- next;
+        k ()
+  | Insn.Lsr_imm (Insn.R d, Insn.R n, sh) ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d
+          (Int64.shift_right_logical (Array.unsafe_get regs n) sh);
+        t.pc <- next;
+        k ()
+  | Insn.Adr (Insn.R d, target) ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d target;
+        t.pc <- next;
+        k ()
+  | Insn.Movk (Insn.R d, imm, sh) ->
+      let field = Int64.of_int imm in
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs d
+          (Val64.insert ~lo:sh ~width:16 ~field (Array.unsafe_get regs d));
+        t.pc <- next;
+        k ()
+  | Insn.Ldr (rd, m) ->
+      let addr = op_addr t el m and set_d = op_set t el rd in
+      let icache = t.icache in
+      let c = fresh_page_cache () in
+      fun () ->
+        retire t insn cost;
+        let a = addr () in
+        let ai = Int64.to_int a in
+        let page = ai lsr 12 and off = ai land 0xfff in
+        if page = c.pg_page && off <= 4088 then
+          set_d (Bytes.get_int64_le c.pg_bytes off)
+        else begin
+          set_d (Icache.read64_exn icache ~el a);
+          fill_page_cache t el Mmu.Read c page a
+        end;
+        t.pc <- next;
+        k ()
+  | Insn.Str (rs, m) ->
+      let addr = op_addr t el m and get_s = op_get t el rs in
+      let icache = t.icache and mem = t.mem in
+      let c = fresh_page_cache () in
+      fun () ->
+        retire t insn cost;
+        let a = addr () in
+        let ai = Int64.to_int a in
+        let page = ai lsr 12 and off = ai land 0xfff in
+        if page = c.pg_page && off <= 4088 then begin
+          Bytes.set_int64_le c.pg_bytes off (get_s ());
+          Mem.notify_store mem c.pg_frame
+        end
+        else begin
+          Icache.write64_exn icache ~el a (get_s ());
+          fill_page_cache t el Mmu.Write c page a
+        end;
+        t.pc <- next;
+        if block_alive self then k ()
+  | Insn.Ldrb (rd, m) ->
+      let addr = op_addr t el m and set_d = op_set t el rd in
+      let c = fresh_page_cache () in
+      fun () ->
+        retire t insn cost;
+        let a = addr () in
+        let ai = Int64.to_int a in
+        let page = ai lsr 12 and off = ai land 0xfff in
+        if page = c.pg_page then
+          set_d (Int64.of_int (Char.code (Bytes.get c.pg_bytes off)))
+        else begin
+          set_d
+            (Int64.of_int
+               (Mem.read8 t.mem
+                  (Icache.translate_exn t.icache ~el ~access:Mmu.Read a)));
+          fill_page_cache t el Mmu.Read c page a
+        end;
+        t.pc <- next;
+        k ()
+  | Insn.Strb (rs, m) ->
+      let addr = op_addr t el m and get_s = op_get t el rs in
+      let mem = t.mem in
+      let c = fresh_page_cache () in
+      fun () ->
+        retire t insn cost;
+        let a = addr () in
+        let ai = Int64.to_int a in
+        let page = ai lsr 12 and off = ai land 0xfff in
+        if page = c.pg_page then begin
+          Bytes.set c.pg_bytes off
+            (Char.chr (Int64.to_int (Int64.logand (get_s ()) 0xffL)));
+          Mem.notify_store mem c.pg_frame
+        end
+        else begin
+          Mem.write8 mem
+            (Icache.translate_exn t.icache ~el ~access:Mmu.Write a)
+            (Int64.to_int (Int64.logand (get_s ()) 0xffL));
+          fill_page_cache t el Mmu.Write c page a
+        end;
+        t.pc <- next;
+        if block_alive self then k ()
+  | Insn.Ldp (r1, r2, m) ->
+      let addr = op_addr t el m
+      and set_1 = op_set t el r1
+      and set_2 = op_set t el r2 in
+      let icache = t.icache in
+      let c = fresh_page_cache () in
+      fun () ->
+        retire t insn cost;
+        let a = addr () in
+        let ai = Int64.to_int a in
+        let page = ai lsr 12 and off = ai land 0xfff in
+        if page = c.pg_page && off <= 4080 then begin
+          let fb = c.pg_bytes in
+          set_1 (Bytes.get_int64_le fb off);
+          set_2 (Bytes.get_int64_le fb (off + 8))
+        end
+        else begin
+          set_1 (Icache.read64_exn icache ~el a);
+          set_2 (Icache.read64_exn icache ~el (Int64.add a 8L));
+          fill_page_cache t el Mmu.Read c page a
+        end;
+        t.pc <- next;
+        k ()
+  | Insn.Stp (r1, r2, m) ->
+      let addr = op_addr t el m
+      and get_1 = op_get t el r1
+      and get_2 = op_get t el r2 in
+      let icache = t.icache and mem = t.mem in
+      let c = fresh_page_cache () in
+      fun () ->
+        retire t insn cost;
+        let a = addr () in
+        let ai = Int64.to_int a in
+        let page = ai lsr 12 and off = ai land 0xfff in
+        if page = c.pg_page && off <= 4080 then begin
+          let fb = c.pg_bytes in
+          Bytes.set_int64_le fb off (get_1 ());
+          Bytes.set_int64_le fb (off + 8) (get_2 ());
+          Mem.notify_store mem c.pg_frame
+        end
+        else begin
+          Icache.write64_exn icache ~el a (get_1 ());
+          Icache.write64_exn icache ~el (Int64.add a 8L) (get_2 ());
+          fill_page_cache t el Mmu.Write c page a
+        end;
+        t.pc <- next;
+        if block_alive self then k ()
+  | Insn.B target ->
+      fun () ->
+        retire t insn cost;
+        t.pc <- target;
+        k ()
+  | Insn.Bl target ->
+      fun () ->
+        retire t insn cost;
+        Array.unsafe_set regs 30 next;
+        t.pc <- target;
+        k ()
+  | Insn.Br (Insn.R n) ->
+      fun () ->
+        retire t insn cost;
+        t.pc <- Array.unsafe_get regs n;
+        k ()
+  | Insn.Blr (Insn.R n) ->
+      fun () ->
+        retire t insn cost;
+        (* read the target before writing lr: Blr x30 must branch to
+           the old link register, like [execute] *)
+        let target = Array.unsafe_get regs n in
+        Array.unsafe_set regs 30 next;
+        t.pc <- target;
+        k ()
+  | Insn.Ret ->
+      fun () ->
+        retire t insn cost;
+        t.pc <- Array.unsafe_get regs 30;
+        k ()
+  | Insn.Cbz (Insn.R n, target) ->
+      fun () ->
+        retire t insn cost;
+        (if is_zero64 (Array.unsafe_get regs n) then t.pc <- target
+         else t.pc <- next);
+        k ()
+  | Insn.Cbnz (Insn.R n, target) ->
+      fun () ->
+        retire t insn cost;
+        (if is_zero64 (Array.unsafe_get regs n) then t.pc <- next
+         else t.pc <- target);
+        k ()
+  | Insn.Bcond (c, target) ->
+      fun () ->
+        retire t insn cost;
+        (if cond_holds t c then t.pc <- target else t.pc <- next);
+        k ()
+  | _ ->
+      (* XZR/SP operands, bitfield ops: rare enough to share the
+         interpreter's executor. Liveness-checked like a store out of
+         caution — nothing unspecialized writes memory today, but the
+         check keeps that a local property of this match. *)
+      fun () ->
+        retire t insn cost;
+        execute t insn ~next;
+        if block_alive self then k ()
+
+let max_block_len = 256
+
+(* Walk forward from the current PC through the icache's (result-
+   returning, architecturally pure) fetch, compiling until a cut point,
+   a stopping terminator, a fetch failure or the length cap. The walk
+   follows unconditional direct control flow instead of stopping at it —
+   this is what makes the blocks superblocks:
+
+   - [B]/[Bl] compile as ordinary ops (their epilogue sets the PC to
+     the target, preserving the per-op PC invariant) and the walk
+     continues at the target, inlining the callee straight into the
+     block; [Bl] pushes its static return address on a compile-time
+     stack;
+   - a plain [Ret] reached with a pending return address compiles as a
+     {e guarded} op: it predicts LR still holds the matching [Bl]'s
+     return address (always true unless the callee clobbered LR), falls
+     through in-block when the guard holds and drops its continuation —
+     PC already set from the real LR — when it does not. The walk then
+     continues at the predicted return site, so a call-heavy loop body
+     becomes one block instead of three;
+   Conditional and indirect branches still terminate the block (an
+   unrolling variant that followed predicted conditional edges measured
+   {e slower}: the unrolled copies defeat the cache residency of a
+   short block's closures re-run every iteration). The physical frames
+   the code was fetched from (callee pages included) become the block's
+   store-invalidation key set. An entry whose first instruction is
+   already a cut point is blacklisted so its hotness counter never
+   fires again. *)
+let compile_block t tr =
+  let el = t.el in
+  let entry = t.pc in
+  (* back-patched with the installed block so store ops can check
+     [bk_live] mid-chain *)
+  let self = ref None in
+  (* The walk accumulates continuation builders ([k -> op], head =
+     last instruction) because an op's closure captures the *next*
+     op, which does not exist yet on a forward walk; the final fold
+     threads [block_end] backwards through the list. *)
+  let rec walk pc rstack mks len frames =
+    if len >= max_block_len then (mks, len, frames)
+    else
+      match Icache.fetch t.icache ~el pc with
+      | Error _ -> (mks, len, frames)
+      | Ok insn ->
+          if is_cut insn then (mks, len, frames)
+          else begin
+            let frames =
+              match Mmu.translate t.mmu ~el ~access:Mmu.Exec pc with
+              | Ok pa ->
+                  let f = Int64.to_int (Int64.shift_right_logical pa 12) in
+                  if List.mem f frames then frames else f :: frames
+              | Error _ -> frames
+            in
+            let next = Int64.add pc 4L in
+            match insn with
+            | Insn.B target ->
+                walk target rstack
+                  (compile_op t insn ~next ~self :: mks)
+                  (len + 1) frames
+            | Insn.Bl target ->
+                walk target (next :: rstack)
+                  (compile_op t insn ~next ~self :: mks)
+                  (len + 1) frames
+            | Insn.Ret when rstack <> [] ->
+                let expected = List.hd rstack in
+                let cost = cost_of t insn in
+                let regs = t.regs in
+                (* mispredicted return: PC is already set from the
+                   real LR, so ending the chain here re-dispatches
+                   from the right place *)
+                let mk k () =
+                  retire t insn cost;
+                  let dest = Array.unsafe_get regs 30 in
+                  t.pc <- dest;
+                  if Int64.equal dest expected then k ()
+                in
+                walk expected (List.tl rstack) (mk :: mks) (len + 1) frames
+            | _ ->
+                let mks = compile_op t insn ~next ~self :: mks in
+                if is_terminator insn then (mks, len + 1, frames)
+                else walk next rstack mks (len + 1) frames
+          end
+  in
+  match walk entry [] [] 0 [] with
+  | [], _, _ ->
+      Traces.blacklist tr ~el entry;
+      None
+  | mks, len, frames ->
+      let code = List.fold_left (fun k mk -> mk k) block_end mks in
+      let b = Traces.install tr ~el ~entry ~len ~frames code in
+      self := Some b;
+      Some b
+
+(* Lookup-or-compile at a control-flow boundary. [sync] first: any
+   map/unmap/stage-2 flip or snapshot restore moved the MMU generation
+   and must flush before a stale block can be found. *)
+let find_block t tr =
+  Traces.sync tr;
+  match Traces.lookup tr ~el:t.el t.pc with
+  | Some _ as found -> found
+  | None -> if Traces.bump tr ~el:t.el t.pc then compile_block t tr else None
+
+(* The traces-tier driver. Guard checks at block entry are the
+   conjunction the ISSUE names: liveness (store hooks + MSR flush
+   matrix), the MMU generation (via [find_block]'s sync), EL and exact
+   entry PC. [prev] carries the last completed block so the next lookup
+   result can be linked as its chained successor; a valid chain skips
+   both the sync and the slot probe, which is sound because every
+   in-run invalidation source (stores, executed MSRs) kills blocks in
+   place and the liveness check still runs. *)
+let run_traces t tr max_insns =
+  let tc = Traces.counters tr in
+  (* Three mutually tail-recursive states instead of one [prev] option:
+     no [Some] allocation per dispatch, and the chain-follow guard and
+     stat accounting are direct field accesses. *)
+  let rec go_boundary budget boundary =
+    if budget <= 0 then Insn_limit
+    else if is_sentinel t.pc then Sentinel_return
+    else
+      match if boundary then find_block t tr else None with
+      | Some b when b.Traces.bk_len <= budget -> dispatch budget b
+      | _ -> step_once budget
+  (* after a fully completed block: try its chained successor first *)
+  and go_chained budget pb =
+    if budget <= 0 then Insn_limit
+    else if is_sentinel t.pc then Sentinel_return
+    else
+      let blk =
+        match pb.Traces.bk_next with
+        | Some nb
+          when nb.Traces.bk_live
+               && nb.Traces.bk_el = t.el
+               && Int64.equal nb.Traces.bk_entry t.pc ->
+            tc.Traces.c_chain_follows <- tc.Traces.c_chain_follows + 1;
+            Some nb
+        | _ -> (
+            match find_block t tr with
+            | Some nb ->
+                Traces.link tr pb nb;
+                Some nb
+            | None -> None)
+      in
+      match blk with
+      | Some b when b.Traces.bk_len <= budget -> dispatch budget b
+      | _ -> step_once budget
+  and dispatch budget b =
+    (* one indirect call runs the whole continuation-threaded chain;
+       an op that aborts (mispredicted inlined return, store that
+       invalidated the block) just drops its continuation. Every op
+       retires exactly one instruction, so the retired count is the
+       [insns_retired] delta — no loop counter at all. *)
+    let r0 = t.insns_retired in
+    b.Traces.bk_code ();
+    let ran = t.insns_retired - r0 in
+    tc.Traces.c_executed <- tc.Traces.c_executed + 1;
+    tc.Traces.c_block_insns <- tc.Traces.c_block_insns + ran;
+    (* an aborted block left the PC just past the last retired
+       instruction; re-dispatch from there without chaining. A full
+       run is fine to chain through even if its last op was a guard:
+       [go_chained] re-guards on the entry PC. *)
+    if ran = b.Traces.bk_len then go_chained (budget - ran) b
+    else go_boundary (budget - ran) true
+  and step_once budget =
+    (* cold or cut code: one icache-tier step. The next PC is a
+       compilation candidate when control transferred or when we
+       just crossed a cut instruction (so the region after a PAC/
+       AUT boundary still becomes a block). *)
+    let insn = Icache.fetch_exn t.icache ~el:t.el t.pc in
+    let cost = cost_of t insn in
+    retire t insn cost;
+    let fall = Int64.add t.pc 4L in
+    execute t insn ~next:fall;
+    go_boundary (budget - 1) (is_cut insn || not (Int64.equal t.pc fall))
+  in
+  try go_boundary max_insns true with
+  | Stop s -> s
+  | Icache.Translate_fault f -> Fault { fault = Mmu_fault f; pc = t.pc }
+  | Icache.Fetch_stop (Icache.Fetch_fault f) ->
+      Fault { fault = Mmu_fault f; pc = t.pc }
+  | Icache.Fetch_stop (Icache.Fetch_undefined word) ->
+      Fault { fault = Undefined_instruction word; pc = t.pc }
+
+let run_stepped ~max_insns t fast =
   if fast then begin
     (* one exception frame for the whole run, not one per step *)
     let rec go budget =
@@ -625,7 +1318,17 @@ let run ?(max_insns = 10_000_000) t =
     go max_insns
   end
 
+let run ?(max_insns = 10_000_000) t =
+  let fast = Option.is_none t.step_hook && Option.is_none t.sink in
+  t.last_run_fast <- fast;
+  t.last_run_tier <-
+    (match t.tier with Traces -> if fast then Traces else Icache | tr -> tr);
+  match t.traces with
+  | Some tr when fast -> run_traces t tr max_insns
+  | _ -> run_stepped ~max_insns t fast
+
 let last_run_fast t = t.last_run_fast
+let last_run_tier t = t.last_run_tier
 
 let call ?max_insns t addr =
   set_reg t Insn.lr sentinel;
@@ -677,6 +1380,7 @@ type captured = {
   c_trace_pos : int;
   c_step_hook : (t -> pc:int64 -> Insn.t -> hook_action) option;
   c_last_run_fast : bool;
+  c_last_run_tier : tier;
 }
 
 let capture t =
@@ -701,6 +1405,7 @@ let capture t =
     c_trace_pos = t.trace_pos;
     c_step_hook = t.step_hook;
     c_last_run_fast = t.last_run_fast;
+    c_last_run_tier = t.last_run_tier;
   }
 
 let restore t c =
@@ -723,7 +1428,13 @@ let restore t c =
   Array.blit c.c_trace_insn 0 t.trace_insn 0 (Array.length t.trace_insn);
   t.trace_pos <- c.c_trace_pos;
   t.step_hook <- c.c_step_hook;
-  t.last_run_fast <- c.c_last_run_fast
+  t.last_run_fast <- c.c_last_run_fast;
+  t.last_run_tier <- c.c_last_run_tier;
+  (* compiled blocks may shadow state the restore just rewrote; the
+     Mem-hook and generation channels catch most of it, but a flush
+     here makes restore unconditional, mirroring Machine.restore's
+     icache flush *)
+  match t.traces with Some tr -> Traces.flush tr | None -> ()
 
 let fault_to_string = function
   | Mmu_fault f -> Mmu.fault_to_string f

@@ -31,6 +31,28 @@ type t
     advances — the instruction-skip fault model). *)
 type hook_action = Exec | Skip
 
+(** The execution-tier selector. All three tiers are bit-identical in
+    guest terms — state, cycles, telemetry and fault kinds never differ
+    (the three-tier differential fuzzer in [test/test_fuzz.ml] enforces
+    this); the selector only trades host-side speed:
+
+    - [Interp]: plain fetch/decode/execute, the decoded-instruction
+      cache disabled (the old [--no-icache] behavior);
+    - [Icache]: the PR 5 decoded-instruction cache + micro-TLB
+      (the default);
+    - [Traces]: hot straight-line regions additionally compile into
+      superblocks of pre-linked closures with block-to-block chaining;
+      cold and cut code still executes through the icache path. *)
+type tier = Interp | Icache | Traces
+
+val tier_name : tier -> string
+
+(** [tier_of_string s] — parse ["interp" | "icache" | "traces"]. *)
+val tier_of_string : string -> tier option
+
+(** All tiers, [Interp] first (for tier-matrix tests and benches). *)
+val all_tiers : tier list
+
 (** [create ()] builds a machine with fresh memory and translation
     tables. [has_pauth] selects an ARMv8.3 core; with [false] the
     PAC/AUT 1716 hint forms execute as NOP and all other PAuth
@@ -49,6 +71,12 @@ type hook_action = Exec | Skip
     host-speed optimization only: execution with it on or off is
     bit-identical, including cycles and telemetry.
 
+    [tier] selects the execution tier; when omitted it is derived from
+    the legacy [icache_enabled] flag ([true] → [Icache], [false] →
+    [Interp]). A [Traces] core creates a private superblock trace cache
+    over its memory/MMU pair — traces are per-core (compiled blocks
+    capture this core's register file), unlike the shared icache.
+
     [trace_depth] sizes the retired-instruction ring buffer behind
     {!recent_trace} (default 32); deep call chains in oops dumps may
     want more. [id] is the core number reported by {!id} (default 0). *)
@@ -62,6 +90,7 @@ val create :
   ?mmu:Mmu.t ->
   ?icache:Icache.t ->
   ?icache_enabled:bool ->
+  ?tier:tier ->
   ?trace_depth:int ->
   ?id:int ->
   unit ->
@@ -72,6 +101,12 @@ val mmu : t -> Mmu.t
 
 (** The decoded-instruction cache this core fetches through. *)
 val icache : t -> Icache.t
+
+(** The execution tier this core was created with. *)
+val tier : t -> tier
+
+(** Superblock trace-cache counters, when this is a [Traces] core. *)
+val trace_stats : t -> Traces.stats option
 
 (** [id t] — the core number given at {!create} (0 on a uniprocessor). *)
 val id : t -> int
@@ -162,6 +197,12 @@ val run : ?max_insns:int -> t -> stop
 (** [last_run_fast t] — whether the most recent {!run} took the
     hook-free fast loop (observability for the fast-path tests). *)
 val last_run_fast : t -> bool
+
+(** [last_run_tier t] — the tier the most recent {!run} actually
+    executed under: a [Traces] core with a step hook or telemetry sink
+    attached drops to the icache path and reports [Icache]. Before any
+    run it reports the configured tier. *)
+val last_run_tier : t -> tier
 
 (** [call ?max_insns t addr] sets LR to {!sentinel}, jumps to [addr] and
     runs; a well-behaved function ends with [Sentinel_return]. *)

@@ -361,3 +361,28 @@ let write64_exn t ~el va v =
         Mem.notify_store t.mem e.e_frame_idx
     | _ -> Mem.write64 t.mem (translate_exn t ~el ~access:Mmu.Write va) v
   end
+
+(* Fill path for the trace tier's per-op page caches: resolve the page
+   backing [va] for [access] and hand out its frame bytes and frame
+   index. Frame byte buffers are stable for the life of the [Mem]
+   (see [Mem.frame_bytes]), so the caller may keep the pair for as
+   long as the MMU generation stands still — any translation or
+   permission change advances it, and the trace tier kills the owning
+   block before its next dispatch. *)
+let data_page t ~el ~access va =
+  if (not t.enabled) || el = El.El2 then None
+  else begin
+    sync t;
+    let va_page = Int64.to_int (Int64.shift_right_logical va 12) in
+    match t.slots.(slot_of ~el va_page) with
+    | Some e
+      when e.e_va_page = va_page && e.e_el = el && Mmu.allows e.e_perm access
+      ->
+        Some (frame_of_entry t e, e.e_frame_idx)
+    | _ -> (
+        match Mmu.probe t.mmu ~el (Int64.of_int va_page) with
+        | Some (pa_page, perm) when Mmu.allows perm access ->
+            let e = install t ~el ~va_page ~pa_page ~perm in
+            Some (frame_of_entry t e, e.e_frame_idx)
+        | _ -> None)
+  end

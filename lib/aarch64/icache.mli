@@ -76,6 +76,15 @@ val read64_exn : t -> el:El.t -> int64 -> int64
 
 val write64_exn : t -> el:El.t -> int64 -> int64 -> unit
 
+(** [data_page t ~el ~access va] — the frame bytes and frame index
+    backing the page of [va], for the trace tier's per-op page caches.
+    Frame byte pointers are stable ({!Mem.frame_bytes}); the result
+    stays valid while the MMU generation does not move. Writers that
+    mutate the bytes directly must follow with {!Mem.notify_store}.
+    [None] when translation is disabled, at EL2, or denied. *)
+val data_page :
+  t -> el:El.t -> access:Mmu.access -> int64 -> (Bytes.t * int) option
+
 (** Host-side effectiveness counters (not guest-visible). *)
 type stats = {
   fetch_hits : int;

@@ -29,20 +29,27 @@ type t = {
 }
 
 let create ?cost ?has_pauth ?user_cfg ?kernel_cfg ?cipher ?trace_depth
-    ?(telemetry = false) ?(icache = true) ~cpus () =
+    ?(telemetry = false) ?(icache = true) ?tier ~cpus () =
   if cpus < 1 then invalid_arg "Machine.create: cpus";
+  let tier =
+    match tier with
+    | Some tr -> tr
+    | None -> if icache then Cpu.Icache else Cpu.Interp
+  in
   let cipher = match cipher with Some c -> c | None -> Qarma.Block.create () in
   let mem = Mem.create () in
   let mmu = Mmu.create () in
   (* One shared cache: decoded entries depend only on (EL, VA page) and
      the shared translation tables, so cores can reuse each other's
      fills — and the single-threaded interleaved execution model means
-     there is no concurrent access to protect against. *)
-  let ic = Icache.create ~enabled:icache ~mem ~mmu () in
+     there is no concurrent access to protect against. Trace caches, by
+     contrast, are per-core (blocks capture a core's register file) and
+     are created inside Cpu.create. *)
+  let ic = Icache.create ~enabled:(tier <> Cpu.Interp) ~mem ~mmu () in
   let cores =
     Array.init cpus (fun id ->
         Cpu.create ?cost ?has_pauth ?user_cfg ?kernel_cfg ~cipher ~mem ~mmu
-          ~icache:ic ?trace_depth ~id ())
+          ~icache:ic ~tier ?trace_depth ~id ())
   in
   let hub =
     if telemetry then begin
@@ -78,6 +85,7 @@ let core t i =
 let cores t = Array.to_list t.cores
 let telemetry t = t.hub
 let boot_core t = t.cores.(0)
+let tier t = Cpu.tier t.cores.(0)
 let mem t = t.mem
 let mmu t = t.mmu
 let icache t = t.icache

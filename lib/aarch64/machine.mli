@@ -28,7 +28,13 @@ type t
     events. All cores fetch through one shared decoded-instruction
     cache ({!Icache}); [~icache:false] creates it disabled (the
     [--no-icache] escape hatch — execution is bit-identical either
-    way, only host speed changes). *)
+    way, only host speed changes).
+
+    [tier] selects the execution tier for every core and overrides the
+    legacy [icache] flag (omitted: [icache=true] → [Cpu.Icache],
+    [icache=false] → [Cpu.Interp]). [Cpu.Traces] keeps the shared
+    icache enabled and gives each core a private superblock trace
+    cache. *)
 val create :
   ?cost:Cost.profile ->
   ?has_pauth:bool ->
@@ -38,6 +44,7 @@ val create :
   ?trace_depth:int ->
   ?telemetry:bool ->
   ?icache:bool ->
+  ?tier:Cpu.tier ->
   cpus:int ->
   unit ->
   t
@@ -49,6 +56,9 @@ val cores : t -> Cpu.t list
 (** The machine-wide telemetry hub, when booted with [~telemetry:true]. *)
 val telemetry : t -> Telemetry.Hub.t option
 val boot_core : t -> Cpu.t
+
+(** The execution tier every core runs under. *)
+val tier : t -> Cpu.tier
 val mem : t -> Mem.t
 val mmu : t -> Mmu.t
 

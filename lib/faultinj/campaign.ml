@@ -84,8 +84,8 @@ let workload_program ~rounds =
     ];
   prog
 
-let setup ?(telemetry = false) ~config ~seed ~cpus ~tasks ~rounds () =
-  let sys = K.System.boot ~config ~seed ~cpus ~telemetry () in
+let setup ?(telemetry = false) ?tier ~config ~seed ~cpus ~tasks ~rounds () =
+  let sys = K.System.boot ~config ~seed ~cpus ~telemetry ?tier () in
   let layout = K.System.map_user_program sys (workload_program ~rounds) in
   let entry = Asm.symbol layout "main" in
   let spawned = List.init tasks (fun _ -> K.System.spawn_user_task sys ~entry) in
@@ -106,8 +106,8 @@ let sorted_exits (stats : K.System.smp_stats) =
   List.sort compare (List.map (fun (_c, pid, e) -> (pid, e)) stats.K.System.smp_exits)
 
 let golden_run ?(config = C.Config.full) ?(cpus = 2) ?(tasks = 4) ?(rounds = 8)
-    ?(quantum = 400) ~seed () =
-  let sys, _layout, spawned = setup ~config ~seed ~cpus ~tasks ~rounds () in
+    ?(quantum = 400) ?tier ~seed () =
+  let sys, _layout, spawned = setup ?tier ~config ~seed ~cpus ~tasks ~rounds () in
   let stats =
     K.System.run_smp ~quantum ~max_slices:(max_slices ~tasks) sys ~tasks:spawned
   in
@@ -176,9 +176,11 @@ let classify ~golden sys result =
                       (Silent_corruption, "lost work: not every task completed")
                     else (Silent_corruption, "exit codes or console diverge from golden")))
 
-let run_one ?(telemetry = false) ~config ~cpus ~tasks ~rounds ~quantum
+let run_one ?(telemetry = false) ?tier ~config ~cpus ~tasks ~rounds ~quantum
     ~quarantine_after ~seed spec_fn =
-  let sys, layout, spawned = setup ~telemetry ~config ~seed ~cpus ~tasks ~rounds () in
+  let sys, layout, spawned =
+    setup ~telemetry ?tier ~config ~seed ~cpus ~tasks ~rounds ()
+  in
   let spec = spec_fn sys layout spawned in
   let inj = Injector.create spec in
   Injector.arm_all inj (K.System.machine sys);
@@ -209,10 +211,11 @@ let trial_of ~golden ~index (sys, inj, spec, result) =
   }
 
 let run_trial ?(config = C.Config.full) ?(cpus = 2) ?(tasks = 4) ?(rounds = 8)
-    ?(quantum = 400) ?quarantine_after ?(index = 0) ~seed ~spec () =
-  let golden = golden_run ~config ~cpus ~tasks ~rounds ~quantum ~seed () in
+    ?(quantum = 400) ?quarantine_after ?tier ?(index = 0) ~seed ~spec () =
+  let golden = golden_run ~config ~cpus ~tasks ~rounds ~quantum ?tier ~seed () in
   trial_of ~golden ~index
-    (run_one ~config ~cpus ~tasks ~rounds ~quantum ~quarantine_after ~seed spec)
+    (run_one ?tier ~config ~cpus ~tasks ~rounds ~quantum ~quarantine_after ~seed
+       spec)
 
 (* Draw one fault spec for trial [i]. The target population mixes the
    kernel's signed-pointer sites, saved task contexts, the user text,
@@ -339,14 +342,14 @@ let harvest_telemetry ?(keep_events = false) sys =
    any partition of the index space over any number of workers replays
    the exact trials the sequential loop would have run. *)
 let run_random_trial ?(config = C.Config.full) ?(cpus = 2) ?(tasks = 4)
-    ?(rounds = 8) ?(quantum = 400) ?quarantine_after ?(telemetry = false)
+    ?(rounds = 8) ?(quantum = 400) ?quarantine_after ?(telemetry = false) ?tier
     ~golden ~seed ~index () =
   let rng =
     Rng.create (Int64.add seed (Int64.mul golden_mix (Int64.of_int (index + 1))))
   in
   let ((sys, _, _, _) as outcome) =
-    run_one ~telemetry ~config ~cpus ~tasks ~rounds ~quantum ~quarantine_after
-      ~seed
+    run_one ~telemetry ?tier ~config ~cpus ~tasks ~rounds ~quantum
+      ~quarantine_after ~seed
       (random_spec rng ~golden_makespan:golden.g_makespan)
   in
   (trial_of ~golden ~index outcome, harvest_telemetry sys)
@@ -378,8 +381,10 @@ let session_golden_fingerprint s = s.ses_golden_fingerprint
 let session_system s = s.ses_sys
 
 let create_session ?(config = C.Config.full) ?(cpus = 2) ?(tasks = 4)
-    ?(rounds = 8) ?(quantum = 400) ?(telemetry = false) ~seed () =
-  let sys, layout, spawned = setup ~telemetry ~config ~seed ~cpus ~tasks ~rounds () in
+    ?(rounds = 8) ?(quantum = 400) ?(telemetry = false) ?tier ~seed () =
+  let sys, layout, spawned =
+    setup ~telemetry ?tier ~config ~seed ~cpus ~tasks ~rounds ()
+  in
   let base = K.System.snapshot sys in
   let stats =
     K.System.run_smp ~quantum ~max_slices:(max_slices ~tasks) sys ~tasks:spawned
@@ -487,13 +492,13 @@ let report_of_trials ?(config_name = "full") ?(cpus = 2) ?(tasks = 4)
   }
 
 let run ?(config = C.Config.full) ?(config_name = "full") ?(cpus = 2) ?(tasks = 4)
-    ?(rounds = 8) ?(quantum = 400) ?quarantine_after ~seed ~trials () =
-  let golden = golden_run ~config ~cpus ~tasks ~rounds ~quantum ~seed () in
+    ?(rounds = 8) ?(quantum = 400) ?quarantine_after ?tier ~seed ~trials () =
+  let golden = golden_run ~config ~cpus ~tasks ~rounds ~quantum ?tier ~seed () in
   let trial_list =
     List.init trials (fun i ->
         fst
           (run_random_trial ~config ~cpus ~tasks ~rounds ~quantum
-             ?quarantine_after ~golden ~seed ~index:i ()))
+             ?quarantine_after ?tier ~golden ~seed ~index:i ()))
   in
   report_of_trials ~config_name ~cpus ~tasks ~rounds ~quantum ?quarantine_after
     ~seed ~golden trial_list

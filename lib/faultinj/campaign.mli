@@ -88,6 +88,7 @@ val golden_run :
   ?tasks:int ->
   ?rounds:int ->
   ?quantum:int ->
+  ?tier:Aarch64.Cpu.tier ->
   seed:int64 ->
   unit ->
   golden
@@ -122,6 +123,7 @@ val run_random_trial :
   ?quantum:int ->
   ?quarantine_after:int ->
   ?telemetry:bool ->
+  ?tier:Aarch64.Cpu.tier ->
   golden:golden ->
   seed:int64 ->
   index:int ->
@@ -144,6 +146,7 @@ val create_session :
   ?rounds:int ->
   ?quantum:int ->
   ?telemetry:bool ->
+  ?tier:Aarch64.Cpu.tier ->
   seed:int64 ->
   unit ->
   session
@@ -204,6 +207,7 @@ val run_trial :
   ?rounds:int ->
   ?quantum:int ->
   ?quarantine_after:int ->
+  ?tier:Aarch64.Cpu.tier ->
   ?index:int ->
   seed:int64 ->
   spec:
@@ -221,6 +225,7 @@ val run :
   ?rounds:int ->
   ?quantum:int ->
   ?quarantine_after:int ->
+  ?tier:Aarch64.Cpu.tier ->
   seed:int64 ->
   trials:int ->
   unit ->

@@ -34,7 +34,7 @@ let entry_of_trial ~fingerprint (t : Campaign.trial) =
     e_fingerprint = fingerprint;
   }
 
-let session_of_header (h : L.header) =
+let session_of_header ?tier (h : L.header) =
   if h.L.h_kind <> "faults" then
     Error (Printf.sprintf "cannot replay %S logs (only \"faults\")" h.L.h_kind)
   else
@@ -45,7 +45,8 @@ let session_of_header (h : L.header) =
            it, so replay always runs telemetry-off. *)
         let ses =
           Campaign.create_session ~config ~cpus:h.L.h_cpus ~tasks:h.L.h_tasks
-            ~rounds:h.L.h_rounds ~quantum:h.L.h_quantum ~seed:h.L.h_seed ()
+            ~rounds:h.L.h_rounds ~quantum:h.L.h_quantum ?tier ~seed:h.L.h_seed
+            ()
         in
         let golden = Campaign.session_golden ses in
         if golden.Campaign.g_makespan <> h.L.h_golden_makespan then
@@ -90,8 +91,8 @@ let replay_entry ses ?quarantine_after (recorded : L.entry) =
     v_replayed = replayed;
   }
 
-let replay ?index (log : L.t) =
-  match session_of_header log.L.header with
+let replay ?index ?tier (log : L.t) =
+  match session_of_header ?tier log.L.header with
   | Error msg -> Error msg
   | Ok ses ->
       let quarantine_after = log.L.header.L.h_quarantine_after in

@@ -21,9 +21,14 @@ val entry_of_trial :
 (** Rebuild the campaign session a log was recorded against and verify
     the golden run's makespan and state fingerprint before any trial is
     replayed. Replay always runs telemetry-off: the fingerprint excludes
-    telemetry, so recordings made with it still match. *)
+    telemetry, so recordings made with it still match. [tier] overrides
+    the execution tier the replay runs under — tiers are bit-identical,
+    so a log recorded under one tier must verify under any other; the
+    log format does not record the tier. *)
 val session_of_header :
-  Snapshot.Log.header -> (Campaign.session, string) result
+  ?tier:Aarch64.Cpu.tier ->
+  Snapshot.Log.header ->
+  (Campaign.session, string) result
 
 type verdict = {
   v_index : int;
@@ -45,6 +50,8 @@ val replay_entry :
     (or just trial [index]). [Error] means the log could not be replayed
     at all (bad config name, golden divergence, unknown index); verdicts
     report per-trial divergence. *)
-val replay : ?index:int -> Snapshot.Log.t -> (verdict list, string) result
+val replay :
+  ?index:int -> ?tier:Aarch64.Cpu.tier -> Snapshot.Log.t ->
+  (verdict list, string) result
 
 val verdict_to_string : verdict -> string

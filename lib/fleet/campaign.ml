@@ -52,6 +52,7 @@ type session_params = {
   sp_rounds : int;
   sp_quantum : int;
   sp_telemetry : bool;
+  sp_tier : Aarch64.Cpu.tier option;
   sp_seed : int64;
 }
 
@@ -65,15 +66,15 @@ let session_for p =
       let ses =
         FC.create_session ~config:p.sp_config ~cpus:p.sp_cpus ~tasks:p.sp_tasks
           ~rounds:p.sp_rounds ~quantum:p.sp_quantum ~telemetry:p.sp_telemetry
-          ~seed:p.sp_seed ()
+          ?tier:p.sp_tier ~seed:p.sp_seed ()
       in
       Domain.DLS.set session_key (Some (p, ses));
       ses
 
 let run ?(config = Camouflage.Config.full) ?(config_name = "full") ?(cpus = 2)
     ?(tasks = 4) ?(rounds = 8) ?(quantum = 400) ?quarantine_after ?workers
-    ?retries ?(telemetry = false) ?(lanes = 0) ?record_dir ?job_hook ?progress
-    ?should_stop ~seed ~trials () =
+    ?retries ?(telemetry = false) ?tier ?(lanes = 0) ?record_dir ?job_hook
+    ?progress ?should_stop ~seed ~trials () =
   let params =
     {
       sp_config = config;
@@ -82,6 +83,7 @@ let run ?(config = Camouflage.Config.full) ?(config_name = "full") ?(cpus = 2)
       sp_rounds = rounds;
       sp_quantum = quantum;
       sp_telemetry = telemetry;
+      sp_tier = tier;
       sp_seed = seed;
     }
   in

@@ -78,6 +78,7 @@ val run :
   ?workers:int ->
   ?retries:int ->
   ?telemetry:bool ->
+  ?tier:Aarch64.Cpu.tier ->
   ?lanes:int ->
   ?record_dir:string ->
   ?job_hook:(int -> unit) ->

@@ -206,6 +206,14 @@ let submit_faults t obj =
     Option.map (bounded "quarantine" 1 1_000_000) (int_field obj "quarantine")
   in
   let retries = Option.map (bounded "retries" 0 100) (int_field obj "retries") in
+  let tier =
+    match str_field obj "tier" with
+    | None -> None
+    | Some name -> (
+        match Aarch64.Cpu.tier_of_string name with
+        | Some _ as t -> t
+        | None -> bad "unknown tier %S (interp|icache|traces)" name)
+  in
   let timeout_ms =
     Option.map (bounded "timeout_ms" 1 86_400_000) (int_field obj "timeout_ms")
   in
@@ -216,7 +224,7 @@ let submit_faults t obj =
           in
           match
             Campaign.run ~config ~config_name ~cpus ~tasks ~rounds ~quantum
-              ?quarantine_after ~workers ?retries ~telemetry:true
+              ?quarantine_after ~workers ?retries ~telemetry:true ?tier
               ~progress:(fun () -> Atomic.incr cells.c_completed)
               ~should_stop ~seed ~trials ()
           with

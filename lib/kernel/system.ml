@@ -1229,7 +1229,8 @@ let run_smp ?(quantum = 2000) ?(max_slices = 50_000) ?(balance_interval = 8)
 (* Boot. *)
 
 let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
-    ?(cost = Cost.cortex_a53) ?(cpus = 1) ?(telemetry = false) ?(icache = true) () =
+    ?(cost = Cost.cortex_a53) ?(cpus = 1) ?(telemetry = false) ?(icache = true)
+    ?tier () =
   (match config.C.Config.scheme with
   | C.Modifier.Chained ->
       failwith
@@ -1240,7 +1241,9 @@ let boot ?(config = C.Config.full) ?(seed = 42L) ?(has_pauth = true)
       ());
   if cpus < 1 || cpus > 16 then invalid_arg "System.boot: cpus must be in 1..16";
   let cipher = Qarma.Block.create () in
-  let machine = Machine.create ~cost ~has_pauth ~cipher ~cpus ~telemetry ~icache () in
+  let machine =
+    Machine.create ~cost ~has_pauth ~cipher ~cpus ~telemetry ~icache ?tier ()
+  in
   let cpu = Machine.boot_core machine in
   (* Bootloader: map the kernel's working memory (shared by all cores). *)
   Kmem.map_kernel_region cpu ~base:Layout.heap_base ~bytes:Layout.heap_bytes Mmu.rw;

@@ -60,7 +60,10 @@ type t
 
     [icache] (default [true]) enables the machine-wide
     decoded-instruction cache. Disabling it ([--no-icache] at the CLI)
-    changes host speed only: execution is bit-identical either way. *)
+    changes host speed only: execution is bit-identical either way.
+    [tier] selects the execution tier explicitly ([--exec-tier] at the
+    CLI) and overrides [icache]; [Cpu.Traces] adds per-core superblock
+    trace compilation on top of the shared icache. *)
 val boot :
   ?config:Camouflage.Config.t ->
   ?seed:int64 ->
@@ -69,6 +72,7 @@ val boot :
   ?cpus:int ->
   ?telemetry:bool ->
   ?icache:bool ->
+  ?tier:Aarch64.Cpu.tier ->
   unit ->
   t
 

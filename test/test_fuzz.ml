@@ -134,9 +134,285 @@ let prop_no_benign_panic =
           not panicked)
         [ C.Config.full; C.Config.backward_only; C.Config.compat; C.Config.none ])
 
+(* ---------- three-tier differential conformance fuzzer ----------
+
+   Random bare-metal programs — arithmetic, bounded loads/stores,
+   forward conditional skips, PAC/AUT round trips, stack push/pop pairs
+   and (optionally) a self-patching store — wrapped in a loop hot
+   enough to cross the trace compiler's threshold, executed under all
+   three tiers. The observable is the stop reason plus the whole-machine
+   state fingerprint ({!Snapshot.Fingerprint.of_machine}: registers,
+   flags, cycle and retirement totals, system registers, every non-zero
+   memory frame, both translation stages), so any divergence the trace
+   compiler could introduce — wrong retirement count, stale code after
+   a self-patch, a mis-costed instruction — fails the property.
+
+   Register discipline keeps random programs well-defined: R0-R5 are
+   arithmetic scratch, R8/R9 carry the self-patch word and victim
+   address, R10 points at the data region, R11 is the loop counter,
+   R12/R13 are PAC scratch. *)
+
+open Aarch64
+
+type fitem =
+  | Arith of Insn.t
+  | Store_load of int * int * int  (* rs, rd, 8-byte slot in the data page *)
+  | Push_pop of int * int * int * int
+  | Skip_z of int * Insn.t list  (* cbz R(n) over the protected run *)
+  | Skip_nz of int * Insn.t list
+  | Skip_cond of Insn.cond * Insn.t list
+  | Pac_pair of Sysreg.pauth_key  (* sign + authenticate, result folded in *)
+  | Pacga_mix
+  | Patch  (* store R8 over the victim pair (selfmod programs only) *)
+
+type fprog = {
+  seeds : int list;  (* initial R0..R5 *)
+  iters : int;  (* loop trips: past the hot threshold of 16 *)
+  body : fitem list;
+  selfmod : bool;
+}
+
+let gen_arith =
+  QCheck2.Gen.(
+    let reg = map (fun n -> Insn.R n) (int_range 0 5) in
+    let imm12 = int_range 0 4095 in
+    oneof
+      [
+        map2 (fun r v -> Insn.Movz (r, v, 0)) reg (int_range 0 0xffff);
+        map3 (fun d n v -> Insn.Add_imm (d, n, v)) reg reg imm12;
+        map3 (fun d n v -> Insn.Sub_imm (d, n, v)) reg reg imm12;
+        map3 (fun d n m -> Insn.Add_reg (d, n, m)) reg reg reg;
+        map3 (fun d n m -> Insn.Sub_reg (d, n, m)) reg reg reg;
+        map3 (fun d n m -> Insn.And_reg (d, n, m)) reg reg reg;
+        map3 (fun d n m -> Insn.Orr_reg (d, n, m)) reg reg reg;
+        map3 (fun d n m -> Insn.Eor_reg (d, n, m)) reg reg reg;
+        map3 (fun d n m -> Insn.Subs_reg (d, n, m)) reg reg reg;
+        map3 (fun d n v -> Insn.Subs_imm (d, n, v)) reg reg imm12;
+        map3 (fun d n s -> Insn.Lsl_imm (d, n, s)) reg reg (int_range 0 15);
+        map3 (fun d n s -> Insn.Lsr_imm (d, n, s)) reg reg (int_range 0 15);
+        map2 (fun d n -> Insn.Mov (d, n)) reg reg;
+        return Insn.Nop;
+      ])
+
+let gen_fitem =
+  QCheck2.Gen.(
+    let r5 = int_range 0 5 in
+    let protected_run = list_size (int_range 1 3) gen_arith in
+    frequency
+      [
+        (5, map (fun i -> Arith i) gen_arith);
+        (2, map3 (fun s d k -> Store_load (s, d, k)) r5 r5 (int_range 0 7));
+        ( 1,
+          map3 (fun a b c -> (a, b, c)) r5 r5 r5 >>= fun (a, b, c) ->
+          map (fun d -> Push_pop (a, b, c, d)) r5 );
+        (1, map2 (fun r is -> Skip_z (r, is)) r5 protected_run);
+        (1, map2 (fun r is -> Skip_nz (r, is)) r5 protected_run);
+        ( 1,
+          map2
+            (fun c is -> Skip_cond (c, is))
+            (oneofl Insn.[ Eq; Ne; Lt; Ge; Gt; Le ])
+            protected_run );
+        (1, map (fun k -> Pac_pair k) (oneofl Sysreg.[ IA; IB; DA; DB ]));
+        (1, return Pacga_mix);
+      ])
+
+let gen_fprog =
+  QCheck2.Gen.(
+    list_size (return 6) (int_range 0 0xffff) >>= fun seeds ->
+    int_range 20 60 >>= fun iters ->
+    list_size (int_range 2 12) gen_fitem >>= fun body ->
+    bool >>= fun selfmod ->
+    (if selfmod then
+       int_range 0 (List.length body) >>= fun at ->
+       let rec ins i = function
+         | rest when i = 0 -> Patch :: rest
+         | [] -> [ Patch ]
+         | x :: rest -> x :: ins (i - 1) rest
+       in
+       return (ins at body)
+     else return body)
+    >>= fun body -> return { seeds; iters; body; selfmod })
+
+let fitem_to_string = function
+  | Arith i -> Insn.to_string i
+  | Store_load (s, d, k) -> Printf.sprintf "st/ld r%d->r%d @%d" s d k
+  | Push_pop (a, b, c, d) -> Printf.sprintf "push/pop %d,%d->%d,%d" a b c d
+  | Skip_z (r, is) ->
+      Printf.sprintf "skip-z r%d [%s]" r
+        (String.concat "; " (List.map Insn.to_string is))
+  | Skip_nz (r, is) ->
+      Printf.sprintf "skip-nz r%d [%s]" r
+        (String.concat "; " (List.map Insn.to_string is))
+  | Skip_cond (_, is) ->
+      Printf.sprintf "skip-cond [%s]"
+        (String.concat "; " (List.map Insn.to_string is))
+  | Pac_pair k -> "pac/aut " ^ Sysreg.name (fst (Sysreg.key_halves k))
+  | Pacga_mix -> "pacga"
+  | Patch -> "self-patch"
+
+let print_fprog p =
+  Printf.sprintf "iters=%d selfmod=%b seeds=[%s] body=[%s]" p.iters p.selfmod
+    (String.concat "," (List.map string_of_int p.seeds))
+    (String.concat " | " (List.map fitem_to_string p.body))
+
+(* Emit one body item; returns the Asm items and the instruction count
+   (labels are free), so the victim pair can be 8-aligned. *)
+let emit_fitem fresh = function
+  | Arith i -> ([ Asm.ins i ], 1)
+  | Store_load (s, d, k) ->
+      ( [
+          Asm.ins (Insn.Str (Insn.R s, Insn.Off (Insn.R 10, 8 * k)));
+          Asm.ins (Insn.Ldr (Insn.R d, Insn.Off (Insn.R 10, 8 * k)));
+        ],
+        2 )
+  | Push_pop (a, b, c, d) ->
+      ( [
+          Asm.ins (Insn.Stp (Insn.R a, Insn.R b, Insn.Pre (Insn.SP, -16)));
+          Asm.ins (Insn.Ldp (Insn.R c, Insn.R d, Insn.Post (Insn.SP, 16)));
+        ],
+        2 )
+  | Skip_z (r, is) ->
+      let l = fresh () in
+      ( (Asm.cbz_to (Insn.R r) l :: List.map Asm.ins is) @ [ Asm.label l ],
+        1 + List.length is )
+  | Skip_nz (r, is) ->
+      let l = fresh () in
+      ( (Asm.cbnz_to (Insn.R r) l :: List.map Asm.ins is) @ [ Asm.label l ],
+        1 + List.length is )
+  | Skip_cond (c, is) ->
+      let l = fresh () in
+      ( (Asm.bcond_to c l :: List.map Asm.ins is) @ [ Asm.label l ],
+        1 + List.length is )
+  | Pac_pair k ->
+      (* sign the data pointer under the loop counter, authenticate it
+         back (guaranteed to succeed) and fold the result into R1 *)
+      ( [
+          Asm.ins (Insn.Mov (Insn.R 12, Insn.R 10));
+          Asm.ins (Insn.Mov (Insn.R 13, Insn.R 11));
+          Asm.ins (Insn.Pac (k, Insn.R 12, Insn.R 13));
+          Asm.ins (Insn.Aut (k, Insn.R 12, Insn.R 13));
+          Asm.ins (Insn.Add_reg (Insn.R 1, Insn.R 1, Insn.R 12));
+        ],
+        5 )
+  | Pacga_mix ->
+      ( [
+          Asm.ins (Insn.Pacga (Insn.R 13, Insn.R 0, Insn.R 1));
+          Asm.ins (Insn.Eor_reg (Insn.R 2, Insn.R 2, Insn.R 13));
+        ],
+        2 )
+  | Patch -> ([ Asm.ins (Insn.Str (Insn.R 8, Insn.Off (Insn.R 9, 0))) ], 1)
+
+let emit_fprog p =
+  let fresh =
+    let c = ref 0 in
+    fun () ->
+      incr c;
+      Printf.sprintf "skip%d" !c
+  in
+  let body_items, body_insns =
+    List.fold_left
+      (fun (items, n) it ->
+        let is, k = emit_fitem fresh it in
+        (items @ is, n + k))
+      ([], 0) p.body
+  in
+  (* The self-patch replacement word: both halves are PC-independent
+     encodings, so they can be computed before assembly. *)
+  let enc insn =
+    Int64.logand (Int64.of_int32 (Encode.encode ~pc:0L insn)) 0xffffffffL
+  in
+  let word =
+    Int64.logor
+      (enc (Insn.Movz (Insn.R 4, 9, 0)))
+      (Int64.shift_left (enc Insn.Nop) 32)
+  in
+  let mov_abs r v =
+    let chunk i =
+      Int64.to_int (Int64.logand (Int64.shift_right_logical v (16 * i)) 0xffffL)
+    in
+    Asm.ins (Insn.Movz (r, chunk 0, 0))
+    :: List.map (fun i -> Asm.ins (Insn.Movk (r, chunk i, 16 * i))) [ 1; 2; 3 ]
+  in
+  let prologue =
+    mov_abs (Insn.R 10) Bare.data_base
+    @ (if p.selfmod then Asm.mov_addr (Insn.R 9) "victim" @ mov_abs (Insn.R 8) word
+       else [])
+    @ List.mapi (fun i v -> Asm.ins (Insn.Movz (Insn.R i, v, 0))) p.seeds
+    @ [ Asm.ins (Insn.Movz (Insn.R 11, p.iters, 0)) ]
+  in
+  let prologue_insns = 4 + (if p.selfmod then 8 else 0) + 6 + 1 in
+  (* keep the 8-byte victim pair aligned for the single patching store *)
+  let pad =
+    if (prologue_insns + body_insns) mod 2 = 1 then [ Asm.ins Insn.Nop ] else []
+  in
+  let victim =
+    if p.selfmod then
+      [
+        Asm.label "victim";
+        Asm.ins (Insn.Movz (Insn.R 4, 7, 0));
+        Asm.ins Insn.Nop;
+      ]
+    else []
+  in
+  let prog = Asm.create () in
+  Asm.add_function prog ~name:"fuzz"
+    (prologue
+    @ [ Asm.label "loop" ]
+    @ body_items @ pad @ victim
+    @ [
+        Asm.ins (Insn.Sub_imm (Insn.R 11, Insn.R 11, 1));
+        Asm.cbnz_to (Insn.R 11) "loop";
+        Asm.ins Insn.Ret;
+      ]);
+  prog
+
+let run_fprog ~tier p =
+  let m = Bare.smp ~seed:11L ~tier () in
+  let cpu = Machine.boot_core m in
+  if p.selfmod then
+    Bare.map_region cpu ~base:Bare.code_base ~pages:16 Mmu.rwx;
+  let layout = Bare.load cpu (emit_fprog p) in
+  let stop = Bare.call ~max_insns:200_000 cpu layout "fuzz" in
+  (Cpu.stop_to_string stop, Snapshot.Fingerprint.of_machine m)
+
+let prop_three_tier =
+  QCheck2.Test.make
+    ~name:"random programs: interp = icache = traces (stop + fingerprint)"
+    ~count:200 ~print:print_fprog gen_fprog (fun p ->
+      let stop_i, fp_i = run_fprog ~tier:Cpu.Interp p in
+      let stop_c, fp_c = run_fprog ~tier:Cpu.Icache p in
+      let stop_t, fp_t = run_fprog ~tier:Cpu.Traces p in
+      stop_i = stop_c && stop_c = stop_t && fp_i = fp_c && fp_c = fp_t)
+
+(* Telemetry is pure observation in every tier: booting the kernel with
+   counters on and running a random syscall sequence must produce the
+   identical counter file whichever tier executes it. *)
+let run_sequence_tier config ~tier seq =
+  let sys = K.System.boot ~config ~seed:99L ~telemetry:true ~tier () in
+  K.Kmem.map_user_region (K.System.cpu sys) ~base:K.Layout.user_data_base
+    ~bytes:0x4000 Aarch64.Mmu.rw;
+  let observations = List.map (execute sys) seq in
+  let counters =
+    match K.System.telemetry sys with
+    | Some hub -> Telemetry.Counters.to_json (Telemetry.Hub.counters hub)
+    | None -> Alcotest.fail "telemetry boot carries no hub"
+  in
+  (observations, counters, Aarch64.Cpu.cycles (K.System.cpu sys))
+
+let prop_tier_telemetry =
+  QCheck2.Test.make
+    ~name:"syscall sequences: telemetry counters identical across tiers"
+    ~count:15 gen_sequence (fun seq ->
+      let base = run_sequence_tier C.Config.full ~tier:Cpu.Interp seq in
+      List.for_all
+        (fun tier -> run_sequence_tier C.Config.full ~tier seq = base)
+        [ Cpu.Icache; Cpu.Traces ])
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_transparency;
     QCheck_alcotest.to_alcotest prop_determinism;
     QCheck_alcotest.to_alcotest prop_no_benign_panic;
+    QCheck_alcotest.to_alcotest prop_three_tier;
+    QCheck_alcotest.to_alcotest prop_tier_telemetry;
   ]

@@ -11,6 +11,7 @@ let () =
       ("paclint", Test_paclint.suite);
       ("cpu", Test_cpu.suite);
       ("icache", Test_icache.suite);
+      ("traces", Test_traces.suite);
       ("camouflage", Test_camouflage.suite);
       ("kernel", Test_kernel.suite);
       ("sched", Test_sched.suite);
